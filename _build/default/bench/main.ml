@@ -1,0 +1,576 @@
+(* Benchmark and experiment harness.
+
+   Running with no arguments regenerates every table and figure of the
+   paper's evaluation (Section IV), then the ablation studies from
+   DESIGN.md, then Bechamel micro-benchmarks of the construction
+   algorithms.  Individual artifacts can be selected:
+
+     dune exec bench/main.exe -- table1 fig8 fig12
+     dune exec bench/main.exe -- --quick          # smaller instances
+
+   Reported numbers are deterministic for a fixed configuration. *)
+
+let pf = Format.printf
+
+(* --out DIR: also export each figure's series as CSV and SVG charts *)
+let out_dir : string option ref = ref None
+
+let chart_series (s : Core.Experiments.series) =
+  { Viz.Chart.label = s.Core.Experiments.label; points = s.Core.Experiments.points }
+
+let export name ~xlabel series =
+  match !out_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    (* CSV: one row per x, one column per curve *)
+    let csv = Filename.concat dir (name ^ ".csv") in
+    let oc = open_out csv in
+    (match series with
+    | [] -> ()
+    | first :: _ ->
+      Printf.fprintf oc "x,%s\n"
+        (String.concat ","
+           (List.map (fun s -> s.Core.Experiments.label) series));
+      List.iteri
+        (fun i (x, _) ->
+          Printf.fprintf oc "%g" x;
+          List.iter
+            (fun s ->
+              Printf.fprintf oc ",%g"
+                (snd (List.nth s.Core.Experiments.points i)))
+            series;
+          output_char oc '\n')
+        first.Core.Experiments.points);
+    close_out oc;
+    (* SVG panels: split max and avg curves as the paper does *)
+    let has_suffix suf (s : Core.Experiments.series) =
+      let l = s.Core.Experiments.label and n = String.length suf in
+      String.length l >= n && String.sub l (String.length l - n) n = suf
+    in
+    let panel suffix =
+      match List.filter (has_suffix suffix) series with
+      | [] -> ()
+      | sel ->
+        let file =
+          Filename.concat dir
+            (Printf.sprintf "%s-%s.svg" name
+               (String.concat "" (String.split_on_char ' ' suffix)))
+        in
+        Viz.Chart.write_file
+          ~title:(name ^ " (" ^ String.trim suffix ^ ")")
+          ~xlabel ~ylabel:(String.trim suffix)
+          (List.map chart_series sel)
+          file
+    in
+    if List.exists (has_suffix " max") series then begin
+      panel " max";
+      panel " avg"
+    end
+    else
+      Viz.Chart.write_file ~title:name ~xlabel ~ylabel:"value"
+        (List.map chart_series series)
+        (Filename.concat dir (name ^ ".svg"));
+    pf "  [exported %s to %s]@." name dir
+
+let header title =
+  pf "@.============================================================@.";
+  pf "%s@." title;
+  pf "============================================================@."
+
+(* ------------------------------------------------------------------ *)
+(* Paper artifacts                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let table1 cfg =
+  header
+    "Table I: topology quality (n = 100, R = 60, 200x200 square)\n\
+     paper-vs-measured comparison recorded in EXPERIMENTS.md";
+  let aggs = Core.Experiments.table1 ~cfg ~n:100 ~radius:60. () in
+  pf "%a@." Core.Quality.pp_agg_header ();
+  List.iter (fun a -> pf "%a@." Core.Quality.pp_agg a) aggs
+
+let fig8 cfg =
+  header "Figure 8: node degree vs number of nodes (R = 60)";
+  let series = Core.Experiments.degree_vs_n ~cfg ~radius:60. () in
+  pf "%a@." Core.Experiments.pp_series series;
+  export "fig8" ~xlabel:"number of nodes" series
+
+let fig9 cfg =
+  header "Figure 9: spanning ratios vs number of nodes (R = 60)";
+  let series = Core.Experiments.stretch_vs_n ~cfg ~radius:60. () in
+  pf "%a@." Core.Experiments.pp_series series;
+  export "fig9" ~xlabel:"number of nodes" series
+
+let fig10 cfg =
+  header "Figure 10: per-node communication cost vs number of nodes (R = 60)";
+  let series = Core.Experiments.comm_vs_n ~cfg ~radius:60. () in
+  pf "%a@." Core.Experiments.pp_series series;
+  export "fig10" ~xlabel:"number of nodes" series
+
+let fig11 cfg n =
+  header
+    (Printf.sprintf
+       "Figure 11: spanning ratios vs transmission radius (n = %d)" n);
+  let series = Core.Experiments.stretch_vs_radius ~cfg ~n () in
+  pf "%a@." Core.Experiments.pp_series series;
+  export "fig11" ~xlabel:"transmission radius" series
+
+let fig12 cfg n =
+  header
+    (Printf.sprintf
+       "Figure 12: communication cost and node degree vs radius (n = %d)" n);
+  let series = Core.Experiments.comm_and_degree_vs_radius ~cfg ~n () in
+  pf "%a@." Core.Experiments.pp_series series;
+  export "fig12" ~xlabel:"transmission radius" series
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md section 4)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let instances cfg n radius =
+  let rng = Wireless.Rand.create cfg.Core.Experiments.seed in
+  List.init cfg.Core.Experiments.instances (fun _ ->
+      fst
+        (Wireless.Deploy.connected_uniform rng ~n
+           ~side:cfg.Core.Experiments.side ~radius
+           ~max_attempts:cfg.Core.Experiments.max_attempts))
+
+let ablation_clustering cfg =
+  header "Ablation: clustering priority (smallest-ID vs highest-degree-first)";
+  let radius = 60. in
+  let stats priority =
+    let doms = ref 0. and edges = ref 0. and stretch = ref 0. and k = ref 0 in
+    List.iter
+      (fun pts ->
+        let udg = Wireless.Udg.build pts ~radius in
+        let roles =
+          Core.Mis.compute_with_priority udg ~priority:(priority udg)
+        in
+        let conn = Core.Connectors.find udg roles in
+        let cds = Core.Cds.build udg roles conn in
+        let l = Core.Ldel.build cds.Core.Cds.icds pts ~radius in
+        let ldel' = Netgraph.Graph.copy l.Core.Ldel.planar in
+        Array.iteri
+          (fun u r ->
+            if r = Core.Mis.Dominatee then
+              List.iter
+                (fun d -> Netgraph.Graph.add_edge ldel' u d)
+                (Core.Mis.dominators_of udg roles u))
+          roles;
+        let s = Netgraph.Metrics.stretch_factors ~base:udg ~sub:ldel' pts in
+        doms := !doms +. float_of_int (List.length (Core.Mis.dominators roles));
+        edges :=
+          !edges +. float_of_int (Netgraph.Graph.edge_count cds.Core.Cds.cds);
+        stretch := !stretch +. s.Netgraph.Metrics.len_avg;
+        incr k)
+      (instances cfg 100 radius);
+    let k = float_of_int !k in
+    (!doms /. k, !edges /. k, !stretch /. k)
+  in
+  let d1, e1, s1 = stats (fun _ _ -> 0) in
+  let d2, e2, s2 = stats (fun udg u -> -Netgraph.Graph.degree udg u) in
+  pf "%-22s %10s %10s %12s@." "priority" "dominators" "CDS edges" "len stretch";
+  pf "%-22s %10.1f %10.1f %12.3f@." "smallest-ID (paper)" d1 e1 s1;
+  pf "%-22s %10.1f %10.1f %12.3f@." "highest-degree-first" d2 e2 s2
+
+let ablation_ldel_scope cfg =
+  header "Ablation: LDel over the whole UDG vs over the backbone ICDS";
+  let radius = 60. in
+  let total_v = ref 0.
+  and total_i = ref 0.
+  and tris_v = ref 0.
+  and tris_i = ref 0. in
+  let k = ref 0 in
+  List.iter
+    (fun pts ->
+      let bb = Core.Backbone.build pts ~radius in
+      let lv = Core.Backbone.ldel_full bb in
+      total_v :=
+        !total_v +. float_of_int (Netgraph.Graph.edge_count lv.Core.Ldel.planar);
+      total_i :=
+        !total_i
+        +. float_of_int
+             (Netgraph.Graph.edge_count bb.Core.Backbone.ldel_icds_g);
+      tris_v := !tris_v +. float_of_int (List.length lv.Core.Ldel.triangles);
+      tris_i :=
+        !tris_i
+        +. float_of_int
+             (List.length bb.Core.Backbone.ldel_icds.Core.Ldel.triangles);
+      incr k)
+    (instances cfg 100 radius);
+  let k = float_of_int !k in
+  pf "%-18s %12s %12s@." "scope" "PLDel edges" "LDel1 tris";
+  pf "%-18s %12.1f %12.1f@." "whole UDG" (!total_v /. k) (!tris_v /. k);
+  pf "%-18s %12.1f %12.1f@." "backbone ICDS" (!total_i /. k) (!tris_i /. k)
+
+let ablation_connectors cfg =
+  header "Ablation: connector selection (paper elections / Alzoubi / Baker)";
+  let radius = 60. in
+  let agg = Hashtbl.create 4 in
+  let bump key v =
+    Hashtbl.replace agg key (v +. Option.value ~default:0. (Hashtbl.find_opt agg key))
+  in
+  let k = ref 0 in
+  List.iter
+    (fun pts ->
+      let udg = Wireless.Udg.build pts ~radius in
+      let roles = Core.Mis.compute udg in
+      List.iter
+        (fun (name, find) ->
+          let conn = find udg roles in
+          let cds = Core.Cds.build udg roles conn in
+          let connectors =
+            Array.fold_left (fun a c -> if c then a + 1 else a) 0
+              conn.Core.Connectors.connector
+          in
+          bump (name, "connectors") (float_of_int connectors);
+          bump (name, "cds edges")
+            (float_of_int (Netgraph.Graph.edge_count cds.Core.Cds.cds));
+          bump (name, "icds edges")
+            (float_of_int (Netgraph.Graph.edge_count cds.Core.Cds.icds));
+          let s =
+            Netgraph.Metrics.stretch_factors ~base:udg ~sub:cds.Core.Cds.cds'
+              pts
+          in
+          bump (name, "hop avg") s.Netgraph.Metrics.hop_avg)
+        [
+          ("elections (paper)", Core.Connectors.find);
+          ("alzoubi single-path", Core.Connectors.find_alzoubi);
+          ("baker highest-ID", Core.Connectors.find_baker);
+        ];
+      incr k)
+    (instances cfg 100 radius);
+  let kf = float_of_int !k in
+  pf "%-22s %11s %10s %11s %9s@." "selection" "connectors" "CDS edges"
+    "ICDS edges" "hop avg";
+  List.iter
+    (fun name ->
+      let get m = Hashtbl.find agg (name, m) /. kf in
+      pf "%-22s %11.1f %10.1f %11.1f %9.3f@." name (get "connectors")
+        (get "cds edges") (get "icds edges") (get "hop avg"))
+    [ "elections (paper)"; "alzoubi single-path"; "baker highest-ID" ]
+
+let extension_power_stretch cfg =
+  header
+    "Extension: power stretch factors (path cost = sum |link|^beta)";
+  let radius = 60. in
+  let pts = List.hd (instances cfg 100 radius) in
+  let bb = Core.Backbone.build pts ~radius in
+  let udg = bb.Core.Backbone.udg in
+  let structures =
+    [
+      ("RNG", Wireless.Proximity.rng_graph udg pts);
+      ("GG", Wireless.Proximity.gabriel_graph udg pts);
+      ("CDS'", bb.Core.Backbone.cds.Core.Cds.cds');
+      ("ICDS'", bb.Core.Backbone.cds.Core.Cds.icds');
+      ("LDel(ICDS')", bb.Core.Backbone.ldel_icds');
+    ]
+  in
+  pf "%-13s %12s %12s %12s %12s@." "structure" "b=2 avg" "b=2 max" "b=4 avg"
+    "b=4 max";
+  List.iter
+    (fun (name, g) ->
+      let a2, m2 = Netgraph.Metrics.power_stretch ~base:udg ~sub:g pts ~beta:2. in
+      let a4, m4 = Netgraph.Metrics.power_stretch ~base:udg ~sub:g pts ~beta:4. in
+      pf "%-13s %12.3f %12.3f %12.3f %12.3f@." name a2 m2 a4 m4)
+    structures
+
+let ablation_routing cfg =
+  header "Ablation: routing scheme delivery and stretch (n = 100, R = 60)";
+  let radius = 60. in
+  let pts = List.hd (instances cfg 100 radius) in
+  let bb = Core.Backbone.build pts ~radius in
+  let planar_full = (Core.Backbone.ldel_full bb).Core.Ldel.planar in
+  let rng = Wireless.Rand.create 424242L in
+  let eval name router =
+    let ev =
+      Core.Routing.evaluate ~router ~base:bb.Core.Backbone.udg pts ~pairs:200
+        (Wireless.Rand.split rng)
+    in
+    pf "%-28s %5d/%-5d %12.3f %12.3f@." name ev.Core.Routing.delivered
+      ev.Core.Routing.pairs ev.Core.Routing.avg_length_stretch
+      ev.Core.Routing.avg_hop_stretch
+  in
+  pf "%-28s %11s %12s %12s@." "router" "delivered" "len stretch" "hop stretch";
+  eval "greedy on UDG" (fun ~src ~dst ->
+      Core.Routing.greedy bb.Core.Backbone.udg pts ~src ~dst);
+  eval "greedy on PLDel(V)" (fun ~src ~dst ->
+      Core.Routing.greedy planar_full pts ~src ~dst);
+  eval "GFG on PLDel(V)" (fun ~src ~dst ->
+      Core.Routing.gfg planar_full pts ~src ~dst);
+  eval "hierarchical on backbone" (fun ~src ~dst ->
+      Core.Routing.hierarchical bb ~src ~dst)
+
+let extension_broadcast cfg =
+  header "Extension: broadcast transmissions (flooding vs backbone relay)";
+  let radius = 60. in
+  pf "%-6s %9s %9s %9s %10s@." "n" "flood" "rng-relay" "backbone" "coverage";
+  List.iter
+    (fun n ->
+      let cfg = { cfg with Core.Experiments.instances = 3 } in
+      let f = ref 0 and r = ref 0 and b = ref 0 and k = ref 0 in
+      let cover = ref 1. in
+      List.iter
+        (fun pts ->
+          let udg = Wireless.Udg.build pts ~radius in
+          let cds = Core.Cds.of_udg udg in
+          let of_ o = o.Core.Broadcast.transmissions in
+          f := !f + of_ (Core.Broadcast.flood udg ~source:0);
+          r := !r + of_ (Core.Broadcast.rng_relay udg pts ~source:0);
+          let bb = Core.Broadcast.backbone_broadcast udg cds ~source:0 in
+          b := !b + of_ bb;
+          cover := Float.min !cover (Core.Broadcast.coverage bb);
+          incr k)
+        (instances cfg n radius);
+      pf "%-6d %9.1f %9.1f %9.1f %10.2f@." n
+        (float_of_int !f /. float_of_int !k)
+        (float_of_int !r /. float_of_int !k)
+        (float_of_int !b /. float_of_int !k)
+        !cover)
+    [ 50; 100; 200 ]
+
+let extension_packet_level cfg =
+  header "Extension: packet-level GPSR on the planar backbone (distsim)";
+  let radius = 60. in
+  let pts = List.hd (instances cfg 100 radius) in
+  let bb = Core.Backbone.build pts ~radius in
+  let planar = (Core.Backbone.ldel_full bb).Core.Ldel.planar in
+  pf "%-10s %11s %16s@." "router" "delivered" "tx/packet";
+  List.iter
+    (fun (name, router) ->
+      let delivered, pairs, avg =
+        Core.Packetsim.many planar pts ~pairs:200
+          (Wireless.Rand.create 9L)
+          ~router
+      in
+      pf "%-10s %6d/%-6d %16.2f@." name delivered pairs avg)
+    [ ("greedy", `Greedy); ("gpsr", `Gpsr) ]
+
+let extension_quasi_udg cfg =
+  header
+    "Extension: robustness under a quasi unit disk radio (future work)";
+  let r_max = 60. in
+  pf "%-12s %10s %12s %12s %12s@." "r_min/r_max" "planar" "connected"
+    "crossings" "edges";
+  List.iter
+    (fun alpha ->
+      let planar_ok = ref 0 and connected_ok = ref 0 in
+      let crossings = ref 0 and edges = ref 0 and k = ref 0 in
+      List.iter
+        (fun pts ->
+          let rng = Wireless.Rand.create (Int64.of_float (alpha *. 1000.)) in
+          let g =
+            Wireless.Udg.build_quasi rng pts ~r_min:(alpha *. r_max) ~r_max
+          in
+          if Netgraph.Components.is_connected g then begin
+            incr k;
+            (* run the paper's construction on the non-ideal graph *)
+            let cds = Core.Cds.of_udg g in
+            let l = Core.Ldel.build cds.Core.Cds.icds pts ~radius:r_max in
+            let planar = l.Core.Ldel.planar in
+            if Netgraph.Planarity.is_planar planar pts then incr planar_ok;
+            crossings := !crossings + Netgraph.Planarity.crossing_count planar pts;
+            edges := !edges + Netgraph.Graph.edge_count planar;
+            let spanning = Netgraph.Graph.copy planar in
+            Array.iteri
+              (fun u r ->
+                if r = Core.Mis.Dominatee then
+                  List.iter
+                    (fun d -> Netgraph.Graph.add_edge spanning u d)
+                    (Core.Mis.dominators_of g cds.Core.Cds.roles u))
+              cds.Core.Cds.roles;
+            if Netgraph.Components.is_connected spanning then incr connected_ok
+          end)
+        (instances { cfg with Core.Experiments.instances = 5 } 100 r_max);
+      let kf = float_of_int (max 1 !k) in
+      pf "%-12.2f %6d/%-3d %8d/%-3d %12.1f %12.1f@." alpha !planar_ok !k
+        !connected_ok !k
+        (float_of_int !crossings /. kf)
+        (float_of_int !edges /. kf))
+    [ 1.0; 0.9; 0.75; 0.5 ]
+
+let extension_lifetime cfg =
+  header
+    "Extension: network lifetime, static vs energy-aware clusterhead \
+     rotation (beta = 3)";
+  let radius = 60. in
+  pf "%-16s %12s %8s %10s@." "policy" "first death" "deaths" "delivery";
+  let pts = List.hd (instances cfg 100 radius) in
+  List.iter
+    (fun (name, policy) ->
+      let r =
+        Core.Energy.run pts ~radius ~sink:0 ~policy ~epochs:100 ~battery:2e8
+          ~beta:3.
+      in
+      pf "%-16s %12s %8d %10.3f@." name
+        (match r.Core.Energy.first_death with
+        | Some e -> string_of_int e
+        | None -> "-")
+        (List.length r.Core.Energy.deaths)
+        (Core.Energy.delivery_ratio r))
+    [
+      ("static", Core.Energy.Static);
+      ("rotate every 5", Core.Energy.Energy_aware 5);
+      ("rotate every 2", Core.Energy.Energy_aware 2);
+    ]
+
+let extension_bounds cfg =
+  header
+    "Extension: the lemmas' theoretical constants vs measured worst cases";
+  let radius = 60. in
+  let max_doms_per_dominatee = ref 0 in
+  let max_doms_2r = ref 0 in
+  let max_icds_deg = ref 0 in
+  let worst_hop = ref 0. and worst_len = ref 0. in
+  List.iter
+    (fun pts ->
+      let udg = Wireless.Udg.build pts ~radius in
+      let cds = Core.Cds.of_udg udg in
+      let roles = cds.Core.Cds.roles in
+      Array.iteri
+        (fun u r ->
+          if r = Core.Mis.Dominatee then
+            max_doms_per_dominatee :=
+              max !max_doms_per_dominatee
+                (List.length (Core.Mis.dominators_of udg roles u)))
+        roles;
+      Array.iteri
+        (fun u _ ->
+          let c = ref 0 in
+          Array.iteri
+            (fun v r ->
+              if
+                r = Core.Mis.Dominator
+                && Geometry.Point.dist pts.(u) pts.(v) <= 2. *. radius
+              then incr c)
+            roles;
+          max_doms_2r := max !max_doms_2r !c)
+        pts;
+      max_icds_deg :=
+        max !max_icds_deg
+          (Netgraph.Metrics.degree_stats cds.Core.Cds.icds)
+            .Netgraph.Metrics.deg_max;
+      let s =
+        Netgraph.Metrics.stretch_factors ~base:udg ~sub:cds.Core.Cds.cds' pts
+      in
+      worst_hop := Float.max !worst_hop s.Netgraph.Metrics.hop_max;
+      worst_len := Float.max !worst_len s.Netgraph.Metrics.len_max)
+    (instances cfg 100 radius);
+  pf "%-38s %10s %10s@." "quantity" "theory" "measured";
+  pf "%-38s %10d %10d@." "dominators per dominatee (L1)"
+    Core.Bounds.max_dominators_per_dominatee !max_doms_per_dominatee;
+  pf "%-38s %10d %10d@." "dominators within 2R (L2, C_2)"
+    (Core.Bounds.dominators_within 2.) !max_doms_2r;
+  pf "%-38s %10d %10d@." "ICDS degree (L8, 5C_2 + C_3)"
+    Core.Bounds.icds_degree !max_icds_deg;
+  pf "%-38s %10d %10.2f@." "CDS' hop stretch (L5)" Core.Bounds.hop_stretch
+    !worst_hop;
+  pf "%-38s %10d %10.2f@." "CDS' length stretch (L6)"
+    Core.Bounds.length_stretch !worst_len;
+  pf "%-38s %10d %10s@." "LDel(ICDS) hops per ICDS link (L7)"
+    Core.Bounds.ldel_link_hops "<< bound";
+  pf "(the paper itself notes these constants are loose)@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "Bechamel micro-benchmarks (time per run)";
+  let open Bechamel in
+  let open Toolkit in
+  let rng = Wireless.Rand.create 31337L in
+  let pts100, _ =
+    Wireless.Deploy.connected_uniform rng ~n:100 ~side:200. ~radius:60.
+      ~max_attempts:2000
+  in
+  let pts500 = Wireless.Deploy.uniform rng ~n:500 ~side:200. in
+  let udg100 = Wireless.Udg.build pts100 ~radius:60. in
+  let bb100 = Core.Backbone.build pts100 ~radius:60. in
+  let planar = (Core.Backbone.ldel_full bb100).Core.Ldel.planar in
+  let tests =
+    [
+      (* one Test.make per paper artifact's workload, plus substrates *)
+      Test.make ~name:"table1: backbone build (n=100)"
+        (Staged.stage (fun () -> Core.Backbone.build pts100 ~radius:60.));
+      Test.make ~name:"fig8/9: quality rows (n=100)"
+        (Staged.stage (fun () -> Core.Quality.rows bb100));
+      Test.make ~name:"fig10/12: protocol run (n=100)"
+        (Staged.stage (fun () -> Core.Protocol.run pts100 ~radius:60.));
+      Test.make ~name:"udg build (n=500)"
+        (Staged.stage (fun () -> Wireless.Udg.build pts500 ~radius:30.));
+      Test.make ~name:"delaunay (n=500)"
+        (Staged.stage (fun () -> Delaunay.Triangulation.triangulate pts500));
+      Test.make ~name:"ldel on udg (n=100)"
+        (Staged.stage (fun () -> Core.Ldel.build udg100 pts100 ~radius:60.));
+      Test.make ~name:"gfg route (n=100)"
+        (Staged.stage (fun () -> Core.Routing.gfg planar pts100 ~src:0 ~dst:99));
+      Test.make ~name:"mis clustering (n=100)"
+        (Staged.stage (fun () -> Core.Mis.compute udg100));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let witnesses = Instance.[ monotonic_clock ] in
+  pf "%-36s %16s@." "benchmark" "ns/run";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg witnesses elt in
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          match Analyze.OLS.estimates est with
+          | Some [ t ] -> pf "%-36s %16.0f@." (Test.Elt.name elt) t
+          | Some _ | None -> pf "%-36s %16s@." (Test.Elt.name elt) "n/a")
+        (Test.elements test))
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let args = List.filter (fun a -> a <> "--quick") args in
+  let rec take_out acc = function
+    | "--out" :: dir :: rest ->
+      out_dir := Some dir;
+      take_out acc rest
+    | x :: rest -> take_out (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = take_out [] args in
+  let cfg =
+    if quick then { Core.Experiments.quick with instances = 2 }
+    else Core.Experiments.default
+  in
+  (* the n = 500 radius sweeps are the heavy ones: fewer vertex sets *)
+  let cfg_sweep =
+    { cfg with Core.Experiments.instances = (if quick then 2 else 5) }
+  in
+  let n_sweep = if quick then 150 else 500 in
+  let all = args = [] in
+  let want name = all || List.mem name args in
+  if want "table1" then table1 cfg;
+  if want "fig8" then fig8 cfg;
+  if want "fig9" then fig9 cfg;
+  if want "fig10" then fig10 cfg;
+  if want "fig11" then fig11 cfg_sweep n_sweep;
+  if want "fig12" then fig12 cfg_sweep n_sweep;
+  if want "ablation" then begin
+    ablation_clustering cfg;
+    ablation_connectors cfg;
+    ablation_ldel_scope cfg;
+    ablation_routing cfg;
+    extension_power_stretch cfg;
+    extension_broadcast cfg;
+    extension_packet_level cfg;
+    extension_quasi_udg cfg;
+    extension_lifetime cfg;
+    extension_bounds cfg
+  end;
+  if want "micro" then micro ()

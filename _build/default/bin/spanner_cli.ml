@@ -1,0 +1,410 @@
+(* spanner — command-line front end for the geometric-spanner library.
+
+   Subcommands:
+     generate   draw a node deployment and print/save it as CSV
+     build      construct the backbone structures and print statistics
+     measure    Table-I style quality rows for one instance
+     route      route a packet between two nodes
+     protocol   run the distributed protocol and report message costs
+     dump       emit a structure's edge list (for plotting)
+     broadcast  compare network-wide broadcast relay disciplines
+     lifetime   simulate battery drain and clusterhead rotation
+     experiment regenerate a table/figure from the paper
+
+   Deployments are deterministic given --seed; a CSV written by
+   `generate` can be fed back to every other subcommand via --input. *)
+
+open Cmdliner
+
+(* ---------------- shared options ---------------- *)
+
+let seed =
+  let doc = "Random seed for the deployment." in
+  Arg.(value & opt int64 2002L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let nodes =
+  let doc = "Number of wireless nodes." in
+  Arg.(value & opt int 100 & info [ "n"; "nodes" ] ~docv:"N" ~doc)
+
+let side =
+  let doc = "Side of the square deployment region." in
+  Arg.(value & opt float 200. & info [ "side" ] ~docv:"S" ~doc)
+
+let radius =
+  let doc = "Transmission radius (all nodes share it)." in
+  Arg.(value & opt float 60. & info [ "r"; "radius" ] ~docv:"R" ~doc)
+
+let input =
+  let doc = "Read the deployment from a CSV file (id,x,y per line)." in
+  Arg.(value & opt (some string) None & info [ "input" ] ~docv:"FILE" ~doc)
+
+let connected =
+  let doc = "Redraw deployments until the unit disk graph is connected." in
+  Arg.(value & flag & info [ "connected" ] ~doc)
+
+(* ---------------- deployment I/O ---------------- *)
+
+let load_csv file =
+  let ic = open_in file in
+  let rec go acc =
+    match input_line ic with
+    | line -> begin
+      match String.split_on_char ',' (String.trim line) with
+      | [ _id; x; y ] ->
+        go (Geometry.Point.make (float_of_string x) (float_of_string y) :: acc)
+      | [] | [ "" ] -> go acc
+      | _ -> failwith (Printf.sprintf "bad CSV line: %S" line)
+    end
+    | exception End_of_file ->
+      close_in ic;
+      Array.of_list (List.rev acc)
+  in
+  go []
+
+let save_csv oc pts =
+  Array.iteri
+    (fun i (p : Geometry.Point.t) -> Printf.fprintf oc "%d,%.6f,%.6f\n" i p.x p.y)
+    pts
+
+let deployment ~seed ~n ~side ~radius ~connected ~input =
+  match input with
+  | Some file -> load_csv file
+  | None ->
+    let rng = Wireless.Rand.create seed in
+    if connected then
+      fst
+        (Wireless.Deploy.connected_uniform rng ~n ~side ~radius
+           ~max_attempts:5000)
+    else Wireless.Deploy.uniform rng ~n ~side
+
+(* ---------------- generate ---------------- *)
+
+let generate_cmd =
+  let output =
+    let doc = "Write the deployment to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run seed n side radius connected output =
+    let pts = deployment ~seed ~n ~side ~radius ~connected ~input:None in
+    (match output with
+    | Some file ->
+      let oc = open_out file in
+      save_csv oc pts;
+      close_out oc;
+      Printf.printf "wrote %d nodes to %s\n" (Array.length pts) file
+    | None -> save_csv stdout pts);
+    0
+  in
+  let doc = "draw a random node deployment" in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(const run $ seed $ nodes $ side $ radius $ connected $ output)
+
+(* ---------------- build ---------------- *)
+
+let build_cmd =
+  let run seed n side radius input =
+    let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
+    let bb = Core.Backbone.build pts ~radius in
+    let roles = bb.Core.Backbone.cds.Core.Cds.roles in
+    let dominators =
+      Array.fold_left
+        (fun acc r -> if r = Core.Mis.Dominator then acc + 1 else acc)
+        0 roles
+    in
+    let connectors =
+      Array.fold_left
+        (fun acc c -> if c then acc + 1 else acc)
+        0 bb.Core.Backbone.cds.Core.Cds.connectors.Core.Connectors.connector
+    in
+    Printf.printf "nodes:       %d\n" (Array.length pts);
+    Printf.printf "radius:      %g\n" radius;
+    Printf.printf "dominators:  %d\n" dominators;
+    Printf.printf "connectors:  %d\n" connectors;
+    Printf.printf "%-13s %8s %8s %8s\n" "structure" "edges" "deg_avg" "deg_max";
+    List.iter
+      (fun (name, g, _) ->
+        let d = Netgraph.Metrics.degree_stats g in
+        Printf.printf "%-13s %8d %8.2f %8d\n" name d.Netgraph.Metrics.edges
+          d.Netgraph.Metrics.deg_avg d.Netgraph.Metrics.deg_max)
+      (Core.Backbone.structures bb);
+    Printf.printf "planar backbone: %b\n"
+      (Netgraph.Planarity.is_planar bb.Core.Backbone.ldel_icds_g pts);
+    0
+  in
+  let doc = "construct all backbone structures and print statistics" in
+  Cmd.v
+    (Cmd.info "build" ~doc)
+    Term.(const run $ seed $ nodes $ side $ radius $ input)
+
+(* ---------------- measure ---------------- *)
+
+let measure_cmd =
+  let run seed n side radius input =
+    let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
+    let bb = Core.Backbone.build pts ~radius in
+    let rows = Core.Quality.rows bb in
+    Format.printf "%a@." Core.Quality.pp_agg_header ();
+    List.iter (fun r -> Format.printf "%a@." Core.Quality.pp_row r) rows;
+    0
+  in
+  let doc = "measure Table-I quality metrics on one instance" in
+  Cmd.v
+    (Cmd.info "measure" ~doc)
+    Term.(const run $ seed $ nodes $ side $ radius $ input)
+
+(* ---------------- route ---------------- *)
+
+let route_cmd =
+  let src =
+    Arg.(required & opt (some int) None & info [ "src" ] ~docv:"NODE" ~doc:"Source node id.")
+  in
+  let dst =
+    Arg.(required & opt (some int) None & info [ "dst" ] ~docv:"NODE" ~doc:"Destination node id.")
+  in
+  let scheme =
+    let doc = "Routing scheme: greedy, gfg, or hierarchical." in
+    Arg.(
+      value
+      & opt (enum [ ("greedy", `Greedy); ("gfg", `Gfg); ("hierarchical", `Hier) ]) `Hier
+      & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+  in
+  let run seed n side radius input src dst scheme =
+    let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
+    let bb = Core.Backbone.build pts ~radius in
+    let result =
+      match scheme with
+      | `Greedy -> Core.Routing.greedy bb.Core.Backbone.udg pts ~src ~dst
+      | `Gfg ->
+        let planar = (Core.Backbone.ldel_full bb).Core.Ldel.planar in
+        Core.Routing.gfg planar pts ~src ~dst
+      | `Hier -> Core.Routing.hierarchical bb ~src ~dst
+    in
+    match result with
+    | Some path ->
+      Printf.printf "path (%d hops, length %.2f): %s\n"
+        (Netgraph.Traversal.path_hops path)
+        (Netgraph.Traversal.path_length pts path)
+        (String.concat " -> " (List.map string_of_int path));
+      (match
+         Netgraph.Metrics.pair_stretch ~base:bb.Core.Backbone.udg
+           ~sub:bb.Core.Backbone.udg pts src dst
+       with
+      | Some _ ->
+        let sp = Netgraph.Traversal.dijkstra bb.Core.Backbone.udg pts src in
+        if sp.(dst) > 0. then
+          Printf.printf "stretch vs UDG shortest path: %.3f\n"
+            (Netgraph.Traversal.path_length pts path /. sp.(dst))
+      | None -> ());
+      0
+    | None ->
+      Printf.eprintf "no route found (%d -> %d)\n" src dst;
+      1
+  in
+  let doc = "route a packet between two nodes" in
+  Cmd.v
+    (Cmd.info "route" ~doc)
+    Term.(const run $ seed $ nodes $ side $ radius $ input $ src $ dst $ scheme)
+
+(* ---------------- protocol ---------------- *)
+
+let protocol_cmd =
+  let run seed n side radius input =
+    let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
+    let r = Core.Protocol.run pts ~radius in
+    let phase name stats =
+      Printf.printf "%-12s rounds=%-4d total=%-6d max/node=%-4d avg/node=%.2f\n"
+        name stats.Distsim.Engine.rounds
+        (Distsim.Engine.total_sent stats)
+        (Distsim.Engine.max_sent stats)
+        (Distsim.Engine.avg_sent stats)
+    in
+    phase "clustering" r.Core.Protocol.stats_cluster;
+    phase "connectors" r.Core.Protocol.stats_connector;
+    phase "status" r.Core.Protocol.stats_status;
+    phase "ldel" r.Core.Protocol.stats_ldel;
+    phase "TOTAL" (Core.Protocol.ldel_stats r);
+    Printf.printf "message kinds:\n";
+    List.iter
+      (fun (k, c) -> Printf.printf "  %-20s %d\n" k c)
+      (Core.Protocol.ldel_stats r).Distsim.Engine.by_kind;
+    Printf.printf "distributed PLDel(ICDS): %d edges, planar=%b\n"
+      (Netgraph.Graph.edge_count r.Core.Protocol.ldel_graph)
+      (Netgraph.Planarity.is_planar r.Core.Protocol.ldel_graph pts);
+    0
+  in
+  let doc = "run the distributed construction and report message costs" in
+  Cmd.v
+    (Cmd.info "protocol" ~doc)
+    Term.(const run $ seed $ nodes $ side $ radius $ input)
+
+(* ---------------- dump ---------------- *)
+
+let dump_cmd =
+  let structure =
+    let doc =
+      "Structure to dump: udg, rng, gg, ldel, cds, cds', icds, icds', \
+       ldel-icds, ldel-icds'."
+    in
+    Arg.(value & opt string "ldel-icds" & info [ "structure" ] ~docv:"NAME" ~doc)
+  in
+  let run seed n side radius input structure =
+    let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
+    let bb = Core.Backbone.build pts ~radius in
+    let canonical s =
+      String.lowercase_ascii
+        (String.concat ""
+           (String.split_on_char '('
+              (String.concat "" (String.split_on_char ')' s))))
+    in
+    let target = canonical structure in
+    let target =
+      String.concat "" (String.split_on_char '-' target)
+    in
+    match
+      List.find_opt
+        (fun (name, _, _) ->
+          String.concat "" (String.split_on_char '-' (canonical name)) = target)
+        (Core.Backbone.structures bb)
+    with
+    | Some (name, g, _) ->
+      Printf.printf "# %s: %d nodes, %d edges\n" name
+        (Netgraph.Graph.node_count g) (Netgraph.Graph.edge_count g);
+      Netgraph.Graph.iter_edges g (fun u v ->
+          let (pu : Geometry.Point.t) = pts.(u)
+          and (pv : Geometry.Point.t) = pts.(v) in
+          Printf.printf "%d,%d,%.4f,%.4f,%.4f,%.4f\n" u v pu.x pu.y pv.x pv.y);
+      0
+    | None ->
+      Printf.eprintf "unknown structure %S\n" structure;
+      1
+  in
+  let doc = "emit a structure's edge list as CSV (u,v,x1,y1,x2,y2)" in
+  Cmd.v
+    (Cmd.info "dump" ~doc)
+    Term.(const run $ seed $ nodes $ side $ radius $ input $ structure)
+
+(* ---------------- broadcast ---------------- *)
+
+let broadcast_cmd =
+  let source =
+    Arg.(value & opt int 0 & info [ "source" ] ~docv:"NODE" ~doc:"Originating node.")
+  in
+  let run seed n side radius input source =
+    let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
+    let udg = Wireless.Udg.build pts ~radius in
+    let cds = Core.Cds.of_udg udg in
+    let report name (o : Core.Broadcast.outcome) =
+      Printf.printf "%-12s %6d transmissions  %5.1f%% coverage  %d rounds\n"
+        name o.Core.Broadcast.transmissions
+        (100. *. Core.Broadcast.coverage o)
+        o.Core.Broadcast.rounds
+    in
+    report "flood" (Core.Broadcast.flood udg ~source);
+    report "rng-relay" (Core.Broadcast.rng_relay udg pts ~source);
+    report "backbone" (Core.Broadcast.backbone_broadcast udg cds ~source);
+    0
+  in
+  let doc = "broadcast one packet network-wide and compare relay disciplines" in
+  Cmd.v
+    (Cmd.info "broadcast" ~doc)
+    Term.(const run $ seed $ nodes $ side $ radius $ input $ source)
+
+(* ---------------- lifetime ---------------- *)
+
+let lifetime_cmd =
+  let epochs =
+    Arg.(value & opt int 100 & info [ "epochs" ] ~docv:"E" ~doc:"Epochs to simulate.")
+  in
+  let battery =
+    Arg.(value & opt float 2e8 & info [ "battery" ] ~docv:"J" ~doc:"Initial battery per node.")
+  in
+  let beta =
+    Arg.(value & opt float 3. & info [ "beta" ] ~docv:"B" ~doc:"Path-loss exponent.")
+  in
+  let run seed n side radius input epochs battery beta =
+    let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
+    let sink = 0 in
+    Printf.printf "%-18s %12s %7s %9s\n" "policy" "first death" "deaths"
+      "delivery";
+    List.iter
+      (fun (name, policy) ->
+        let r =
+          Core.Energy.run pts ~radius ~sink ~policy ~epochs ~battery ~beta
+        in
+        Printf.printf "%-18s %12s %7d %9.3f\n" name
+          (match r.Core.Energy.first_death with
+          | Some e -> string_of_int e
+          | None -> "-")
+          (List.length r.Core.Energy.deaths)
+          (Core.Energy.delivery_ratio r))
+      [
+        ("static", Core.Energy.Static);
+        ("rotate every 5", Core.Energy.Energy_aware 5);
+      ];
+    0
+  in
+  let doc = "simulate network lifetime under the d^beta power model" in
+  Cmd.v
+    (Cmd.info "lifetime" ~doc)
+    Term.(
+      const run $ seed $ nodes $ side $ radius $ input $ epochs $ battery
+      $ beta)
+
+(* ---------------- experiment ---------------- *)
+
+let experiment_cmd =
+  let which =
+    let doc = "Artifact: table1, fig8, fig9, fig10, fig11 or fig12." in
+    Arg.(value & pos 0 string "table1" & info [] ~docv:"ARTIFACT" ~doc)
+  in
+  let instances =
+    Arg.(value & opt int 3 & info [ "instances" ] ~docv:"K" ~doc:"Vertex sets per point.")
+  in
+  let run which instances =
+    let cfg = { Core.Experiments.default with instances } in
+    match which with
+    | "table1" ->
+      let aggs = Core.Experiments.table1 ~cfg ~n:100 ~radius:60. () in
+      Format.printf "%a@." Core.Quality.pp_agg_header ();
+      List.iter (fun a -> Format.printf "%a@." Core.Quality.pp_agg a) aggs;
+      0
+    | "fig8" ->
+      Format.printf "%a@." Core.Experiments.pp_series
+        (Core.Experiments.degree_vs_n ~cfg ~radius:60. ());
+      0
+    | "fig9" ->
+      Format.printf "%a@." Core.Experiments.pp_series
+        (Core.Experiments.stretch_vs_n ~cfg ~radius:60. ());
+      0
+    | "fig10" ->
+      Format.printf "%a@." Core.Experiments.pp_series
+        (Core.Experiments.comm_vs_n ~cfg ~radius:60. ());
+      0
+    | "fig11" ->
+      Format.printf "%a@." Core.Experiments.pp_series
+        (Core.Experiments.stretch_vs_radius ~cfg ~n:500 ());
+      0
+    | "fig12" ->
+      Format.printf "%a@." Core.Experiments.pp_series
+        (Core.Experiments.comm_and_degree_vs_radius ~cfg ~n:500 ());
+      0
+    | other ->
+      Printf.eprintf "unknown artifact %S\n" other;
+      1
+  in
+  let doc = "regenerate one of the paper's tables or figures" in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ which $ instances)
+
+(* ---------------- main ---------------- *)
+
+let () =
+  let doc = "geometric spanners for wireless ad hoc networks" in
+  let info = Cmd.info "spanner" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            generate_cmd; build_cmd; measure_cmd; route_cmd; protocol_cmd;
+            dump_cmd; broadcast_cmd; lifetime_cmd; experiment_cmd;
+          ]))

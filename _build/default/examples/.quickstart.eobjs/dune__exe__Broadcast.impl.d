@@ -1,0 +1,1 @@
+examples/broadcast.ml: Core Int64 List Netgraph Printf Wireless

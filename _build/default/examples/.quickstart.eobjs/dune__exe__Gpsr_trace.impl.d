@@ -1,0 +1,1 @@
+examples/gpsr_trace.ml: Array Core Geometry Int64 List Netgraph Printf Wireless

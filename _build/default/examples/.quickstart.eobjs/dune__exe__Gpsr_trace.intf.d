@@ -1,0 +1,1 @@
+examples/gpsr_trace.mli:

@@ -1,0 +1,1 @@
+examples/mobility.ml: Array Core Distsim Netgraph Printf Wireless

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core List Netgraph Printf String Wireless

@@ -1,0 +1,1 @@
+examples/routing_demo.ml: Array Core List Netgraph Printf Wireless

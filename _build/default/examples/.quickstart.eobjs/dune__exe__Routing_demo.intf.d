@@ -1,0 +1,1 @@
+examples/routing_demo.mli:

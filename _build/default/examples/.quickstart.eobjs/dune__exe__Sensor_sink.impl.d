@@ -1,0 +1,1 @@
+examples/sensor_sink.ml: Array Core Fun Geometry Hashtbl List Netgraph Option Printf Wireless

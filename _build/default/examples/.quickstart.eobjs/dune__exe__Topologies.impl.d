@@ -1,0 +1,1 @@
+examples/topologies.ml: Array Core Filename Geometry List Netgraph Printf String Sys Viz Wireless

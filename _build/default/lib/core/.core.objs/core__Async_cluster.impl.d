@@ -1,0 +1,1 @@
+lib/core/async_cluster.ml: Array Distsim List Mis

@@ -1,0 +1,1 @@
+lib/core/async_cluster.mli: Distsim Mis Netgraph

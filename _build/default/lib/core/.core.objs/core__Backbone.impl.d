@@ -1,0 +1,1 @@
+lib/core/backbone.ml: Array Cds Geometry Ldel List Mis Netgraph Wireless

@@ -1,0 +1,1 @@
+lib/core/broadcast.ml: Array Cds Distsim List Netgraph Wireless

@@ -1,0 +1,1 @@
+lib/core/broadcast.mli: Cds Geometry Netgraph

@@ -1,0 +1,1 @@
+lib/core/cds.ml: Array Connectors List Mis Netgraph

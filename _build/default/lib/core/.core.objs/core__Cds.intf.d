@@ -1,0 +1,1 @@
+lib/core/cds.mli: Connectors Mis Netgraph

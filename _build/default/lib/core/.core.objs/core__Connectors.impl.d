@@ -1,0 +1,1 @@
+lib/core/connectors.ml: Array Hashtbl List Mis Netgraph Option

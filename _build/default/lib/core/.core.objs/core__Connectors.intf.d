@@ -1,0 +1,1 @@
+lib/core/connectors.mli: Mis Netgraph

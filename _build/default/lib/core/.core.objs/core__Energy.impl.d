@@ -1,0 +1,1 @@
+lib/core/energy.ml: Array Cds Geometry List Mis Netgraph Wireless

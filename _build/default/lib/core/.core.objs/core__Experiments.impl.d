@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Backbone Cds Distsim Float Format Int64 List Netgraph Protocol Quality String Wireless

@@ -1,0 +1,1 @@
+lib/core/ldel.ml: Array Delaunay Geometry List Netgraph Set Wireless

@@ -1,0 +1,1 @@
+lib/core/ldel.mli: Geometry Netgraph

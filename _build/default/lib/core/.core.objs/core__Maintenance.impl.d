@@ -1,0 +1,1 @@
+lib/core/maintenance.ml: Array Backbone Cds Geometry Mis Netgraph

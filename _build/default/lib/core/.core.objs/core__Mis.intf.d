@@ -1,0 +1,1 @@
+lib/core/mis.mli: Netgraph

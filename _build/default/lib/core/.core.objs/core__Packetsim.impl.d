@@ -1,0 +1,1 @@
+lib/core/packetsim.ml: Array Distsim Geometry List Netgraph Routing Wireless

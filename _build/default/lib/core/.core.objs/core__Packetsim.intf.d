@@ -1,0 +1,1 @@
+lib/core/packetsim.mli: Geometry Netgraph Wireless

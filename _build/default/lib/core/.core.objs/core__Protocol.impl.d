@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Array Distsim Float Geometry Hashtbl Int Ldel List Map Mis Netgraph Option Set Wireless

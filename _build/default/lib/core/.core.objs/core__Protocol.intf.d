@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Distsim Geometry Mis Netgraph

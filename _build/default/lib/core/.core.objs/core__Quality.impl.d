@@ -1,0 +1,1 @@
+lib/core/quality.ml: Backbone Float Format List Netgraph Option

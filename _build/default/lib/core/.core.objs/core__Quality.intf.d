@@ -1,0 +1,1 @@
+lib/core/quality.mli: Backbone Format Netgraph

@@ -1,0 +1,1 @@
+lib/core/routing.ml: Array Backbone Cds Float Geometry Hashtbl List Netgraph Option Wireless

@@ -1,0 +1,1 @@
+lib/core/routing.mli: Backbone Geometry Netgraph Wireless

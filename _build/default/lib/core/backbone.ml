@@ -1,0 +1,49 @@
+module G = Netgraph.Graph
+
+type t = {
+  points : Geometry.Point.t array;
+  radius : float;
+  udg : G.t;
+  cds : Cds.t;
+  ldel_icds : Ldel.t;
+  ldel_icds_g : G.t;
+  ldel_icds' : G.t;
+}
+
+let add_dominatee_links udg roles g =
+  let g = G.copy g in
+  Array.iteri
+    (fun u r ->
+      if r = Mis.Dominatee then
+        List.iter (fun d -> G.add_edge g u d) (Mis.dominators_of udg roles u))
+    roles;
+  g
+
+let build ?priority points ~radius =
+  let udg = Wireless.Udg.build points ~radius in
+  let cds = Cds.of_udg ?priority udg in
+  let ldel_icds = Ldel.build cds.Cds.icds points ~radius in
+  let ldel_icds_g = ldel_icds.Ldel.planar in
+  let ldel_icds' =
+    add_dominatee_links udg cds.Cds.roles ldel_icds_g
+  in
+  { points; radius; udg; cds; ldel_icds; ldel_icds_g; ldel_icds' }
+
+let ldel_full t = Ldel.build t.udg t.points ~radius:t.radius
+
+let structures t =
+  let rng = Wireless.Proximity.rng_graph t.udg t.points in
+  let gg = Wireless.Proximity.gabriel_graph t.udg t.points in
+  let ldel_v = (ldel_full t).Ldel.planar in
+  [
+    ("UDG", t.udg, `Spans_all);
+    ("RNG", rng, `Spans_all);
+    ("GG", gg, `Spans_all);
+    ("LDel", ldel_v, `Spans_all);
+    ("CDS", t.cds.Cds.cds, `Backbone_only);
+    ("CDS'", t.cds.Cds.cds', `Spans_all);
+    ("ICDS", t.cds.Cds.icds, `Backbone_only);
+    ("ICDS'", t.cds.Cds.icds', `Spans_all);
+    ("LDel(ICDS)", t.ldel_icds_g, `Backbone_only);
+    ("LDel(ICDS')", t.ldel_icds', `Spans_all);
+  ]

@@ -1,0 +1,38 @@
+(** The full spanner pipeline: deployment → UDG → clustering →
+    connectors → CDS family → localized Delaunay planarization.
+
+    [build] computes every structure the paper evaluates, over one
+    node deployment.  This is the library's front door: examples, the
+    CLI, the benchmarks and the experiment sweeps all consume this
+    record. *)
+
+type t = {
+  points : Geometry.Point.t array;
+  radius : float;
+  udg : Netgraph.Graph.t;
+  cds : Cds.t;  (** clustering, connectors, CDS / CDS′ / ICDS / ICDS′ *)
+  ldel_icds : Ldel.t;  (** LDel over the induced backbone ICDS *)
+  ldel_icds_g : Netgraph.Graph.t;  (** PLDel(ICDS): the planar backbone *)
+  ldel_icds' : Netgraph.Graph.t;
+      (** planar backbone plus dominatee–dominator edges — the routing
+          structure spanning all nodes *)
+}
+
+(** [build points ~radius] runs the whole pipeline.  The UDG need not
+    be connected, but the spanner guarantees only hold per component.
+    [priority] overrides the clustering order (see {!Cds.of_udg}). *)
+val build :
+  ?priority:(int -> int) -> Geometry.Point.t array -> radius:float -> t
+
+(** [ldel_full t] lazily computes LDel/PLDel over the whole UDG — the
+    "LDel" baseline row of Table I (not part of the backbone
+    pipeline, so it is not built eagerly). *)
+val ldel_full : t -> Ldel.t
+
+(** [structures t] enumerates the named graphs the evaluation reports
+    on, in Table I order: UDG, RNG, GG, LDel(V), CDS, CDS′, ICDS,
+    ICDS′, LDel(ICDS), LDel(ICDS′).  [spans_all] says whether the
+    structure connects all nodes (only then are stretch factors
+    defined). *)
+val structures :
+  t -> (string * Netgraph.Graph.t * [ `Spans_all | `Backbone_only ]) list

@@ -1,0 +1,14 @@
+let dominators_within k =
+  (* area argument: disjoint disks of radius 1/2 centered at
+     dominators, all inside a disk of radius k + 1/2 *)
+  let r = k +. 0.5 in
+  int_of_float (Float.ceil (r *. r /. 0.25))
+
+let max_dominators_per_dominatee = 5
+let max_connectors_two_hop_pair = 2
+let max_connectors_three_hop_pair = 25
+let hop_stretch = 3
+let length_stretch = 6
+let ldel_link_hops = (5 * dominators_within 2.5) + dominators_within 3.5
+let icds_degree = (5 * dominators_within 2.) + dominators_within 3.
+let delaunay_stretch = 4. *. sqrt 3. *. Float.pi /. 9.

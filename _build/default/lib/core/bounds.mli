@@ -1,0 +1,45 @@
+(** The paper's theoretical constants, computed.
+
+    Lemmas 1–8 bound everything by explicit constants; the paper twice
+    notes the constants are loose ("the bounds on C_k can be improved
+    by a tighter analysis", "Notice that although 5C_{2.5} + C_{3.5}
+    is very large here, the bound can be reduced...").  This module
+    evaluates the printed bounds so the benchmark harness can put
+    theory and measurement side by side. *)
+
+(** [dominators_within k] is Lemma 2's [C_k]: the number of dominators
+    within [k] transmission radii of any node is at most
+    [4 (k + 1/2)²] (disjoint half-unit disks packed in a disk of
+    radius [k + 1/2]). *)
+val dominators_within : float -> int
+
+(** Lemma 1: a dominatee is adjacent to at most 5 dominators. *)
+val max_dominators_per_dominatee : int
+
+(** At most 2 connectors are elected per two-hop dominator pair (the
+    lune argument). *)
+val max_connectors_two_hop_pair : int
+
+(** At most 25 connectors can arise per three-hop ordered pair (5
+    first-leg candidates, each triggering at most 5 second-leg). *)
+val max_connectors_three_hop_pair : int
+
+(** Lemma 5: the hop stretch constant — a path of [h] hops maps to at
+    most [3h + 2] backbone hops. *)
+val hop_stretch : int
+
+(** Lemma 6: the length stretch constant — backbone length is at most
+    [6 len + 5 R] (paper: constant 6 "with an additional constant"). *)
+val length_stretch : int
+
+(** Lemma 7's hop bound for one ICDS link routed in LDel(ICDS):
+    [5 C_{2.5} + C_{3.5}] — the paper's admittedly "very large" bound. *)
+val ldel_link_hops : int
+
+(** Lemma 8: the ICDS degree bound [5 C_2 + C_3]. *)
+val icds_degree : int
+
+(** Keil–Gutwin: the Delaunay triangulation's length stretch factor
+    [4 √3 π / 9 ≈ 2.42], which [LDel] inherits on unit disk graphs
+    (times the paper's constant). *)
+val delaunay_stretch : float

@@ -1,0 +1,313 @@
+module G = Netgraph.Graph
+
+type result = {
+  connector : bool array;
+  cds_edges : (int * int) list;
+  two_hop_pairs : (int * int) list;
+  three_hop_pairs : (int * int) list;
+}
+
+let candidates_two_hop g roles u v =
+  List.filter
+    (fun w -> roles.(w) = Mis.Dominatee && G.has_edge g w v)
+    (G.neighbors g u)
+
+let elect g candidates =
+  List.filter
+    (fun w ->
+      List.for_all (fun x -> x = w || (not (G.has_edge g w x)) || w < x)
+        candidates)
+    candidates
+
+let ordered_edge u v = (min u v, max u v)
+
+(* Algorithm 1, centralized rendition.  Every election uses only
+   information a candidate hears from its 1-hop neighbors, so the
+   distributed protocol in [Protocol] reproduces the result
+   message-for-message; the integration tests assert equality. *)
+let find g roles =
+  let n = G.node_count g in
+  let connector = Array.make n false in
+  let edges = Hashtbl.create 64 in
+  let add_edge u v = Hashtbl.replace edges (ordered_edge u v) () in
+  let dominatees =
+    List.filter
+      (fun w -> roles.(w) = Mis.Dominatee)
+      (List.init n (fun i -> i))
+  in
+
+  (* Steps 3-4: a dominatee with two dominators u, v is a candidate
+     connector for the unordered pair (u, v); local minima win. *)
+  let two_hop_cands = Hashtbl.create 64 in
+  List.iter
+    (fun w ->
+      let doms = Mis.dominators_of g roles w in
+      List.iter
+        (fun u ->
+          List.iter
+            (fun v ->
+              if u < v then
+                Hashtbl.replace two_hop_cands (u, v)
+                  (w
+                  :: Option.value ~default:[]
+                       (Hashtbl.find_opt two_hop_cands (u, v))))
+            doms)
+        doms)
+    dominatees;
+  let two_hop_pairs = ref [] in
+  Hashtbl.iter
+    (fun (u, v) cands ->
+      two_hop_pairs := (u, v) :: !two_hop_pairs;
+      List.iter
+        (fun w ->
+          connector.(w) <- true;
+          add_edge u w;
+          add_edge w v)
+        (elect g cands))
+    two_hop_cands;
+
+  (* Steps 5-6: for each ordered dominator pair (u, v) with u a
+     dominator of w and v two hops from w, dominatee w is a candidate
+     FIRST connector on a path u - w - x - v.  Pairs already joined by
+     a common dominatee are skipped: dominator u hears every
+     IamDominatee its dominatees broadcast, so it knows its two-hop
+     dominator set exactly and announces it in one extra message
+     (TwoHopDoms), which every dominatee of u hears. *)
+  let first_cands = Hashtbl.create 64 in
+  List.iter
+    (fun w ->
+      let doms = Mis.dominators_of g roles w in
+      let two_hop = Mis.two_hop_dominators g roles w in
+      List.iter
+        (fun u ->
+          List.iter
+            (fun v ->
+              if v <> u && candidates_two_hop g roles u v = [] then
+                Hashtbl.replace first_cands (u, v)
+                  (w
+                  :: Option.value ~default:[]
+                       (Hashtbl.find_opt first_cands (u, v))))
+            two_hop)
+        doms)
+    dominatees;
+  (* Steps 7-8: dominatees of v that hear an elected first connector
+     are candidate SECOND connectors for (u, v); local minima win. *)
+  let three_hop_pairs = ref [] in
+  Hashtbl.iter
+    (fun (u, v) cands ->
+      three_hop_pairs := (u, v) :: !three_hop_pairs;
+      let first = elect g cands in
+      let second_cands =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun w ->
+               List.filter
+                 (fun x ->
+                   roles.(x) = Mis.Dominatee && G.has_edge g x v && x <> w)
+                 (G.neighbors g w))
+             first)
+      in
+      let second = elect g second_cands in
+      List.iter
+        (fun w ->
+          connector.(w) <- true;
+          add_edge u w)
+        first;
+      List.iter
+        (fun x ->
+          connector.(x) <- true;
+          add_edge x v;
+          List.iter (fun w -> if G.has_edge g w x then add_edge w x) first)
+        second)
+    first_cands;
+
+  {
+    connector;
+    cds_edges =
+      List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) edges []);
+    two_hop_pairs = List.sort compare !two_hop_pairs;
+    three_hop_pairs = List.sort compare !three_hop_pairs;
+  }
+
+(* The Alzoubi-style dominator-initiated selection: one deterministic
+   path per ordered dominator pair.  Dominator u "decides the next
+   node on the path" — realized here as smallest-ID choices, which is
+   what a node collecting its neighbors' announcements would pick. *)
+let find_alzoubi g roles =
+  let n = G.node_count g in
+  let connector = Array.make n false in
+  let edges = Hashtbl.create 64 in
+  let add_edge u v = Hashtbl.replace edges (ordered_edge u v) () in
+  let doms = Mis.dominators roles in
+  let two_hop_pairs = ref [] in
+  let three_hop_pairs = ref [] in
+  let pick = function [] -> None | x :: _ -> Some x (* lists are sorted *) in
+  List.iter
+    (fun u ->
+      (* two-hop targets: dominators with a common dominatee *)
+      let two_hop = Mis.two_hop_dominators g roles u in
+      List.iter
+        (fun v ->
+          match pick (candidates_two_hop g roles u v) with
+          | Some w ->
+            if u < v then two_hop_pairs := (u, v) :: !two_hop_pairs;
+            connector.(w) <- true;
+            add_edge u w;
+            add_edge w v
+          | None ->
+            (* v is reachable in three hops only (no common dominatee):
+               u picks its smallest dominatee w that can see a
+               dominatee of v; w picks the smallest bridge x *)
+            let w =
+              pick
+                (List.filter
+                   (fun w ->
+                     roles.(w) = Mis.Dominatee
+                     && List.exists
+                          (fun x ->
+                            roles.(x) = Mis.Dominatee && G.has_edge g x v)
+                          (G.neighbors g w))
+                   (G.neighbors g u))
+            in
+            (match w with
+            | None -> ()
+            | Some w ->
+              let x =
+                pick
+                  (List.filter
+                     (fun x ->
+                       roles.(x) = Mis.Dominatee && G.has_edge g x v)
+                     (G.neighbors g w))
+              in
+              (match x with
+              | None -> ()
+              | Some x ->
+                three_hop_pairs := (u, v) :: !three_hop_pairs;
+                connector.(w) <- true;
+                connector.(x) <- true;
+                add_edge u w;
+                add_edge w x;
+                add_edge x v)))
+        two_hop;
+      (* three-hop-only targets do not appear in two_hop_dominators of
+         u itself; enumerate them through u's dominatees' views *)
+      let targets = Hashtbl.create 8 in
+      List.iter
+        (fun w ->
+          if roles.(w) = Mis.Dominatee then
+            List.iter
+              (fun v ->
+                if v <> u && not (List.mem v two_hop) then
+                  Hashtbl.replace targets v ())
+              (Mis.two_hop_dominators g roles w))
+        (G.neighbors g u);
+      Hashtbl.iter
+        (fun v () ->
+          let w =
+            pick
+              (List.filter
+                 (fun w ->
+                   roles.(w) = Mis.Dominatee
+                   && List.exists
+                        (fun x ->
+                          roles.(x) = Mis.Dominatee && x <> w
+                          && G.has_edge g x v)
+                        (G.neighbors g w))
+                 (G.neighbors g u))
+          in
+          match w with
+          | None -> ()
+          | Some w ->
+            let x =
+              pick
+                (List.filter
+                   (fun x ->
+                     roles.(x) = Mis.Dominatee && x <> w && G.has_edge g x v)
+                   (G.neighbors g w))
+            in
+            (match x with
+            | None -> ()
+            | Some x ->
+              three_hop_pairs := (u, v) :: !three_hop_pairs;
+              connector.(w) <- true;
+              connector.(x) <- true;
+              add_edge u w;
+              add_edge w x;
+              add_edge x v))
+        targets)
+    doms;
+  {
+    connector;
+    cds_edges =
+      List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) edges []);
+    two_hop_pairs = List.sort compare !two_hop_pairs;
+    three_hop_pairs = List.sort_uniq compare !three_hop_pairs;
+  }
+
+(* Baker-Ephremides linked clusters: highest-ID gateways. *)
+let find_baker g roles =
+  let n = G.node_count g in
+  let connector = Array.make n false in
+  let edges = Hashtbl.create 64 in
+  let add_edge u v = Hashtbl.replace edges (ordered_edge u v) () in
+  let doms = Mis.dominators roles in
+  let two_hop_pairs = ref [] in
+  let three_hop_pairs = ref [] in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v ->
+          if u < v then begin
+            match candidates_two_hop g roles u v with
+            | _ :: _ as common ->
+              (* overlapping clusters: highest ID in the intersection *)
+              let w = List.fold_left max (List.hd common) common in
+              two_hop_pairs := (u, v) :: !two_hop_pairs;
+              connector.(w) <- true;
+              add_edge u w;
+              add_edge w v
+            | [] ->
+              (* nonoverlapping: adjacent dominatee pairs, one from
+                 each cluster *)
+              let pairs = ref [] in
+              List.iter
+                (fun x ->
+                  if roles.(x) = Mis.Dominatee then
+                    List.iter
+                      (fun y ->
+                        if
+                          roles.(y) = Mis.Dominatee && y <> x
+                          && G.has_edge g y v
+                        then pairs := (x, y) :: !pairs)
+                      (G.neighbors g x))
+                (G.neighbors g u);
+              (match !pairs with
+              | [] -> ()
+              | first :: rest ->
+                let better (x1, y1) (x2, y2) =
+                  let s1 = x1 + y1 and s2 = x2 + y2 in
+                  s1 > s2 || (s1 = s2 && max x1 y1 > max x2 y2)
+                in
+                let x, y =
+                  List.fold_left
+                    (fun best p -> if better p best then p else best)
+                    first rest
+                in
+                three_hop_pairs := (u, v) :: !three_hop_pairs;
+                connector.(x) <- true;
+                connector.(y) <- true;
+                add_edge u x;
+                add_edge x y;
+                add_edge y v)
+          end)
+        (List.filter (fun v -> v <> u) doms))
+    doms;
+  (* restrict to pairs within three hops: the nonoverlapping search
+     above already only finds dominatee pairs, i.e. 3-hop paths *)
+  {
+    connector;
+    cds_edges =
+      List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) edges []);
+    two_hop_pairs = List.sort compare !two_hop_pairs;
+    three_hop_pairs = List.sort_uniq compare !three_hop_pairs;
+  }

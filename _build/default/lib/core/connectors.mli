@@ -1,0 +1,65 @@
+(** Algorithm 1 — Finding Connectors.
+
+    Dominators form an independent set, so they cannot talk to each
+    other directly; connectivity is restored by electing dominatee
+    nodes as connectors (gateways) between every pair of dominators
+    that are two or three hops apart in the UDG.
+
+    The election rule is the paper's local-minimum rule: every
+    candidate announces itself with a [TryConnector] message, and a
+    candidate becomes a connector exactly when its ID is the smallest
+    among the candidates it can hear (itself included).  Two elected
+    connectors for the same pair are therefore never adjacent — this
+    bounds the number of connectors per pair (at most 2 for two-hop
+    pairs, Lemma: the lune argument) without requiring a global
+    leader. *)
+
+type result = {
+  connector : bool array;  (** elected as connector for some pair *)
+  cds_edges : (int * int) list;
+      (** backbone edges: dominator–connector and connector–connector
+          links installed by the elections, each with [u < v] *)
+  two_hop_pairs : (int * int) list;
+      (** dominator pairs at hop distance 2 that were processed *)
+  three_hop_pairs : (int * int) list;
+      (** ordered dominator pairs processed by the 3-hop stage *)
+}
+
+(** [find g roles] runs the two elections of Algorithm 1 on the unit
+    disk graph [g] with the clustering [roles]. *)
+val find : Netgraph.Graph.t -> Mis.role array -> result
+
+(** [candidates_two_hop g roles u v] is the candidate connector set
+    for the dominator pair [(u, v)] at hop distance two: their common
+    dominatee neighbors. *)
+val candidates_two_hop :
+  Netgraph.Graph.t -> Mis.role array -> int -> int -> int list
+
+(** [elect g candidates] applies the local-minimum rule: a candidate
+    wins when no other candidate it can hear in [g] has a smaller id.
+    The winner set is never empty when [candidates] is non-empty, and
+    no two winners are adjacent. *)
+val elect : Netgraph.Graph.t -> int list -> int list
+
+(** [find_alzoubi g roles] is the alternative connector selection the
+    paper reviews (Alzoubi et al.): instead of candidate elections,
+    the initiating dominator deterministically picks ONE path per
+    ordered pair — the smallest-ID common dominatee for two-hop
+    pairs, and the smallest-ID dominatee with a two-hop view of the
+    target (which then picks the smallest-ID bridge) for three-hop
+    pairs.  Produces a leaner CDS (at most one path per direction)
+    with the same connectivity guarantee; the benchmark harness
+    compares both. *)
+val find_alzoubi : Netgraph.Graph.t -> Mis.role array -> result
+
+(** [find_baker g roles] is the Baker–Ephremides linked-cluster
+    gateway selection the paper reviews: for {e overlapping} clusters
+    (heads sharing a dominatee) the {b highest}-ID node in the
+    intersection becomes the gateway; for {e nonoverlapping} adjacent
+    clusters the dominatee pair with the largest ID sum (ties to the
+    pair containing the highest node) becomes a gateway pair.  Same
+    3-hop coverage, so the CDS is still connected; the paper's
+    criticism — possibly duplicated gateway pairs under partial
+    information — does not arise here because the selection is
+    computed from complete candidate sets. *)
+val find_baker : Netgraph.Graph.t -> Mis.role array -> result

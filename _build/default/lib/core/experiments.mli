@@ -1,0 +1,57 @@
+(** The paper's evaluation, reproduced: Table I and Figures 8–12.
+
+    Deployment parameters follow Section IV: nodes are drawn uniformly
+    at random in a square, instances whose unit disk graph comes out
+    disconnected are redrawn, and reported numbers aggregate several
+    vertex sets ("avg" curves average across instances, "max" curves
+    take the maximum).  The archived text garbles the square's side
+    and Table I's radius; we use a 200 × 200 square and reconstruct
+    Table I's setting as n = 100, R = 50, which reproduces the
+    reported UDG density (average degree ≈ 21, ≈ 1070 edges) — see
+    DESIGN.md and EXPERIMENTS.md. *)
+
+type config = {
+  side : float;  (** deployment square side *)
+  seed : int64;  (** master seed; every sweep is deterministic *)
+  instances : int;  (** vertex sets per parameter point *)
+  max_attempts : int;  (** redraws allowed to hit a connected UDG *)
+}
+
+val default : config
+
+(** A fast configuration (fewer, smaller instances) for tests. *)
+val quick : config
+
+(** One labelled curve, paper-legend style (e.g. ["CDS deg max"]). *)
+type series = { label : string; points : (float * float) list }
+
+(** Table I: per-structure quality over [instances] deployments. *)
+val table1 : ?cfg:config -> ?n:int -> ?radius:float -> unit -> Quality.agg list
+
+(** Figure 8: maximum and average node degree vs number of nodes, for
+    the six backbone structures, at fixed radius. *)
+val degree_vs_n :
+  ?cfg:config -> ?radius:float -> ?ns:int list -> unit -> series list
+
+(** Figure 9: maximum and average length/hop spanning ratios vs number
+    of nodes for CDS′, ICDS′ and LDel(ICDS′). *)
+val stretch_vs_n :
+  ?cfg:config -> ?radius:float -> ?ns:int list -> unit -> series list
+
+(** Figure 10: maximum and average per-node communication cost (number
+    of transmissions) vs number of nodes, for building CDS, ICDS and
+    LDel(ICDS) — measured on the distributed protocol. *)
+val comm_vs_n :
+  ?cfg:config -> ?radius:float -> ?ns:int list -> unit -> series list
+
+(** Figure 11: spanning ratios vs transmission radius at fixed n. *)
+val stretch_vs_radius :
+  ?cfg:config -> ?n:int -> ?radii:float list -> unit -> series list
+
+(** Figure 12: communication cost and node degree vs transmission
+    radius at fixed n (both panels' curves). *)
+val comm_and_degree_vs_radius :
+  ?cfg:config -> ?n:int -> ?radii:float list -> unit -> series list
+
+(** Render series as an aligned text table, one row per x value. *)
+val pp_series : Format.formatter -> series list -> unit

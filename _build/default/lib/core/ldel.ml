@@ -1,0 +1,207 @@
+module G = Netgraph.Graph
+module P = Geometry.Point
+module Pred = Geometry.Predicates
+
+type t = {
+  ldel1 : G.t;
+  planar : G.t;
+  gabriel_edges : (int * int) list;
+  triangles : (int * int * int) list;
+  kept_triangles : (int * int * int) list;
+}
+
+let norm3 (a, b, c) =
+  let l = List.sort compare [ a; b; c ] in
+  match l with [ x; y; z ] -> (x, y, z) | _ -> assert false
+
+(* What one node computes in Algorithm 2 from purely local data: the
+   Delaunay triangulation of itself plus its 1-hop neighbors, filtered
+   to the triangles it participates in.  Both the centralized builder
+   and the distributed protocol call this with the same inputs, which
+   is what makes their outputs identical. *)
+let local_triangles_of_neighborhood ~me ~me_pos ~nbrs =
+  match nbrs with
+  | [] | [ _ ] -> []
+  | _ ->
+    let locals = Array.of_list ((me, me_pos) :: nbrs) in
+    let local_pts = Array.map snd locals in
+    let dt = Delaunay.Triangulation.triangulate local_pts in
+    List.filter_map
+      (fun (a, b, c) ->
+        if a = 0 || b = 0 || c = 0 then
+          Some (norm3 (fst locals.(a), fst locals.(b), fst locals.(c)))
+        else None)
+      (Delaunay.Triangulation.triangles dt)
+
+let local_delaunay_triangles g points u =
+  local_triangles_of_neighborhood ~me:u ~me_pos:points.(u)
+    ~nbrs:(List.map (fun v -> (v, points.(v))) (G.neighbors g u))
+
+(* k-hop variant: the same computation over N_k(u). *)
+let local_delaunay_triangles_k g points ~k u =
+  let nbrs =
+    List.filter_map
+      (fun v -> if v = u then None else Some (v, points.(v)))
+      (Wireless.Udg.neighborhood g u ~hops:k)
+  in
+  local_triangles_of_neighborhood ~me:u ~me_pos:points.(u) ~nbrs
+
+module TriSet = Set.Make (struct
+  type t = int * int * int
+
+  let compare = compare
+end)
+
+let triangle_fits points ~radius (a, b, c) =
+  P.dist points.(a) points.(b) <= radius
+  && P.dist points.(b) points.(c) <= radius
+  && P.dist points.(a) points.(c) <= radius
+
+let accepted_triangles_gen g points ~radius ~local_triangles =
+  let n = G.node_count g in
+  (* A triangle is accepted when all three corners find it in their
+     local Delaunay (= its circumcircle is empty of each corner's
+     k-hop neighborhood) and all its links are within range. *)
+  let local = Array.make n TriSet.empty in
+  for u = 0 to n - 1 do
+    local.(u) <- TriSet.of_list (local_triangles u)
+  done;
+  let acc = ref TriSet.empty in
+  for u = 0 to n - 1 do
+    TriSet.iter
+      (fun (a, b, c) ->
+        if
+          triangle_fits points ~radius (a, b, c)
+          && TriSet.mem (a, b, c) local.(a)
+          && TriSet.mem (a, b, c) local.(b)
+          && TriSet.mem (a, b, c) local.(c)
+        then acc := TriSet.add (a, b, c) !acc)
+      local.(u)
+  done;
+  TriSet.elements !acc
+
+let triangles_intersect points (a1, b1, c1) (a2, b2, c2) =
+  let t1 = [ a1; b1; c1 ] and t2 = [ a2; b2; c2 ] in
+  let shared v = List.mem v t1 in
+  let edge_of l =
+    match l with
+    | [ x; y; z ] -> [ (x, y); (y, z); (z, x) ]
+    | _ -> assert false
+  in
+  let seg (u, v) = Geometry.Segment.make points.(u) points.(v) in
+  let crossing =
+    List.exists
+      (fun e1 ->
+        List.exists
+          (fun e2 -> Geometry.Segment.properly_intersect (seg e1) (seg e2))
+          (edge_of t2))
+      (edge_of t1)
+  in
+  crossing
+  ||
+  let strictly_inside (x, y, z) v =
+    let inside_ccw a b c p =
+      Pred.orient2d points.(a) points.(b) p = Pred.Ccw
+      && Pred.orient2d points.(b) points.(c) p = Pred.Ccw
+      && Pred.orient2d points.(c) points.(a) p = Pred.Ccw
+    in
+    match Pred.orient2d points.(x) points.(y) points.(z) with
+    | Pred.Ccw -> inside_ccw x y z points.(v)
+    | Pred.Cw -> inside_ccw x z y points.(v)
+    | Pred.Collinear -> false
+  in
+  List.exists (fun v -> (not (shared v)) && strictly_inside (a1, b1, c1) v) t2
+  || List.exists
+       (fun v -> (not (List.mem v t2)) && strictly_inside (a2, b2, c2) v)
+       t1
+
+let circumcircle_contains points (a, b, c) v =
+  v <> a && v <> b && v <> c
+  && Pred.incircle points.(a) points.(b) points.(c) points.(v)
+
+(* A triangle pair can only be compared by nodes that hear about both:
+   in Algorithm 3 a node gathers the triangles of its 1-hop neighbors,
+   so corner visibility is required.  This mirrors exactly what the
+   distributed protocol can decide. *)
+let mutually_visible g t1 t2 =
+  let corners (a, b, c) = [ a; b; c ] in
+  List.exists
+    (fun c1 ->
+      List.exists (fun c2 -> c1 = c2 || G.has_edge g c1 c2) (corners t2))
+    (corners t1)
+
+let planarize g points triangles =
+  let tris = Array.of_list triangles in
+  let m = Array.length tris in
+  let removed = Array.make m false in
+  let boxes =
+    Array.map
+      (fun (a, b, c) ->
+        Geometry.Bbox.of_points [ points.(a); points.(b); points.(c) ])
+      tris
+  in
+  let boxes_overlap (b1 : Geometry.Bbox.t) (b2 : Geometry.Bbox.t) =
+    b1.xmin <= b2.xmax && b2.xmin <= b1.xmax && b1.ymin <= b2.ymax
+    && b2.ymin <= b1.ymax
+  in
+  for i = 0 to m - 1 do
+    for j = i + 1 to m - 1 do
+      if
+        boxes_overlap boxes.(i) boxes.(j)
+        && mutually_visible g tris.(i) tris.(j)
+        && triangles_intersect points tris.(i) tris.(j)
+      then begin
+        let a2, b2, c2 = tris.(j) in
+        if List.exists (circumcircle_contains points tris.(i)) [ a2; b2; c2 ]
+        then removed.(i) <- true;
+        let a1, b1, c1 = tris.(i) in
+        if List.exists (circumcircle_contains points tris.(j)) [ a1; b1; c1 ]
+        then removed.(j) <- true
+      end
+    done
+  done;
+  let kept = ref [] in
+  for i = m - 1 downto 0 do
+    if not removed.(i) then kept := tris.(i) :: !kept
+  done;
+  !kept
+
+let graph_of n gabriel triangles =
+  let g = G.create n in
+  List.iter (fun (u, v) -> G.add_edge g u v) gabriel;
+  List.iter
+    (fun (a, b, c) ->
+      G.add_edge g a b;
+      G.add_edge g b c;
+      G.add_edge g a c)
+    triangles;
+  g
+
+let gabriel_edges_of g points =
+  List.filter
+    (fun (u, v) -> Wireless.Proximity.is_gabriel_edge points g u v)
+    (G.edges g)
+
+let build_gen g points ~radius ~local_triangles =
+  let gabriel_edges = gabriel_edges_of g points in
+  let triangles =
+    accepted_triangles_gen g points ~radius ~local_triangles
+  in
+  let kept_triangles = planarize g points triangles in
+  let n = G.node_count g in
+  {
+    ldel1 = graph_of n gabriel_edges triangles;
+    planar = graph_of n gabriel_edges kept_triangles;
+    gabriel_edges;
+    triangles;
+    kept_triangles;
+  }
+
+let build g points ~radius =
+  build_gen g points ~radius
+    ~local_triangles:(local_delaunay_triangles g points)
+
+let build_k g points ~radius ~k =
+  if k < 1 then invalid_arg "Ldel.build_k: k < 1";
+  build_gen g points ~radius
+    ~local_triangles:(local_delaunay_triangles_k g points ~k)

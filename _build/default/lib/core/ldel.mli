@@ -1,0 +1,105 @@
+(** Localized Delaunay triangulation (Algorithms 2 and 3).
+
+    [LDel¹(G)] is the planar-izable proxy for the true Delaunay
+    triangulation that each node can compute from 1-hop information:
+    its edges are the Gabriel edges of [G] plus the edges of every
+    triangle [uvw] whose circumcircle is empty of the 1-hop
+    neighborhoods of all three corners (equivalently: [uvw] is a
+    Delaunay triangle of [Del(N₁(x))] for each corner [x]) and whose
+    edges all fit within the transmission radius.
+
+    [LDel¹] can still contain crossing triangles from distant
+    neighborhoods; Algorithm 3 removes, for every intersecting pair,
+    any triangle whose circumcircle contains a corner of the other —
+    the survivors plus the Gabriel edges form the planar graph
+    [PLDel(G)] the paper routes on.
+
+    The functions here are the centralized reference computation; the
+    message-level protocol in {!Protocol} produces identical output
+    (asserted by the integration tests). *)
+
+type t = {
+  ldel1 : Netgraph.Graph.t;  (** LDel¹: Gabriel edges + triangle edges *)
+  planar : Netgraph.Graph.t;
+      (** PLDel: Gabriel edges + surviving triangle edges *)
+  gabriel_edges : (int * int) list;  (** with [u < v], sorted *)
+  triangles : (int * int * int) list;
+      (** accepted 1-localized Delaunay triangles, sorted triples *)
+  kept_triangles : (int * int * int) list;
+      (** triangles surviving planarization *)
+}
+
+(** [build g points ~radius] computes LDel¹ and PLDel of the unit disk
+    graph [g] (edges of [g] must join nodes at distance [<= radius];
+    nodes with no incident edge are simply isolated — this is how the
+    construction runs on the induced backbone ICDS, whose vertex set
+    is only the dominators and connectors). *)
+val build : Netgraph.Graph.t -> Geometry.Point.t array -> radius:float -> t
+
+(** [build_k g points ~radius ~k] is the k-localized Delaunay graph
+    [LDel^k]: triangles must have circumcircles empty of every
+    corner's k-hop neighborhood.  Li et al. prove [LDel^k] is planar
+    outright for [k >= 2] (the [planar]/[ldel1] fields then coincide —
+    the test-suite verifies this empirically); larger [k] trades
+    communication for fewer crossings.  [build_k ~k:1 = build].
+    @raise Invalid_argument when [k < 1]. *)
+val build_k :
+  Netgraph.Graph.t -> Geometry.Point.t array -> radius:float -> k:int -> t
+
+(** [local_delaunay_triangles_k g points ~k u] is the k-hop analogue
+    of {!local_delaunay_triangles}: triangles incident to [u] in
+    [Del(N_k(u))]. *)
+val local_delaunay_triangles_k :
+  Netgraph.Graph.t ->
+  Geometry.Point.t array ->
+  k:int ->
+  int ->
+  (int * int * int) list
+
+(** [local_delaunay_triangles g points u] is the set of triangles
+    incident to [u] in [Del(N₁(u))] — what node [u] computes in
+    Algorithm 2 — as normalized sorted triples. *)
+val local_delaunay_triangles :
+  Netgraph.Graph.t -> Geometry.Point.t array -> int -> (int * int * int) list
+
+(** Same computation from a node's own view: its id, position, and
+    1-hop neighbors with positions.  The distributed protocol calls
+    this with exactly the data its messages carry, so protocol and
+    centralized builds coincide by construction. *)
+val local_triangles_of_neighborhood :
+  me:int ->
+  me_pos:Geometry.Point.t ->
+  nbrs:(int * Geometry.Point.t) list ->
+  (int * int * int) list
+
+(** [triangle_fits points ~radius t] checks all three links fit the
+    transmission range. *)
+val triangle_fits :
+  Geometry.Point.t array -> radius:float -> int * int * int -> bool
+
+(** [planarize g points tris] is Algorithm 3: for every pair of
+    intersecting triangles whose corners can hear of each other in
+    [g] (1-hop gathering), remove any whose circumcircle contains a
+    corner of the other; returns the survivors. *)
+val planarize :
+  Netgraph.Graph.t ->
+  Geometry.Point.t array ->
+  (int * int * int) list ->
+  (int * int * int) list
+
+(** Gabriel edges of [g] (each with [u < v], sorted). *)
+val gabriel_edges_of :
+  Netgraph.Graph.t -> Geometry.Point.t array -> (int * int) list
+
+(** [circumcircle_contains points t v] holds when node [v] (not a
+    corner) lies strictly inside [t]'s circumcircle. *)
+val circumcircle_contains :
+  Geometry.Point.t array -> int * int * int -> int -> bool
+
+(** [triangles_intersect points t1 t2] decides whether two triangles
+    overlap improperly: an edge of one properly crosses an edge of the
+    other, or a non-shared corner lies strictly inside the other
+    triangle.  Triangles merely sharing a vertex or an edge do not
+    intersect. *)
+val triangles_intersect :
+  Geometry.Point.t array -> int * int * int -> int * int * int -> bool

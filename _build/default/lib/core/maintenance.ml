@@ -1,0 +1,61 @@
+module G = Netgraph.Graph
+module P = Geometry.Point
+
+type stats = {
+  role_changes : int;
+  backbone_changes : int;
+  edge_changes : int;
+  links_broken : int;
+}
+
+let needs_refresh (prev : Backbone.t) positions =
+  let broken = ref 0 in
+  G.iter_edges prev.Backbone.ldel_icds' (fun u v ->
+      if P.dist positions.(u) positions.(v) > prev.Backbone.radius then
+        incr broken);
+  !broken
+
+let diff_stats (prev : Backbone.t) (next : Backbone.t) ~links_broken =
+  let n = Array.length prev.Backbone.points in
+  let role_changes = ref 0 and backbone_changes = ref 0 in
+  for u = 0 to n - 1 do
+    if
+      prev.Backbone.cds.Cds.roles.(u) <> next.Backbone.cds.Cds.roles.(u)
+    then incr role_changes;
+    if prev.Backbone.cds.Cds.backbone.(u) <> next.Backbone.cds.Cds.backbone.(u)
+    then incr backbone_changes
+  done;
+  let edge_changes =
+    G.fold_edges prev.Backbone.ldel_icds'
+      (fun acc u v ->
+        if G.has_edge next.Backbone.ldel_icds' u v then acc else acc + 1)
+      0
+    + G.fold_edges next.Backbone.ldel_icds'
+        (fun acc u v ->
+          if G.has_edge prev.Backbone.ldel_icds' u v then acc else acc + 1)
+        0
+  in
+  {
+    role_changes = !role_changes;
+    backbone_changes = !backbone_changes;
+    edge_changes;
+    links_broken;
+  }
+
+let refresh (prev : Backbone.t) positions =
+  let links_broken = needs_refresh prev positions in
+  (* incumbent dominators get priority class 0, everyone else 1; ties
+     still break by id, so this remains a greedy MIS under a total
+     order and inherits every validity property *)
+  let incumbent u =
+    if prev.Backbone.cds.Cds.roles.(u) = Mis.Dominator then 0 else 1
+  in
+  let next =
+    Backbone.build ~priority:incumbent positions ~radius:prev.Backbone.radius
+  in
+  (next, diff_stats prev next ~links_broken)
+
+let rebuild (prev : Backbone.t) positions =
+  let links_broken = needs_refresh prev positions in
+  let next = Backbone.build positions ~radius:prev.Backbone.radius in
+  (next, diff_stats prev next ~links_broken)

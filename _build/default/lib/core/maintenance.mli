@@ -1,0 +1,46 @@
+(** Dynamic maintenance of the backbone under node movement.
+
+    The paper leaves "dynamic updating of the planar backbone" as
+    future work, arguing that the O(1)-messages-per-node construction
+    makes periodic refresh affordable and that the logical backbone
+    stays valid as long as none of its links stretch out of range.
+    This module implements the refresh policy that makes periodic
+    reconstruction cheap in practice: {b stability-first
+    reclustering}.  When the topology is rebuilt, the clustering runs
+    with a priority that favors the incumbent dominators, so a node
+    keeps its clusterhead role unless movement actually invalidated it
+    (two incumbents colliding, or a region losing coverage).  Role
+    flapping — the operational cost of clustering in mobile networks —
+    drops sharply compared to re-running the raw smallest-ID rule,
+    while every guarantee (valid MIS, connected CDS, planar backbone)
+    is preserved because the rule is still a greedy MIS, just under a
+    different order. *)
+
+type stats = {
+  role_changes : int;  (** nodes whose dominator/dominatee role flipped *)
+  backbone_changes : int;  (** nodes entering or leaving the backbone *)
+  edge_changes : int;
+      (** symmetric difference between the old and new planar
+          backbone+links structure (LDel(ICDS′)) *)
+  links_broken : int;
+      (** links of the previous LDel(ICDS′) whose endpoints moved out
+          of range — the trigger for refreshing *)
+}
+
+(** [needs_refresh prev positions] counts the previous structure's
+    links that the new positions break; [0] means the old logical
+    backbone is still physically realizable (the paper's criterion for
+    not updating at all). *)
+val needs_refresh : Backbone.t -> Geometry.Point.t array -> int
+
+(** [refresh prev positions] rebuilds the backbone at the new
+    positions with stability-first reclustering and reports how much
+    actually changed.  With unchanged positions this is the identity
+    (same roles, same structures) — the stability property the
+    test-suite asserts. *)
+val refresh : Backbone.t -> Geometry.Point.t array -> Backbone.t * stats
+
+(** [rebuild prev positions] is the baseline: a from-scratch
+    smallest-ID rebuild, with the same change accounting — what the
+    stability policy is compared against. *)
+val rebuild : Backbone.t -> Geometry.Point.t array -> Backbone.t * stats

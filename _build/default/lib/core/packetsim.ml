@@ -1,0 +1,125 @@
+module G = Netgraph.Graph
+module E = Distsim.Engine
+
+type result = {
+  delivered : bool;
+  path : int list;
+  transmissions : int;
+  rounds : int;
+}
+
+(* The packet: destination, GFG header, the intended next hop (radio
+   unicast = named broadcast), remaining TTL, and the trajectory for
+   verification. *)
+type packet = {
+  dst : int;
+  header : Routing.header;
+  next_hop : int;
+  ttl : int;
+  trace : int list;  (* reversed *)
+}
+
+type node_state = {
+  mutable ns_delivered : int list option;  (* the packet's path if it ended here *)
+}
+
+let run_one g points ~src ~dst ~use_perimeter =
+  let step u header =
+    match header with
+    | Routing.Greedy when not use_perimeter -> begin
+      (* plain greedy discipline: never enter perimeter mode *)
+      if u = dst then Routing.Deliver
+      else
+        match
+          List.fold_left
+            (fun acc v ->
+              let dv = Geometry.Point.dist points.(v) points.(dst) in
+              match acc with
+              | Some (_, dbest) when dbest <= dv -> acc
+              | _ ->
+                if dv < Geometry.Point.dist points.(u) points.(dst) then
+                  Some (v, dv)
+                else acc)
+            None (G.neighbors g u)
+        with
+        | Some (v, _) -> Routing.Forward (v, Routing.Greedy)
+        | None -> Routing.Drop
+    end
+    | header -> Routing.gfg_step g points ~dst u header
+  in
+  let ttl0 = (4 * G.edge_count g) + 16 in
+  let proto =
+    {
+      E.init = (fun _ _ -> { ns_delivered = None });
+      E.on_round =
+        (fun ctx st inbox ->
+          let me = ctx.E.me in
+          let handle (pkt : packet) =
+            if pkt.next_hop = me && pkt.ttl > 0 then begin
+              let trace = me :: pkt.trace in
+              match step me pkt.header with
+              | Routing.Deliver -> st.ns_delivered <- Some (List.rev trace)
+              | Routing.Drop -> ()
+              | Routing.Forward (v, header') ->
+                ctx.E.broadcast
+                  { pkt with header = header'; next_hop = v;
+                    ttl = pkt.ttl - 1; trace }
+            end
+          in
+          if ctx.E.round = 0 && me = src then begin
+            if src = dst then st.ns_delivered <- Some [ src ]
+            else
+              (* originate: the source makes the first forwarding
+                 decision and transmits *)
+              handle
+                { dst; header = Routing.Greedy; next_hop = src; ttl = ttl0;
+                  trace = [] }
+          end;
+          List.iter (fun d -> handle d.E.msg) inbox;
+          st);
+    }
+  in
+  let states, stats = E.run ~classify:(fun _ -> "Data") g proto in
+  match states.(dst).ns_delivered with
+  | Some path ->
+    {
+      delivered = true;
+      path;
+      transmissions = E.total_sent stats;
+      rounds = stats.E.rounds;
+    }
+  | None ->
+    {
+      delivered = false;
+      path = [];
+      transmissions = E.total_sent stats;
+      rounds = stats.E.rounds;
+    }
+
+let gpsr g points ~src ~dst = run_one g points ~src ~dst ~use_perimeter:true
+
+let greedy g points ~src ~dst =
+  run_one g points ~src ~dst ~use_perimeter:false
+
+let many g points ~pairs rng ~router =
+  let n = G.node_count g in
+  let delivered = ref 0 and tx = ref 0 and sent = ref 0 in
+  while !sent < pairs do
+    let src = Wireless.Rand.int rng n and dst = Wireless.Rand.int rng n in
+    if src <> dst then begin
+      incr sent;
+      let r =
+        match router with
+        | `Gpsr -> gpsr g points ~src ~dst
+        | `Greedy -> greedy g points ~src ~dst
+      in
+      if r.delivered then begin
+        incr delivered;
+        tx := !tx + r.transmissions
+      end
+    end
+  done;
+  ( !delivered,
+    pairs,
+    if !delivered = 0 then 0. else float_of_int !tx /. float_of_int !delivered
+  )

@@ -1,0 +1,291 @@
+module G = Netgraph.Graph
+module P = Geometry.Point
+
+let max_steps g = (4 * G.edge_count g) + 16
+
+let greedy g points ~src ~dst =
+  let rec go path u steps =
+    if u = dst then Some (List.rev (u :: path))
+    else if steps <= 0 then None
+    else
+      let du = P.dist points.(u) points.(dst) in
+      let best =
+        List.fold_left
+          (fun acc v ->
+            let dv = P.dist points.(v) points.(dst) in
+            match acc with
+            | Some (_, dbest) when dbest <= dv -> acc
+            | _ -> if dv < du then Some (v, dv) else acc)
+          None (G.neighbors g u)
+      in
+      match best with
+      | Some (v, _) -> go (u :: path) v (steps - 1)
+      | None -> None
+  in
+  go [] src (max_steps g)
+
+(* The three classic localized forwarding rules differ only in how
+   they score a neighbor; [directional_route] factors the traversal
+   (with a visited-set guard, since compass/MFR can loop on some
+   instances even where greedy cannot). *)
+let directional_route g ~src ~dst ~choose =
+  let visited = Hashtbl.create 16 in
+  let rec go path u steps =
+    if u = dst then Some (List.rev (u :: path))
+    else if steps <= 0 || Hashtbl.mem visited u then None
+    else begin
+      Hashtbl.add visited u ();
+      match choose u with
+      | Some v -> go (u :: path) v (steps - 1)
+      | None -> None
+    end
+  in
+  go [] src (max_steps g)
+
+let compass g points ~src ~dst =
+  let d = points.(dst) in
+  let choose u =
+    if G.has_edge g u dst then Some dst
+    else
+      let toward = P.sub d points.(u) in
+      List.fold_left
+        (fun best v ->
+          let score w =
+            (* unsigned angle between (u -> w) and (u -> dst) *)
+            let vw = P.sub points.(w) points.(u) in
+            let c = P.dot toward vw /. (P.norm toward *. P.norm vw) in
+            let c = Float.max (-1.) (Float.min 1. c) in
+            acos c
+          in
+          match best with
+          | Some b when score b <= score v -> best
+          | _ -> Some v)
+        None (G.neighbors g u)
+  in
+  directional_route g ~src ~dst ~choose
+
+let progress points u v dst =
+  (* projection of the step u -> v onto the unit vector toward dst *)
+  let toward = P.sub points.(dst) points.(u) in
+  let n = P.norm toward in
+  if n = 0. then 0. else P.dot (P.sub points.(v) points.(u)) toward /. n
+
+let mfr g points ~src ~dst =
+  let choose u =
+    if G.has_edge g u dst then Some dst
+    else
+      List.fold_left
+        (fun best v ->
+          let p = progress points u v dst in
+          if p <= 0. then best
+          else
+            match best with
+            | Some (_, pb) when pb >= p -> best
+            | _ -> Some (v, p))
+        None (G.neighbors g u)
+      |> Option.map fst
+  in
+  directional_route g ~src ~dst ~choose
+
+let nfp g points ~src ~dst =
+  let choose u =
+    if G.has_edge g u dst then Some dst
+    else
+      List.fold_left
+        (fun best v ->
+          if progress points u v dst <= 0. then best
+          else
+            let dv = P.dist points.(u) points.(v) in
+            match best with
+            | Some (_, db) when db <= dv -> best
+            | _ -> Some (v, dv))
+        None (G.neighbors g u)
+      |> Option.map fst
+  in
+  directional_route g ~src ~dst ~choose
+
+(* Perimeter-mode machinery: neighbors ordered by angle let us apply
+   the right-hand rule — after arriving at [v] over edge (v, prev),
+   the next edge is the first one counterclockwise from (v, prev). *)
+let next_ccw g points v ~from_angle =
+  let nbrs = G.neighbors g v in
+  let angle w = P.angle_of (P.sub points.(w) points.(v)) in
+  let rel w =
+    let a = angle w -. from_angle in
+    let a = if a <= 1e-13 then a +. (2. *. Float.pi) else a in
+    a
+  in
+  match nbrs with
+  | [] -> None
+  | _ ->
+    Some
+      (List.fold_left
+         (fun best w -> if rel w < rel best then w else best)
+         (List.hd nbrs) nbrs)
+
+(* GFG as a pure per-node forwarding automaton.  The packet header
+   carries the mode; every decision uses only the current node's
+   neighbor positions and the destination's position, so the same
+   [step] drives both the centralized route computation below and the
+   packet-level protocol in [Packetsim]. *)
+type perimeter = {
+  p_entry : P.t;  (* position where perimeter mode was entered *)
+  p_entry_dist : float;  (* distance to dst at entry: greedy resumes below it *)
+  p_best_cross : float;  (* closest crossing of the entry->dst segment so far *)
+  p_start : int * int;  (* first directed edge of the current face *)
+  p_first : bool;  (* still on the starting edge of this face *)
+}
+
+type header = Greedy | Perimeter of perimeter * int  (* previous node *)
+
+type decision = Deliver | Forward of int * header | Drop
+
+let closer_neighbor g points ~dst u =
+  let du = P.dist points.(u) points.(dst) in
+  List.fold_left
+    (fun acc v ->
+      let dv = P.dist points.(v) points.(dst) in
+      match acc with
+      | Some (_, dbest) when dbest <= dv -> acc
+      | _ -> if dv < du then Some (v, dv) else acc)
+    None (G.neighbors g u)
+  |> Option.map fst
+
+(* pivot around [u] handling face changes, then forward along the
+   settled edge *)
+let rec advance g points ~dst u st w =
+  if (not st.p_first) && (u, w) = st.p_start then Drop
+  else
+    let seg_uw = Geometry.Segment.make points.(u) points.(w) in
+    let seg_ed = Geometry.Segment.make st.p_entry points.(dst) in
+    let crossing =
+      match Geometry.Segment.intersection_point seg_uw seg_ed with
+      | Some p ->
+        let d = P.dist p points.(dst) in
+        if d < st.p_best_cross -. 1e-12 then Some d else None
+      | None -> None
+    in
+    match crossing with
+    | Some d -> begin
+      let a = P.angle_of (P.sub points.(w) points.(u)) in
+      match next_ccw g points u ~from_angle:a with
+      | None -> Drop
+      | Some w' ->
+        advance g points ~dst u
+          { st with p_best_cross = d; p_start = (u, w'); p_first = true }
+          w'
+    end
+    | None -> Forward (w, Perimeter ({ st with p_first = false }, u))
+
+let gfg_step g points ~dst u header =
+  if u = dst then Deliver
+  else
+    let enter_perimeter () =
+      let toward = P.angle_of (P.sub points.(dst) points.(u)) in
+      match next_ccw g points u ~from_angle:toward with
+      | None -> Drop
+      | Some w ->
+        let entry = points.(u) in
+        let st =
+          {
+            p_entry = entry;
+            p_entry_dist = P.dist entry points.(dst);
+            p_best_cross = P.dist entry points.(dst);
+            p_start = (u, w);
+            p_first = true;
+          }
+        in
+        advance g points ~dst u st w
+    in
+    let greedy_step () =
+      match closer_neighbor g points ~dst u with
+      | Some v -> Forward (v, Greedy)
+      | None -> enter_perimeter ()
+    in
+    match header with
+    | Greedy -> greedy_step ()
+    | Perimeter (st, prev) ->
+      if P.dist points.(u) points.(dst) < st.p_entry_dist then greedy_step ()
+      else begin
+        let a = P.angle_of (P.sub points.(prev) points.(u)) in
+        match next_ccw g points u ~from_angle:a with
+        | None -> Drop
+        | Some w -> advance g points ~dst u st w
+      end
+
+let gfg g points ~src ~dst =
+  let rec go path u header steps =
+    if steps <= 0 then None
+    else
+      match gfg_step g points ~dst u header with
+      | Deliver -> Some (List.rev (u :: path))
+      | Drop -> None
+      | Forward (v, header') -> go (u :: path) v header' (steps - 1)
+  in
+  if src = dst then Some [ src ] else go [] src Greedy (max_steps g)
+
+let hierarchical (bb : Backbone.t) ~src ~dst =
+  let udg = bb.Backbone.udg in
+  if src = dst then Some [ src ]
+  else if G.has_edge udg src dst then Some [ src; dst ]
+  else
+    let cds = bb.Backbone.cds in
+    let enter = Cds.dominator_of cds udg src in
+    let exit = Cds.dominator_of cds udg dst in
+    let backbone_path =
+      if enter = exit then Some [ enter ]
+      else gfg bb.Backbone.ldel_icds_g bb.Backbone.points ~src:enter ~dst:exit
+    in
+    match backbone_path with
+    | None -> None
+    | Some p ->
+      let p = if enter = src then p else src :: p in
+      let p = if exit = dst then p else p @ [ dst ] in
+      Some p
+
+type evaluation = {
+  pairs : int;
+  delivered : int;
+  avg_length_stretch : float;
+  avg_hop_stretch : float;
+}
+
+let evaluate ~router ~base points ~pairs rng =
+  let n = G.node_count base in
+  let delivered = ref 0 in
+  let len_sum = ref 0. and hop_sum = ref 0. and measured = ref 0 in
+  let tried = ref 0 in
+  let attempts = ref 0 in
+  while !tried < pairs && !attempts < 100 * pairs do
+    incr attempts;
+    let src = Wireless.Rand.int rng n in
+    let dst = Wireless.Rand.int rng n in
+    if src <> dst then begin
+      let hops = Netgraph.Traversal.bfs base src in
+      if hops.(dst) <> max_int then begin
+        incr tried;
+        match router ~src ~dst with
+        | None -> ()
+        | Some path ->
+          incr delivered;
+          let sp = Netgraph.Traversal.dijkstra base points src in
+          let plen = Netgraph.Traversal.path_length points path in
+          if sp.(dst) > 0. then begin
+            incr measured;
+            len_sum := !len_sum +. (plen /. sp.(dst));
+            hop_sum :=
+              !hop_sum
+              +. (float_of_int (Netgraph.Traversal.path_hops path)
+                 /. float_of_int hops.(dst))
+          end
+      end
+    end
+  done;
+  {
+    pairs = !tried;
+    delivered = !delivered;
+    avg_length_stretch =
+      (if !measured = 0 then 0. else !len_sum /. float_of_int !measured);
+    avg_hop_stretch =
+      (if !measured = 0 then 0. else !hop_sum /. float_of_int !measured);
+  }

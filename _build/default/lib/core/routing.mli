@@ -1,0 +1,102 @@
+(** Localized geographic routing on the constructed topologies.
+
+    The backbone exists to be routed on: the paper pairs it with
+    Dominating-Set-Based Routing and with Greedy Perimeter Stateless
+    Routing (GPSR), which needs the planar [LDel(ICDS)] for its
+    perimeter mode.  Everything here is stateless per-packet routing
+    from purely local information (positions of self, neighbors and
+    the destination), as in the protocols the paper cites.
+
+    All routers return the traversed node path (inclusive of both
+    endpoints), or [None] when the packet is dropped (greedy local
+    minimum with no recovery, or a step budget exhausted). *)
+
+(** [greedy g points ~src ~dst] forwards to the neighbor strictly
+    closest to the destination; fails at a local minimum. *)
+val greedy :
+  Netgraph.Graph.t -> Geometry.Point.t array -> src:int -> dst:int ->
+  int list option
+
+(** [compass g points ~src ~dst] forwards to the neighbor whose
+    direction is angularly closest to the destination's (Kranakis et
+    al.); unlike greedy it can loop, so traversal is cycle-guarded
+    and returns [None] on a revisit. *)
+val compass :
+  Netgraph.Graph.t -> Geometry.Point.t array -> src:int -> dst:int ->
+  int list option
+
+(** [mfr g points ~src ~dst] is Most Forward within Radius
+    (Takagi–Kleinrock): forward to the neighbor with the largest
+    progress — the projection of the step onto the line toward the
+    destination; fails when no neighbor makes positive progress. *)
+val mfr :
+  Netgraph.Graph.t -> Geometry.Point.t array -> src:int -> dst:int ->
+  int list option
+
+(** [nfp g points ~src ~dst] is Nearest with Forward Progress (Hou &
+    Li): the closest neighbor that still makes positive progress —
+    the power-friendly variant. *)
+val nfp :
+  Netgraph.Graph.t -> Geometry.Point.t array -> src:int -> dst:int ->
+  int list option
+
+(** [gfg g points ~src ~dst] is greedy routing with face-routing
+    recovery (GPSR's perimeter mode: right-hand rule plus the
+    cross-the-[sd]-line face changes).  Delivery is guaranteed when
+    [g] is planar and [src], [dst] are in the same component. *)
+val gfg :
+  Netgraph.Graph.t -> Geometry.Point.t array -> src:int -> dst:int ->
+  int list option
+
+(** The GFG packet header: greedy mode, or perimeter mode with the
+    face-traversal state GPSR carries in its packets. *)
+type perimeter = {
+  p_entry : Geometry.Point.t;
+  p_entry_dist : float;
+  p_best_cross : float;
+  p_start : int * int;
+  p_first : bool;
+}
+
+type header = Greedy | Perimeter of perimeter * int
+
+type decision = Deliver | Forward of int * header | Drop
+
+(** [gfg_step g points ~dst u header] is one forwarding decision at
+    node [u], from purely local information (u's neighbors and the
+    header).  {!gfg} is the fold of this step; {!Packetsim} runs the
+    same step inside the message-passing simulator, so path-level and
+    packet-level GPSR agree exactly (tested). *)
+val gfg_step :
+  Netgraph.Graph.t ->
+  Geometry.Point.t array ->
+  dst:int ->
+  int ->
+  header ->
+  decision
+
+(** [hierarchical backbone ~src ~dst] is dominating-set-based routing:
+    a direct hop when the nodes are adjacent, otherwise src → its
+    dominator → GFG over the planar backbone [LDel(ICDS)] → dst's
+    dominator → dst. *)
+val hierarchical : Backbone.t -> src:int -> dst:int -> int list option
+
+(** Success statistics of a router over every connected node pair:
+    delivery ratio, and average stretch of delivered routes relative
+    to the UDG shortest path (length and hops). *)
+type evaluation = {
+  pairs : int;
+  delivered : int;
+  avg_length_stretch : float;  (** over delivered pairs *)
+  avg_hop_stretch : float;
+}
+
+(** [evaluate ~router ~base points ~pairs rng] samples [pairs] random
+    connected node pairs in [base] and runs [router] on each. *)
+val evaluate :
+  router:(src:int -> dst:int -> int list option) ->
+  base:Netgraph.Graph.t ->
+  Geometry.Point.t array ->
+  pairs:int ->
+  Wireless.Rand.t ->
+  evaluation

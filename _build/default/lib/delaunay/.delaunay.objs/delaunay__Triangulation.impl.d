@@ -1,0 +1,1 @@
+lib/delaunay/triangulation.ml: Array Geometry Hashtbl List Set

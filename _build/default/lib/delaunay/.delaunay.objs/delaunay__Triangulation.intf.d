@@ -1,0 +1,1 @@
+lib/delaunay/triangulation.mli: Geometry

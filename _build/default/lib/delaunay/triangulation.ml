@@ -1,0 +1,204 @@
+module P = Geometry.Point
+module Pred = Geometry.Predicates
+
+(* Triangles are ordered triples (i, j, k), counterclockwise.  The
+   ghost vertex is [ghost = -1] and is kept in the last slot, so a
+   ghost triangle (a, b, ghost) records the directed hull edge a -> b
+   with the mesh exterior to its left. *)
+let ghost = -1
+
+module TriSet = Set.Make (struct
+  type t = int * int * int
+
+  let compare = compare
+end)
+
+type t = {
+  pts : P.t array;
+  mutable alive : TriSet.t;
+  mutable collinear_path : (int * int) list option;
+      (* Delaunay graph of degenerate (collinear / tiny) inputs *)
+}
+
+let point_count t = Array.length t.pts
+let points t = t.pts
+
+(* Rotate a ccw triple so the smallest vertex (ghost sorts first as
+   -1) comes first; cyclic order — hence orientation — is preserved.
+   Ghosts end up as (ghost, a, b); we instead keep ghost LAST, so
+   normalize ghosts to (a, b, ghost) with a < b not required (the
+   directed edge a -> b is meaningful). *)
+let normalize (a, b, c) =
+  if c = ghost then (a, b, c)
+  else if a = ghost then (b, c, a)
+  else if b = ghost then (c, a, b)
+  else if a <= b && a <= c then (a, b, c)
+  else if b <= a && b <= c then (b, c, a)
+  else (c, a, b)
+
+let in_circumdisk pts (a, b, c) p =
+  if c = ghost then
+    (* Ghost triangle over directed hull edge a -> b (exterior left):
+       the limiting circumdisk is the open exterior half-plane plus
+       the open segment a b. *)
+    match Pred.orient2d pts.(a) pts.(b) p with
+    | Pred.Ccw -> true
+    | Pred.Cw -> false
+    | Pred.Collinear ->
+      (* strictly between a and b on the line *)
+      P.dot (P.sub pts.(a) p) (P.sub pts.(b) p) < 0.
+  else Pred.incircle pts.(a) pts.(b) pts.(c) p
+
+let directed_edges (a, b, c) = [ (a, b); (b, c); (c, a) ]
+
+let insert t pi =
+  let p = t.pts.(pi) in
+  let bad =
+    TriSet.filter (fun tri -> in_circumdisk t.pts tri p) t.alive
+  in
+  if TriSet.is_empty bad then
+    (* Every point is covered by a real or ghost triangle; an empty
+       cavity means a duplicate point sat exactly on a vertex. *)
+    invalid_arg "Triangulation: duplicate point"
+  else begin
+    let edge_set = Hashtbl.create 32 in
+    TriSet.iter
+      (fun tri ->
+        List.iter (fun e -> Hashtbl.replace edge_set e ()) (directed_edges tri))
+      bad;
+    let boundary =
+      Hashtbl.fold
+        (fun (u, v) () acc ->
+          if Hashtbl.mem edge_set (v, u) then acc else (u, v) :: acc)
+        edge_set []
+    in
+    t.alive <- TriSet.diff t.alive bad;
+    List.iter
+      (fun (u, v) -> t.alive <- TriSet.add (normalize (u, v, pi)) t.alive)
+      boundary
+  end
+
+let find_seed pts =
+  let n = Array.length pts in
+  (* first pair of distinct points, then first point non-collinear
+     with them *)
+  let rec third i j k =
+    if k >= n then None
+    else if
+      k <> i && k <> j && Pred.orient2d pts.(i) pts.(j) pts.(k) <> Pred.Collinear
+    then Some (i, j, k)
+    else third i j (k + 1)
+  in
+  if n < 2 then None else third 0 1 0
+
+let check_distinct pts =
+  let seen = Hashtbl.create (Array.length pts) in
+  Array.iter
+    (fun (p : P.t) ->
+      if Hashtbl.mem seen (p.x, p.y) then
+        invalid_arg "Triangulation: duplicate point";
+      Hashtbl.add seen (p.x, p.y) ())
+    pts
+
+let collinear_fallback pts =
+  (* All points on one line (or fewer than 3 points): the Delaunay
+     graph is the path along the line in sorted order. *)
+  let idx = Array.init (Array.length pts) (fun i -> i) in
+  let order = Array.copy idx in
+  Array.sort (fun i j -> P.compare pts.(i) pts.(j)) order;
+  let rec path i acc =
+    if i + 1 >= Array.length order then List.rev acc
+    else
+      let u = order.(i) and v = order.(i + 1) in
+      path (i + 1) ((min u v, max u v) :: acc)
+  in
+  path 0 []
+
+let triangulate pts =
+  check_distinct pts;
+  match find_seed pts with
+  | None ->
+    { pts; alive = TriSet.empty; collinear_path = Some (collinear_fallback pts) }
+  | Some (i, j, k) ->
+    let i, j, k =
+      match Pred.orient2d pts.(i) pts.(j) pts.(k) with
+      | Pred.Ccw -> (i, j, k)
+      | Pred.Cw -> (i, k, j)
+      | Pred.Collinear -> assert false
+    in
+    let t = { pts; alive = TriSet.empty; collinear_path = None } in
+    t.alive <- TriSet.add (normalize (i, j, k)) t.alive;
+    (* ghost triangles on the three hull edges, exterior to the left
+       of their directed edge: reverse each ccw edge of the seed *)
+    List.iter
+      (fun (u, v) -> t.alive <- TriSet.add (v, u, ghost) t.alive)
+      (directed_edges (i, j, k));
+    for p = 0 to Array.length pts - 1 do
+      if p <> i && p <> j && p <> k then insert t p
+    done;
+    t
+
+let real_triangles t =
+  TriSet.fold
+    (fun (a, b, c) acc -> if c = ghost then acc else (a, b, c) :: acc)
+    t.alive []
+
+let triangles t = List.sort compare (real_triangles t)
+
+let has_triangle t i j k =
+  let candidates =
+    [ (i, j, k); (j, k, i); (k, i, j); (i, k, j); (k, j, i); (j, i, k) ]
+  in
+  List.exists (fun tri -> TriSet.mem (normalize tri) t.alive) candidates
+
+let edges t =
+  match t.collinear_path with
+  | Some path -> path
+  | None ->
+    let set = Hashtbl.create 64 in
+    List.iter
+      (fun (a, b, c) ->
+        List.iter
+          (fun (u, v) -> Hashtbl.replace set (min u v, max u v) ())
+          [ (a, b); (b, c); (c, a) ])
+      (real_triangles t);
+    List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) set [])
+
+let hull t =
+  match t.collinear_path with
+  | Some path ->
+    (* ordered point sequence along the line *)
+    (match path with
+    | [] -> if Array.length t.pts = 1 then [ 0 ] else []
+    | (u, _) :: _ ->
+      u :: List.map (fun (_, v) -> v) path)
+  | None ->
+    (* ghost triangles (a, b, ghost) carry directed hull edges a -> b
+       with exterior left, i.e. the hull in clockwise orientation;
+       chain them and reverse for ccw. *)
+    let next = Hashtbl.create 16 in
+    TriSet.iter
+      (fun (a, b, c) -> if c = ghost then Hashtbl.replace next a b)
+      t.alive;
+    (match Hashtbl.fold (fun a _ acc -> min a acc) next max_int with
+    | start when start = max_int -> []
+    | start ->
+      let rec chain v acc =
+        let w = Hashtbl.find next v in
+        if w = start then List.rev (v :: acc) else chain w (v :: acc)
+      in
+      List.rev (chain start []))
+
+let triangles_of_vertex t v =
+  List.filter (fun (a, b, c) -> a = v || b = v || c = v) (triangles t)
+
+let is_delaunay pts tris =
+  List.for_all
+    (fun (a, b, c) ->
+      Pred.orient2d pts.(a) pts.(b) pts.(c) <> Pred.Collinear
+      && Array.for_all
+           (fun p ->
+             P.equal p pts.(a) || P.equal p pts.(b) || P.equal p pts.(c)
+             || not (Pred.incircle pts.(a) pts.(b) pts.(c) p))
+           pts)
+    tris

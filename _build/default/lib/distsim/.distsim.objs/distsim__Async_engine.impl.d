@@ -1,0 +1,1 @@
+lib/distsim/async_engine.ml: Array List Netgraph

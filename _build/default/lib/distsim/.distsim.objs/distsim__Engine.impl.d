@@ -1,0 +1,1 @@
+lib/distsim/engine.ml: Array Hashtbl List Netgraph Option Printf

@@ -1,0 +1,1 @@
+lib/distsim/engine.mli: Netgraph

@@ -1,0 +1,115 @@
+type 'msg delivery = { from : int; time : float; msg : 'msg }
+
+type 'msg context = {
+  me : int;
+  now : float;
+  neighbors : int list;
+  broadcast : 'msg -> unit;
+}
+
+type ('state, 'msg) protocol = {
+  init : int -> int list -> 'state;
+  on_start : 'msg context -> 'state -> 'state;
+  on_message : 'msg context -> 'state -> 'msg delivery -> 'state;
+}
+
+type stats = {
+  deliveries : int;
+  sent : int array;
+  finish_time : float;
+}
+
+(* Event queue: a binary min-heap on (time, tiebreak).  The tiebreak
+   (a global sequence number) makes simultaneous deliveries process in
+   send order, keeping runs deterministic for a deterministic delay
+   function. *)
+module Heap = struct
+  type 'a t = { mutable data : (float * int * 'a) array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+
+  let lt (t1, s1, _) (t2, s2, _) = t1 < t2 || (t1 = t2 && s1 < s2)
+
+  let push h ((_, _, _) as e) =
+    if h.size = Array.length h.data then begin
+      let cap = max 16 (2 * h.size) in
+      let bigger = Array.make cap e in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- e;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && lt h.data.(!i) h.data.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.data.(!i) in
+      h.data.(!i) <- h.data.(p);
+      h.data.(p) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 and continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && lt h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.size && lt h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.data.(!i) in
+          h.data.(!i) <- h.data.(!smallest);
+          h.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+let run ?(max_messages = 10_000_000) ~delay graph protocol =
+  let n = Netgraph.Graph.node_count graph in
+  let neighbors = Array.init n (Netgraph.Graph.neighbors graph) in
+  let states = Array.init n (fun i -> protocol.init i neighbors.(i)) in
+  let sent = Array.make n 0 in
+  let queue = Heap.create () in
+  let seq = ref 0 in
+  let tiebreak = ref 0 in
+  let transmit u now m =
+    sent.(u) <- sent.(u) + 1;
+    List.iter
+      (fun v ->
+        let d = delay ~from:u ~dst:v ~seq:!seq in
+        if d <= 0. then invalid_arg "Async_engine.run: non-positive delay";
+        incr tiebreak;
+        (* encode the receiver in the payload triple via a wrapper *)
+        Heap.push queue (now +. d, !tiebreak, (v, { from = u; time = now +. d; msg = m })))
+      neighbors.(u);
+    incr seq
+  in
+  let ctx u now =
+    { me = u; now; neighbors = neighbors.(u); broadcast = (fun m -> transmit u now m) }
+  in
+  for u = 0 to n - 1 do
+    states.(u) <- protocol.on_start (ctx u 0.) states.(u)
+  done;
+  let deliveries = ref 0 in
+  let finish = ref 0. in
+  let rec loop () =
+    match Heap.pop queue with
+    | None -> ()
+    | Some (t, _, (v, d)) ->
+      incr deliveries;
+      if !deliveries > max_messages then
+        failwith "Async_engine.run: delivery bound exceeded";
+      finish := t;
+      states.(v) <- protocol.on_message (ctx v t) states.(v) d;
+      loop ()
+  in
+  loop ();
+  (states, { deliveries = !deliveries; sent; finish_time = !finish })

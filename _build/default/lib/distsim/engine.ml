@@ -1,0 +1,100 @@
+type 'msg delivery = { from : int; msg : 'msg }
+
+type 'msg context = {
+  me : int;
+  round : int;
+  neighbors : int list;
+  broadcast : 'msg -> unit;
+}
+
+type ('state, 'msg) protocol = {
+  init : int -> int list -> 'state;
+  on_round : 'msg context -> 'state -> 'msg delivery list -> 'state;
+}
+
+type stats = {
+  rounds : int;
+  sent : int array;
+  by_kind : (string * int) list;
+}
+
+let max_sent s = Array.fold_left max 0 s.sent
+
+let avg_sent s =
+  let n = Array.length s.sent in
+  if n = 0 then 0.
+  else float_of_int (Array.fold_left ( + ) 0 s.sent) /. float_of_int n
+
+let total_sent s = Array.fold_left ( + ) 0 s.sent
+
+let merge s1 s2 =
+  if Array.length s1.sent <> Array.length s2.sent then
+    invalid_arg "Engine.merge: node count mismatch";
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (k, c) -> Hashtbl.replace tbl k c) s1.by_kind;
+  List.iter
+    (fun (k, c) ->
+      Hashtbl.replace tbl k (c + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    s2.by_kind;
+  {
+    rounds = s1.rounds + s2.rounds;
+    sent = Array.init (Array.length s1.sent) (fun i -> s1.sent.(i) + s2.sent.(i));
+    by_kind =
+      List.sort compare (Hashtbl.fold (fun k c acc -> (k, c) :: acc) tbl []);
+  }
+
+let run ?max_rounds ~classify graph protocol =
+  let n = Netgraph.Graph.node_count graph in
+  let max_rounds = Option.value max_rounds ~default:((4 * n) + 16) in
+  let neighbors = Array.init n (Netgraph.Graph.neighbors graph) in
+  let states = Array.init n (fun i -> protocol.init i neighbors.(i)) in
+  let sent = Array.make n 0 in
+  let kinds = Hashtbl.create 16 in
+  (* Messages in flight: those broadcast this round, delivered next
+     round.  Inboxes are rebuilt per round in sender order, so a
+     node's inbox is sorted by sender id. *)
+  let in_flight = ref [] (* (sender, msg) in reverse send order *) in
+  let rounds = ref 0 in
+  let quiescent = ref false in
+  while not !quiescent do
+    if !rounds >= max_rounds then
+      failwith
+        (Printf.sprintf "Engine.run: no quiescence after %d rounds" max_rounds);
+    let inboxes = Array.make n [] in
+    List.iter
+      (fun (s, m) ->
+        List.iter
+          (fun v -> inboxes.(v) <- { from = s; msg = m } :: inboxes.(v))
+          neighbors.(s))
+      !in_flight;
+    for i = 0 to n - 1 do
+      inboxes.(i) <- List.rev inboxes.(i)
+    done;
+    in_flight := [];
+    let sent_this_round = ref false in
+    for u = 0 to n - 1 do
+      let ctx =
+        {
+          me = u;
+          round = !rounds;
+          neighbors = neighbors.(u);
+          broadcast =
+            (fun m ->
+              sent.(u) <- sent.(u) + 1;
+              sent_this_round := true;
+              let k = classify m in
+              Hashtbl.replace kinds k
+                (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k));
+              in_flight := (u, m) :: !in_flight);
+        }
+      in
+      states.(u) <- protocol.on_round ctx states.(u) inboxes.(u)
+    done;
+    in_flight := List.rev !in_flight;
+    incr rounds;
+    if not !sent_this_round then quiescent := true
+  done;
+  let by_kind =
+    List.sort compare (Hashtbl.fold (fun k c acc -> (k, c) :: acc) kinds [])
+  in
+  (states, { rounds = !rounds; sent; by_kind })

@@ -1,0 +1,61 @@
+(** Synchronous message-passing simulator.
+
+    Models the paper's communication setting: omni-directional
+    antennas, so one transmission is a single message heard by every
+    1-hop neighbor in the connectivity graph.  Protocols are state
+    machines driven in rounds; a round delivers everything broadcast in
+    the previous round, then lets every node react.  The engine counts
+    transmissions per node and per message kind — these counters are
+    exactly the "communication cost" curves of the paper's Figures 10
+    and 12.
+
+    The simulation is deterministic: nodes are stepped in id order and
+    inboxes are sorted by sender id. *)
+
+type 'msg delivery = { from : int; msg : 'msg }
+
+(** Per-node view handed to the protocol each round. *)
+type 'msg context = {
+  me : int;
+  round : int;  (** 0-based; round 0 has empty inboxes *)
+  neighbors : int list;  (** 1-hop neighbors in the connectivity graph *)
+  broadcast : 'msg -> unit;
+      (** transmit once; heard by every neighbor next round *)
+}
+
+type ('state, 'msg) protocol = {
+  init : int -> int list -> 'state;
+      (** initial state from node id and neighbor list *)
+  on_round : 'msg context -> 'state -> 'msg delivery list -> 'state;
+      (** react to this round's inbox; may broadcast *)
+}
+
+type stats = {
+  rounds : int;  (** rounds executed (including the initial round) *)
+  sent : int array;  (** transmissions per node *)
+  by_kind : (string * int) list;
+      (** total transmissions per message kind, sorted by kind *)
+}
+
+val max_sent : stats -> int
+val avg_sent : stats -> float
+val total_sent : stats -> int
+
+(** [merge s1 s2] adds the counters of two phases of a protocol stack
+    (e.g. clustering then planarization) into one account.
+    @raise Invalid_argument on mismatched node counts. *)
+val merge : stats -> stats -> stats
+
+(** [run ?max_rounds ~classify graph protocol] executes the protocol
+    until a round in which no node transmits (quiescence), or until
+    [max_rounds] (default [4 * n + 16]) rounds have run — protocols in
+    this library quiesce in O(1) rounds, so hitting the cap signals a
+    bug.  [classify] names each message's kind for the per-kind
+    counters.  Returns final per-node states and the stats.
+    @raise Failure when [max_rounds] is exceeded. *)
+val run :
+  ?max_rounds:int ->
+  classify:('msg -> string) ->
+  Netgraph.Graph.t ->
+  ('state, 'msg) protocol ->
+  'state array * stats

@@ -1,0 +1,1 @@
+lib/geometry/bbox.ml: Float Format List Point

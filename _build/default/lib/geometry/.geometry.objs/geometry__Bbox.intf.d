@@ -1,0 +1,1 @@
+lib/geometry/bbox.mli: Format Point

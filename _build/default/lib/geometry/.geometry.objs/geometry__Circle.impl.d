@@ -1,0 +1,1 @@
+lib/geometry/circle.ml: Float Format Point

@@ -1,0 +1,1 @@
+lib/geometry/circle.mli: Format Point

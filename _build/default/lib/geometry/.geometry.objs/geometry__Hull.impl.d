@@ -1,0 +1,1 @@
+lib/geometry/hull.ml: Array List Point Predicates Segment

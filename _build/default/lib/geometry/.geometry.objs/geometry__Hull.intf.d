@@ -1,0 +1,1 @@
+lib/geometry/hull.mli: Point

@@ -1,0 +1,1 @@
+lib/geometry/predicates.ml: Float List Point

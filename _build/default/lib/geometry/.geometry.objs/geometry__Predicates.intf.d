@@ -1,0 +1,1 @@
+lib/geometry/predicates.mli: Point

@@ -1,0 +1,1 @@
+lib/geometry/segment.ml: Float Format Point Predicates

@@ -1,0 +1,1 @@
+lib/geometry/segment.mli: Format Point

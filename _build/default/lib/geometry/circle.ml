@@ -1,0 +1,47 @@
+type t = { center : Point.t; radius : float }
+
+let make center radius = { center; radius }
+
+let contains ?(strict = false) c p =
+  let d2 = Point.dist2 c.center p in
+  let r2 = c.radius *. c.radius in
+  if strict then d2 < r2 else d2 <= r2
+
+let circumcircle (a : Point.t) (b : Point.t) (c : Point.t) =
+  let d =
+    2.
+    *. ((a.x *. (b.y -. c.y)) +. (b.x *. (c.y -. a.y)) +. (c.x *. (a.y -. b.y)))
+  in
+  if Float.abs d < 1e-300 then None
+  else
+    let a2 = Point.norm2 a and b2 = Point.norm2 b and c2 = Point.norm2 c in
+    let ux =
+      ((a2 *. (b.y -. c.y)) +. (b2 *. (c.y -. a.y)) +. (c2 *. (a.y -. b.y)))
+      /. d
+    in
+    let uy =
+      ((a2 *. (c.x -. b.x)) +. (b2 *. (a.x -. c.x)) +. (c2 *. (b.x -. a.x)))
+      /. d
+    in
+    let center = Point.make ux uy in
+    Some { center; radius = Point.dist center a }
+
+let diametral a b = { center = Point.midpoint a b; radius = Point.dist a b /. 2. }
+
+let in_diametral a b p =
+  (* p is strictly inside the circle with diameter ab iff the angle
+     a-p-b is strictly obtuse, i.e. (a - p) . (b - p) < 0. *)
+  if Point.equal p a || Point.equal p b then false
+  else Point.dot (Point.sub a p) (Point.sub b p) < 0.
+
+let in_lune a b p =
+  if Point.equal p a || Point.equal p b then false
+  else
+    let d2 = Point.dist2 a b in
+    Point.dist2 a p < d2 && Point.dist2 b p < d2
+
+let intersects c1 c2 = Point.dist c1.center c2.center <= c1.radius +. c2.radius
+let area c = Float.pi *. c.radius *. c.radius
+
+let pp fmt c =
+  Format.fprintf fmt "circle(center=%a, r=%g)" Point.pp c.center c.radius

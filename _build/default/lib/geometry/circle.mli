@@ -1,0 +1,35 @@
+(** Circles, circumcircles and the empty-region shapes of proximity
+    graphs (diametral disks for Gabriel edges, lunes for relative
+    neighborhood edges). *)
+
+type t = { center : Point.t; radius : float }
+
+val make : Point.t -> float -> t
+
+(** [contains ?strict c p] tests disk membership.  With [strict]
+    (default [false]) the boundary is excluded. *)
+val contains : ?strict:bool -> t -> Point.t -> bool
+
+(** [circumcircle a b c] is the circle through three non-collinear
+    points, or [None] when they are collinear. *)
+val circumcircle : Point.t -> Point.t -> Point.t -> t option
+
+(** [diametral a b] is the circle with segment [a b] as diameter — the
+    empty region of a Gabriel edge. *)
+val diametral : Point.t -> Point.t -> t
+
+(** [in_diametral a b p] holds when [p] lies strictly inside the
+    diametral circle of [a b], computed from the equivalent angle
+    criterion (angle [a p b] obtuse) to avoid constructing a center. *)
+val in_diametral : Point.t -> Point.t -> Point.t -> bool
+
+(** [in_lune a b p] holds when [p] lies strictly inside the lune of
+    [a b] — the intersection of the two disks centered at [a] and [b]
+    with radius [dist a b]; the empty region of an RNG edge. *)
+val in_lune : Point.t -> Point.t -> Point.t -> bool
+
+(** [intersects c1 c2] holds when the two closed disks overlap. *)
+val intersects : t -> t -> bool
+
+val area : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+type t = {
+  cell_size : float;
+  points : Point.t array;
+  cells : (int * int, int list ref) Hashtbl.t;
+}
+
+let cell_of t (p : Point.t) =
+  (int_of_float (Float.floor (p.x /. t.cell_size)),
+   int_of_float (Float.floor (p.y /. t.cell_size)))
+
+let create ~cell_size points =
+  if cell_size <= 0. then invalid_arg "Grid.create: cell_size <= 0";
+  let t = { cell_size; points; cells = Hashtbl.create (Array.length points) } in
+  Array.iteri
+    (fun i p ->
+      let key = cell_of t p in
+      match Hashtbl.find_opt t.cells key with
+      | Some l -> l := i :: !l
+      | None -> Hashtbl.add t.cells key (ref [ i ]))
+    points;
+  t
+
+let fold_cells t (cx, cy) rings f init =
+  let acc = ref init in
+  for dx = -rings to rings do
+    for dy = -rings to rings do
+      match Hashtbl.find_opt t.cells (cx + dx, cy + dy) with
+      | Some l -> List.iter (fun i -> acc := f !acc i) !l
+      | None -> ()
+    done
+  done;
+  !acc
+
+let neighbors_within t i r =
+  if r > t.cell_size then invalid_arg "Grid.neighbors_within: r > cell_size";
+  let p = t.points.(i) in
+  let r2 = r *. r in
+  fold_cells t (cell_of t p) 1
+    (fun acc j ->
+      if j <> i && Point.dist2 p t.points.(j) <= r2 then j :: acc else acc)
+    []
+
+let points_within t p r =
+  let rings = max 1 (int_of_float (Float.ceil (r /. t.cell_size))) in
+  let r2 = r *. r in
+  fold_cells t (cell_of t p) rings
+    (fun acc j -> if Point.dist2 p t.points.(j) <= r2 then j :: acc else acc)
+    []
+
+let size t = Array.length t.points
+let points t = t.points

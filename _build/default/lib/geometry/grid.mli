@@ -1,0 +1,31 @@
+(** Uniform spatial hash over an indexed point set.
+
+    Building a unit disk graph naively costs O(n^2) distance tests; a
+    grid with cell size equal to the radius reduces that to inspecting
+    the 3x3 block of cells around each point, which is what a real
+    wireless simulator does for neighbor discovery. *)
+
+type t
+
+(** [create ~cell_size points] indexes [points] (identified by their
+    array index) into square cells of side [cell_size].
+    @raise Invalid_argument when [cell_size <= 0]. *)
+val create : cell_size:float -> Point.t array -> t
+
+(** [neighbors_within t i r] are the indices [j <> i] with
+    [dist points.(i) points.(j) <= r].  Requires [r <= cell_size]
+    (cells further than one ring are not inspected).
+    @raise Invalid_argument when [r > cell_size]. *)
+val neighbors_within : t -> int -> float -> int list
+
+(** [points_within t p r] are all indices within distance [r] of an
+    arbitrary query point [p] (the point itself included when it is in
+    the set).  Inspects [ceil (r / cell_size)] rings of cells, so any
+    radius is allowed. *)
+val points_within : t -> Point.t -> float -> int list
+
+(** Number of indexed points. *)
+val size : t -> int
+
+(** The indexed points, in index order. *)
+val points : t -> Point.t array

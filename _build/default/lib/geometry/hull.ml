@@ -1,0 +1,63 @@
+let convex_hull pts =
+  let pts = List.sort_uniq Point.compare pts in
+  match pts with
+  | [] | [ _ ] | [ _; _ ] -> pts
+  | _ ->
+    let clockwise_turn a b c =
+      match Predicates.orient2d a b c with Predicates.Ccw -> false | _ -> true
+    in
+    let half pts =
+      List.fold_left
+        (fun chain p ->
+          let rec pop = function
+            | b :: a :: rest when clockwise_turn a b p -> pop (a :: rest)
+            | chain -> p :: chain
+          in
+          pop chain)
+        [] pts
+    in
+    let lower = half pts in
+    let upper = half (List.rev pts) in
+    (* Each half-chain is accumulated in reverse and includes both
+       endpoints; drop the duplicated endpoints when concatenating. *)
+    let drop_last l = List.rev (List.tl (List.rev l)) in
+    List.rev (drop_last lower) @ List.rev (drop_last upper)
+
+let is_convex poly =
+  let n = List.length poly in
+  if n < 3 then false
+  else
+    let arr = Array.of_list poly in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      let a = arr.(i) and b = arr.((i + 1) mod n) and c = arr.((i + 2) mod n) in
+      if Predicates.orient2d a b c = Predicates.Cw then ok := false
+    done;
+    !ok
+
+let contains_point poly p =
+  let n = List.length poly in
+  if n = 0 then false
+  else if n = 1 then Point.equal (List.hd poly) p
+  else if n = 2 then
+    Segment.contains (Segment.make (List.nth poly 0) (List.nth poly 1)) p
+  else
+    let arr = Array.of_list poly in
+    let inside = ref true in
+    for i = 0 to n - 1 do
+      let a = arr.(i) and b = arr.((i + 1) mod n) in
+      if Predicates.orient2d a b p = Predicates.Cw then inside := false
+    done;
+    !inside
+
+let signed_area poly =
+  match poly with
+  | [] | [ _ ] | [ _; _ ] -> 0.
+  | first :: _ ->
+    let rec go acc = function
+      | (a : Point.t) :: (b :: _ as rest) ->
+        go (acc +. Point.cross a b) rest
+      | [ (last : Point.t) ] -> acc +. Point.cross last first
+      | [] -> acc
+    in
+    go 0. poly /. 2.

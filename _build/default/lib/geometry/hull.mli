@@ -1,0 +1,19 @@
+(** Convex hulls (Andrew's monotone chain). *)
+
+(** [convex_hull pts] is the convex hull of [pts] in counterclockwise
+    order, starting from the lexicographically smallest point.
+    Collinear points on hull edges are dropped; duplicates are
+    ignored.  Degenerate inputs (fewer than 3 distinct points, or all
+    collinear) return the distinct extreme points in order. *)
+val convex_hull : Point.t list -> Point.t list
+
+(** [is_convex poly] holds when the polygon (given in order) is convex
+    and counterclockwise. *)
+val is_convex : Point.t list -> bool
+
+(** [contains_point poly p] tests membership of [p] in the closed
+    convex polygon [poly] given in ccw order. *)
+val contains_point : Point.t list -> Point.t -> bool
+
+(** Polygon area (shoelace), positive for counterclockwise order. *)
+val signed_area : Point.t list -> float

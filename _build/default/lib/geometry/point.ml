@@ -1,0 +1,44 @@
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+let origin = { x = 0.; y = 0. }
+let add p q = { x = p.x +. q.x; y = p.y +. q.y }
+let sub p q = { x = p.x -. q.x; y = p.y -. q.y }
+let scale k p = { x = k *. p.x; y = k *. p.y }
+let neg p = scale (-1.) p
+let dot p q = (p.x *. q.x) +. (p.y *. q.y)
+let cross p q = (p.x *. q.y) -. (p.y *. q.x)
+
+let dist2 p q =
+  let dx = p.x -. q.x and dy = p.y -. q.y in
+  (dx *. dx) +. (dy *. dy)
+
+let dist p q = sqrt (dist2 p q)
+let norm2 p = dot p p
+let norm p = sqrt (norm2 p)
+let midpoint p q = { x = (p.x +. q.x) /. 2.; y = (p.y +. q.y) /. 2. }
+let lerp p q t = add p (scale t (sub q p))
+let angle_of v = atan2 v.y v.x
+
+let angle a b c =
+  let u = sub a b and v = sub c b in
+  let d = dot u v /. (norm u *. norm v) in
+  let d = if d > 1. then 1. else if d < -1. then -1. else d in
+  acos d
+
+let rotate theta p =
+  let c = cos theta and s = sin theta in
+  { x = (c *. p.x) -. (s *. p.y); y = (s *. p.x) +. (c *. p.y) }
+
+let rotate_about c theta p = add c (rotate theta (sub p c))
+let equal p q = p.x = q.x && p.y = q.y
+
+let close ?(eps = 1e-9) p q =
+  Float.abs (p.x -. q.x) <= eps && Float.abs (p.y -. q.y) <= eps
+
+let compare p q =
+  let c = Float.compare p.x q.x in
+  if c <> 0 then c else Float.compare p.y q.y
+
+let pp fmt p = Format.fprintf fmt "(%g, %g)" p.x p.y
+let to_string p = Format.asprintf "%a" pp p

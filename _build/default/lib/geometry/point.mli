@@ -1,0 +1,81 @@
+(** Planar points and basic vector arithmetic.
+
+    All geometric structures in this library are built over immutable
+    two-dimensional points with [float] coordinates.  Points double as
+    vectors: the vector from [p] to [q] is [sub q p]. *)
+
+type t = { x : float; y : float }
+
+(** [make x y] is the point [(x, y)]. *)
+val make : float -> float -> t
+
+(** The origin [(0, 0)]. *)
+val origin : t
+
+(** Component-wise addition. *)
+val add : t -> t -> t
+
+(** [sub p q] is the vector [p - q]. *)
+val sub : t -> t -> t
+
+(** [scale k p] multiplies both coordinates by [k]. *)
+val scale : float -> t -> t
+
+(** [neg p] is [scale (-1.) p]. *)
+val neg : t -> t
+
+(** Dot product, treating points as vectors from the origin. *)
+val dot : t -> t -> float
+
+(** Two-dimensional cross product (the z-component of the 3-d cross
+    product); positive when the second vector lies counterclockwise of
+    the first. *)
+val cross : t -> t -> float
+
+(** Euclidean distance. *)
+val dist : t -> t -> float
+
+(** Squared Euclidean distance; avoids the square root when only
+    comparisons are needed. *)
+val dist2 : t -> t -> float
+
+(** Euclidean norm of the vector from the origin. *)
+val norm : t -> float
+
+(** Squared norm. *)
+val norm2 : t -> float
+
+(** [midpoint p q] is the point halfway between [p] and [q]. *)
+val midpoint : t -> t -> t
+
+(** [lerp p q t] linearly interpolates from [p] (at [t = 0]) to [q]
+    (at [t = 1]). *)
+val lerp : t -> t -> float -> t
+
+(** [angle_of v] is [atan2 v.y v.x], in [(-pi, pi]]. *)
+val angle_of : t -> float
+
+(** [angle a b c] is the unsigned angle at vertex [b] of the path
+    [a-b-c], in [[0, pi]]. *)
+val angle : t -> t -> t -> float
+
+(** [rotate theta p] rotates [p] counterclockwise around the origin. *)
+val rotate : float -> t -> t
+
+(** [rotate_about c theta p] rotates [p] counterclockwise around [c]. *)
+val rotate_about : t -> float -> t -> t
+
+(** Structural equality on coordinates. *)
+val equal : t -> t -> bool
+
+(** [close ?eps p q] holds when the coordinates differ by at most
+    [eps] (default [1e-9]) in each dimension. *)
+val close : ?eps:float -> t -> t -> bool
+
+(** Lexicographic comparison, by [x] then [y]. *)
+val compare : t -> t -> int
+
+(** Pretty-printer, e.g. [(1.5, -2)]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

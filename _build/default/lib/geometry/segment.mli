@@ -1,0 +1,38 @@
+(** Line segments and intersection tests.
+
+    Planarity of the constructed network topologies is defined
+    geometrically (no two links cross), so segment intersection is the
+    workhorse predicate of the planarity checker and of the
+    LDel planarization step. *)
+
+type t = { a : Point.t; b : Point.t }
+
+val make : Point.t -> Point.t -> t
+
+(** Segment length. *)
+val length : t -> float
+
+val midpoint : t -> Point.t
+
+(** [contains s p] holds when [p] lies on the closed segment. *)
+val contains : t -> Point.t -> bool
+
+(** [properly_intersect s1 s2] holds when the two open segments cross
+    at a single interior point.  Sharing an endpoint does not count,
+    nor does mere touching of an endpoint against the other segment's
+    interior. *)
+val properly_intersect : t -> t -> bool
+
+(** [intersect s1 s2] holds when the closed segments share at least one
+    point (crossing, touching, overlap, shared endpoint). *)
+val intersect : t -> t -> bool
+
+(** [intersection_point s1 s2] is the crossing point when the segments
+    properly intersect. *)
+val intersection_point : t -> t -> Point.t option
+
+(** [dist_to_point s p] is the Euclidean distance from [p] to the
+    closed segment. *)
+val dist_to_point : t -> Point.t -> float
+
+val pp : Format.formatter -> t -> unit

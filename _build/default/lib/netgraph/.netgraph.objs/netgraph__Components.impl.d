@@ -1,0 +1,1 @@
+lib/netgraph/components.ml: Array Graph Hashtbl List Queue Traversal

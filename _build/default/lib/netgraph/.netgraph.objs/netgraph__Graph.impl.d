@@ -1,0 +1,1 @@
+lib/netgraph/graph.ml: Array Format Int List Printf Set

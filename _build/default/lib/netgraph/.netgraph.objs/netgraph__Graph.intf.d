@@ -1,0 +1,1 @@
+lib/netgraph/graph.mli: Format

@@ -1,0 +1,1 @@
+lib/netgraph/metrics.ml: Array Geometry Graph List Printf Traversal

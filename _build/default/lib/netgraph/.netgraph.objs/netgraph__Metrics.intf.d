@@ -1,0 +1,1 @@
+lib/netgraph/metrics.mli: Geometry Graph

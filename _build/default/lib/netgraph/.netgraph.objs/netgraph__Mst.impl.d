@@ -1,0 +1,1 @@
+lib/netgraph/mst.ml: Array Components Float Geometry Graph List Metrics

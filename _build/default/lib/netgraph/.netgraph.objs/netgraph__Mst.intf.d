@@ -1,0 +1,1 @@
+lib/netgraph/mst.mli: Geometry Graph

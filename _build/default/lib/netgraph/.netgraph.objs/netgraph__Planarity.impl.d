@@ -1,0 +1,1 @@
+lib/netgraph/planarity.ml: Array Geometry Graph List

@@ -1,0 +1,1 @@
+lib/netgraph/planarity.mli: Geometry Graph

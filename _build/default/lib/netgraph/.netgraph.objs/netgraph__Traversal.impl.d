@@ -1,0 +1,1 @@
+lib/netgraph/traversal.ml: Array Geometry Graph List Queue

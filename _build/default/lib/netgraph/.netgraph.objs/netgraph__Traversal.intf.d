@@ -1,0 +1,1 @@
+lib/netgraph/traversal.mli: Geometry Graph

@@ -1,0 +1,57 @@
+let component_labels g =
+  let n = Graph.node_count g in
+  let label = Array.make n (-1) in
+  for s = 0 to n - 1 do
+    if label.(s) = -1 then begin
+      let q = Queue.create () in
+      label.(s) <- s;
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        List.iter
+          (fun v ->
+            if label.(v) = -1 then begin
+              label.(v) <- s;
+              Queue.add v q
+            end)
+          (Graph.neighbors g u)
+      done
+    end
+  done;
+  label
+
+let count g =
+  let label = component_labels g in
+  let distinct = Hashtbl.create 16 in
+  Array.iter (fun l -> Hashtbl.replace distinct l ()) label;
+  Hashtbl.length distinct
+
+let is_connected g = Graph.node_count g = 0 || count g = 1
+
+let connected_within g nodes =
+  match nodes with
+  | [] | [ _ ] -> true
+  | s :: _ ->
+    let members = Hashtbl.create (List.length nodes) in
+    List.iter (fun u -> Hashtbl.replace members u ()) nodes;
+    let seen = Hashtbl.create (List.length nodes) in
+    let q = Queue.create () in
+    Hashtbl.replace seen s ();
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if Hashtbl.mem members v && not (Hashtbl.mem seen v) then begin
+            Hashtbl.replace seen v ();
+            Queue.add v q
+          end)
+        (Graph.neighbors g u)
+    done;
+    List.for_all (Hashtbl.mem seen) nodes
+
+let reachable g s =
+  let dist = Traversal.bfs g s in
+  let acc = ref [] in
+  Array.iteri (fun i d -> if d <> max_int then acc := i :: !acc) dist;
+  List.rev !acc

@@ -1,0 +1,21 @@
+(** Connectivity queries. *)
+
+(** [component_labels g] assigns each node the smallest node id of its
+    connected component. *)
+val component_labels : Graph.t -> int array
+
+(** Number of connected components (isolated nodes count). *)
+val count : Graph.t -> int
+
+(** [is_connected g] holds when the whole graph is one component.
+    The empty graph is connected. *)
+val is_connected : Graph.t -> bool
+
+(** [connected_within g nodes] holds when the nodes in the set induce
+    a connected subgraph of [g] (using only edges between members).
+    An empty or singleton set is connected. *)
+val connected_within : Graph.t -> int list -> bool
+
+(** [reachable g s] is the list of nodes reachable from [s]
+    (including [s]). *)
+val reachable : Graph.t -> int -> int list

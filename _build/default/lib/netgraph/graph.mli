@@ -1,0 +1,74 @@
+(** Undirected graphs over dense integer node ids [0 .. n-1].
+
+    This is the shared substrate for every topology in the library:
+    the unit disk graph, the proximity baselines, the CDS backbone
+    variants and the localized Delaunay structures are all values of
+    this one type, so quality metrics and routing run uniformly over
+    all of them.
+
+    The representation is an adjacency list per node kept sorted and
+    duplicate-free, which makes neighbor iteration cheap and edge
+    queries logarithmic; the structures involved are sparse (linear
+    number of edges), so this is the right trade-off. *)
+
+type t
+
+(** [create n] is the edgeless graph on [n] nodes. *)
+val create : int -> t
+
+(** Number of nodes. *)
+val node_count : t -> int
+
+(** Number of (undirected) edges. *)
+val edge_count : t -> int
+
+(** [add_edge g u v] inserts the undirected edge [{u, v}].  Inserting
+    an existing edge is a no-op.  Self-loops are rejected.
+    @raise Invalid_argument on [u = v] or out-of-range ids. *)
+val add_edge : t -> int -> int -> unit
+
+(** [remove_edge g u v] deletes the edge if present. *)
+val remove_edge : t -> int -> int -> unit
+
+(** [has_edge g u v] tests edge membership. *)
+val has_edge : t -> int -> int -> bool
+
+(** Neighbors of [u] in increasing id order. *)
+val neighbors : t -> int -> int list
+
+(** [degree g u] is the number of neighbors of [u]. *)
+val degree : t -> int -> int
+
+(** [iter_edges g f] calls [f u v] once per edge with [u < v]. *)
+val iter_edges : t -> (int -> int -> unit) -> unit
+
+(** [fold_edges g f init] folds over edges with [u < v]. *)
+val fold_edges : t -> ('a -> int -> int -> 'a) -> 'a -> 'a
+
+(** All edges as [(u, v)] pairs with [u < v], lexicographically. *)
+val edges : t -> (int * int) list
+
+(** [of_edges n edges] builds a graph from an edge list. *)
+val of_edges : int -> (int * int) list -> t
+
+(** Deep copy. *)
+val copy : t -> t
+
+(** [union g1 g2] is the graph with every edge of both (same node
+    count required).
+    @raise Invalid_argument on mismatched node counts. *)
+val union : t -> t -> t
+
+(** [is_subgraph g1 g2] holds when every edge of [g1] is in [g2]. *)
+val is_subgraph : t -> t -> bool
+
+(** [induced g keep] is the subgraph of [g] whose edges have both
+    endpoints satisfying [keep]; the node set (and ids) are unchanged,
+    nodes outside [keep] simply become isolated. *)
+val induced : t -> (int -> bool) -> t
+
+(** [equal g1 g2] holds when both graphs have identical node counts
+    and edge sets. *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

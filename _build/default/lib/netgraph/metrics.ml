@@ -1,0 +1,166 @@
+type degree_stats = { deg_avg : float; deg_max : int; edges : int }
+
+let degree_stats g =
+  let n = Graph.node_count g in
+  let m = Graph.edge_count g in
+  let deg_max = ref 0 in
+  for u = 0 to n - 1 do
+    let d = Graph.degree g u in
+    if d > !deg_max then deg_max := d
+  done;
+  {
+    deg_avg = (if n = 0 then 0. else 2. *. float_of_int m /. float_of_int n);
+    deg_max = !deg_max;
+    edges = m;
+  }
+
+type stretch = {
+  len_avg : float;
+  len_max : float;
+  hop_avg : float;
+  hop_max : float;
+}
+
+(* Dijkstra with arbitrary edge costs, shared by the length and power
+   metrics.  Kept local: the public traversal module exposes the
+   Euclidean special case. *)
+let weighted_sssp g cost s =
+  let n = Graph.node_count g in
+  let dist = Array.make n infinity in
+  let settled = Array.make n false in
+  dist.(s) <- 0.;
+  let data = ref (Array.make 16 (0., 0)) in
+  let size = ref 0 in
+  let swap i j =
+    let t = !data.(i) in
+    !data.(i) <- !data.(j);
+    !data.(j) <- t
+  in
+  let push k v =
+    if !size = Array.length !data then begin
+      let bigger = Array.make (2 * !size) (0., 0) in
+      Array.blit !data 0 bigger 0 !size;
+      data := bigger
+    end;
+    !data.(!size) <- (k, v);
+    incr size;
+    let i = ref (!size - 1) in
+    while !i > 0 && fst !data.((!i - 1) / 2) > fst !data.(!i) do
+      swap ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+  in
+  let pop () =
+    if !size = 0 then None
+    else begin
+      let top = !data.(0) in
+      decr size;
+      !data.(0) <- !data.(!size);
+      let i = ref 0 and continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < !size && fst !data.(l) < fst !data.(!smallest) then smallest := l;
+        if r < !size && fst !data.(r) < fst !data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          swap !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+  in
+  push 0. s;
+  let rec loop () =
+    match pop () with
+    | None -> ()
+    | Some (d, u) ->
+      if not settled.(u) then begin
+        settled.(u) <- true;
+        List.iter
+          (fun v ->
+            let nd = d +. cost u v in
+            if nd < dist.(v) then begin
+              dist.(v) <- nd;
+              push nd v
+            end)
+          (Graph.neighbors g u)
+      end;
+      loop ()
+  in
+  loop ();
+  dist
+
+let generic_stretch ~one_hop_direct ~base ~sub sssp to_float =
+  let n = Graph.node_count base in
+  if n <> Graph.node_count sub then
+    invalid_arg "Metrics: node count mismatch";
+  let sum = ref 0. and maxr = ref 0. and pairs = ref 0 in
+  for s = 0 to n - 1 do
+    let db = sssp base s in
+    let ds = sssp sub s in
+    for t = s + 1 to n - 1 do
+      if one_hop_direct && Graph.has_edge base s t then begin
+        (* the paper's routing sends directly to in-range nodes, so
+           adjacent pairs have stretch exactly 1 *)
+        sum := !sum +. 1.;
+        if !maxr < 1. then maxr := 1.;
+        incr pairs
+      end
+      else
+        match to_float db.(t), to_float ds.(t) with
+        | None, _ -> ()
+        | Some _, None ->
+          invalid_arg
+            (Printf.sprintf
+               "Metrics.stretch_factors: pair (%d, %d) connected in base but \
+                not in subgraph"
+               s t)
+        | Some b, Some sb ->
+          if b > 0. then begin
+            let r = sb /. b in
+            sum := !sum +. r;
+            if r > !maxr then maxr := r;
+            incr pairs
+          end
+    done
+  done;
+  if !pairs = 0 then (1., 1.) else (!sum /. float_of_int !pairs, !maxr)
+
+let stretch_factors ?(one_hop_direct = true) ~base ~sub points =
+  let float_dist d = if d = infinity then None else Some d in
+  let hop_dist d = if d = max_int then None else Some (float_of_int d) in
+  let len_avg, len_max =
+    generic_stretch ~one_hop_direct ~base ~sub
+      (fun g s -> Traversal.dijkstra g points s)
+      float_dist
+  in
+  let hop_avg, hop_max =
+    generic_stretch ~one_hop_direct ~base ~sub (fun g s -> Traversal.bfs g s)
+      hop_dist
+  in
+  { len_avg; len_max; hop_avg; hop_max }
+
+let pair_stretch ~base ~sub points s t =
+  let db = Traversal.dijkstra base points s in
+  let ds = Traversal.dijkstra sub points s in
+  let hb = Traversal.bfs base s in
+  let hs = Traversal.bfs sub s in
+  if db.(t) = infinity || ds.(t) = infinity || db.(t) = 0. then None
+  else
+    Some
+      ( ds.(t) /. db.(t),
+        float_of_int hs.(t) /. float_of_int (max 1 hb.(t)) )
+
+let total_edge_length g points =
+  Graph.fold_edges g
+    (fun acc u v -> acc +. Geometry.Point.dist points.(u) points.(v))
+    0.
+
+let power_stretch ?(one_hop_direct = true) ~base ~sub points ~beta =
+  let cost u v = Geometry.Point.dist points.(u) points.(v) ** beta in
+  let to_float d = if d = infinity then None else Some d in
+  generic_stretch ~one_hop_direct ~base ~sub
+    (fun g s -> weighted_sssp g cost s)
+    to_float

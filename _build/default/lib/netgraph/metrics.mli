@@ -1,0 +1,62 @@
+(** Topology quality metrics: degree statistics, stretch factors and
+    planarity-related counts — the quantities reported in the paper's
+    Table I and Figures 8–12. *)
+
+type degree_stats = {
+  deg_avg : float;  (** average degree over all nodes, [2m/n] *)
+  deg_max : int;    (** maximum degree *)
+  edges : int;      (** number of undirected edges *)
+}
+
+val degree_stats : Graph.t -> degree_stats
+
+type stretch = {
+  len_avg : float;  (** average length stretch over connected pairs *)
+  len_max : float;  (** maximum length stretch *)
+  hop_avg : float;  (** average hop stretch over connected pairs *)
+  hop_max : float;  (** maximum hop stretch *)
+}
+
+(** [stretch_factors ~base ~sub points] measures how much longer paths
+    get when restricted to [sub] instead of [base], over every node
+    pair connected in [base].
+
+    With [one_hop_direct] (default [true]) pairs adjacent in [base]
+    contribute stretch exactly 1: this is the paper's routing model,
+    where a node transmits directly to any destination within range
+    and only out-of-range destinations go through the structure.
+    Pass [~one_hop_direct:false] to measure the raw subgraph stretch
+    (used by the spanner-definition tests).
+
+    @raise Invalid_argument if some pair connected in [base] is
+    disconnected in [sub] — a subgraph that loses connectivity is not
+    a spanner at all, and silently skipping such pairs would hide the
+    failure. *)
+val stretch_factors :
+  ?one_hop_direct:bool ->
+  base:Graph.t -> sub:Graph.t -> Geometry.Point.t array -> stretch
+
+(** Stretch of a single pair: [(length ratio, hop ratio)], or [None]
+    when the pair is disconnected in either graph. *)
+val pair_stretch :
+  base:Graph.t ->
+  sub:Graph.t ->
+  Geometry.Point.t array ->
+  int ->
+  int ->
+  (float * float) option
+
+(** Total Euclidean length of all edges. *)
+val total_edge_length : Graph.t -> Geometry.Point.t array -> float
+
+(** [power_stretch ~base ~sub points ~beta] is the power stretch
+    factor with path cost [sum |link|^beta] (the paper's power model
+    with attenuation exponent [beta], typically in [2, 5]): average
+    and maximum over connected pairs. *)
+val power_stretch :
+  ?one_hop_direct:bool ->
+  base:Graph.t ->
+  sub:Graph.t ->
+  Geometry.Point.t array ->
+  beta:float ->
+  float * float

@@ -1,0 +1,45 @@
+(* Kruskal with path-compressing union-find. *)
+
+let find parent x =
+  let rec root x = if parent.(x) = x then x else root parent.(x) in
+  let r = root x in
+  let rec compress x =
+    if parent.(x) <> r then begin
+      let next = parent.(x) in
+      parent.(x) <- r;
+      compress next
+    end
+  in
+  compress x;
+  r
+
+let minimum_spanning_forest g points =
+  let n = Graph.node_count g in
+  let edges =
+    List.sort
+      (fun (w1, _, _) (w2, _, _) -> Float.compare w1 w2)
+      (Graph.fold_edges g
+         (fun acc u v ->
+           (Geometry.Point.dist points.(u) points.(v), u, v) :: acc)
+         [])
+  in
+  let parent = Array.init n (fun i -> i) in
+  let forest = Graph.create n in
+  List.iter
+    (fun (_, u, v) ->
+      let ru = find parent u and rv = find parent v in
+      if ru <> rv then begin
+        parent.(ru) <- rv;
+        Graph.add_edge forest u v
+      end)
+    edges;
+  forest
+
+let forest_weight g points = Metrics.total_edge_length g points
+
+let is_spanning_forest g f =
+  Graph.is_subgraph f g
+  (* acyclic: edges = nodes - components *)
+  && Graph.edge_count f = Graph.node_count f - Components.count f
+  (* connects the same components *)
+  && Components.component_labels f = Components.component_labels g

@@ -1,0 +1,40 @@
+(** Shortest paths by hops (BFS) and by Euclidean length (Dijkstra).
+
+    The spanner definitions in the paper are stated for two metrics:
+    the hop metric (number of links) and the length metric (sum of
+    Euclidean link lengths).  Both traversals return per-source
+    distance arrays so stretch factors can be computed over all pairs. *)
+
+(** Distance by hops from a single source.  Unreachable nodes get
+    [max_int]. *)
+val bfs : Graph.t -> int -> int array
+
+(** [bfs_path g s t] is a shortest-hop path from [s] to [t] inclusive,
+    or [None] when unreachable. *)
+val bfs_path : Graph.t -> int -> int -> int list option
+
+(** Euclidean shortest-path lengths from a single source, with edge
+    weight [dist points.(u) points.(v)].  Unreachable nodes get
+    [infinity]. *)
+val dijkstra : Graph.t -> Geometry.Point.t array -> int -> float array
+
+(** [dijkstra_path g points s t] is a shortest-length path from [s]
+    to [t] inclusive, or [None] when unreachable. *)
+val dijkstra_path :
+  Graph.t -> Geometry.Point.t array -> int -> int -> int list option
+
+(** [path_length points p] is the Euclidean length of the node path. *)
+val path_length : Geometry.Point.t array -> int list -> float
+
+(** [path_hops p] is the number of links in the node path. *)
+val path_hops : int list -> int
+
+(** [is_path g p] holds when consecutive nodes of [p] are adjacent in
+    [g]. *)
+val is_path : Graph.t -> int list -> bool
+
+(** [eccentricity g s] is the largest finite hop distance from [s]. *)
+val eccentricity : Graph.t -> int -> int
+
+(** Largest hop distance over all pairs (graph must be connected). *)
+val diameter : Graph.t -> int

@@ -1,0 +1,1 @@
+lib/viz/chart.ml: Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/viz/chart.mli:

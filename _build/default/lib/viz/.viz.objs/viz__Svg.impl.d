@@ -1,0 +1,1 @@
+lib/viz/svg.ml: Array Buffer Geometry List Netgraph Printf String

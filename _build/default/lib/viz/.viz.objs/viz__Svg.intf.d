@@ -1,0 +1,1 @@
+lib/viz/svg.mli: Geometry Netgraph

@@ -1,0 +1,145 @@
+type series = { label : string; points : (float * float) list }
+
+let default_colors =
+  [
+    "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b";
+    "#e377c2"; "#17becf"; "#bcbd22"; "#7f7f7f"; "#aec7e8"; "#ff9896";
+  ]
+
+(* a "nice" tick step: 1, 2 or 5 times a power of ten, aiming for
+   roughly [target] intervals over [span] *)
+let nice_step span target =
+  if span <= 0. then 1.
+  else begin
+    let raw = span /. float_of_int target in
+    let mag = 10. ** Float.round (Float.floor (log10 raw)) in
+    let r = raw /. mag in
+    let m = if r < 1.5 then 1. else if r < 3.5 then 2. else if r < 7.5 then 5. else 10. in
+    m *. mag
+  end
+
+let ticks lo hi step =
+  let first = Float.ceil (lo /. step) *. step in
+  let rec go v acc =
+    if v > hi +. (step /. 2.) then List.rev acc else go (v +. step) (v :: acc)
+  in
+  go first []
+
+let fmt_tick v =
+  if Float.abs (v -. Float.round v) < 1e-9 && Float.abs v < 1e7 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let render ?(width = 720) ?(height = 480) ?(colors = default_colors) ~title
+    ~xlabel ~ylabel series =
+  let all_pts = List.concat_map (fun s -> s.points) series in
+  if all_pts = [] then invalid_arg "Chart.render: no data";
+  let xs = List.map fst all_pts and ys = List.map snd all_pts in
+  let fmin = List.fold_left Float.min infinity in
+  let fmax = List.fold_left Float.max neg_infinity in
+  let xmin = fmin xs and xmax = fmax xs in
+  let ymin = Float.min 0. (fmin ys) and ymax = fmax ys in
+  let ymax = if ymax = ymin then ymin +. 1. else ymax in
+  let xmax = if xmax = xmin then xmin +. 1. else xmax in
+  let ypad = (ymax -. ymin) *. 0.08 in
+  let ymin = ymin and ymax = ymax +. ypad in
+  (* layout *)
+  let ml = 64. and mr = 180. and mt = 42. and mb = 52. in
+  let pw = float_of_int width -. ml -. mr in
+  let ph = float_of_int height -. mt -. mb in
+  let px x = ml +. ((x -. xmin) /. (xmax -. xmin) *. pw) in
+  let py y = mt +. ph -. ((y -. ymin) /. (ymax -. ymin) *. ph) in
+  let buf = Buffer.create 8192 in
+  let put fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  put
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\" font-family=\"sans-serif\">\n"
+    width height width height;
+  put "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" width height;
+  (* title *)
+  put
+    "<text x=\"%g\" y=\"24\" font-size=\"15\" text-anchor=\"middle\" \
+     font-weight=\"bold\">%s</text>\n"
+    (ml +. (pw /. 2.)) title;
+  (* gridlines + ticks *)
+  let xstep = nice_step (xmax -. xmin) 8 in
+  let ystep = nice_step (ymax -. ymin) 7 in
+  List.iter
+    (fun v ->
+      put
+        "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"#dddddd\"/>\n"
+        (px v) mt (px v) (mt +. ph);
+      put
+        "<text x=\"%g\" y=\"%g\" font-size=\"11\" \
+         text-anchor=\"middle\">%s</text>\n"
+        (px v)
+        (mt +. ph +. 16.)
+        (fmt_tick v))
+    (ticks xmin xmax xstep);
+  List.iter
+    (fun v ->
+      put
+        "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"#dddddd\"/>\n"
+        ml (py v) (ml +. pw) (py v);
+      put
+        "<text x=\"%g\" y=\"%g\" font-size=\"11\" text-anchor=\"end\">%s</text>\n"
+        (ml -. 6.)
+        (py v +. 4.)
+        (fmt_tick v))
+    (ticks ymin ymax ystep);
+  (* axes *)
+  put
+    "<rect x=\"%g\" y=\"%g\" width=\"%g\" height=\"%g\" fill=\"none\" \
+     stroke=\"black\"/>\n"
+    ml mt pw ph;
+  put
+    "<text x=\"%g\" y=\"%g\" font-size=\"12\" text-anchor=\"middle\">%s</text>\n"
+    (ml +. (pw /. 2.))
+    (float_of_int height -. 12.)
+    xlabel;
+  put
+    "<text x=\"16\" y=\"%g\" font-size=\"12\" text-anchor=\"middle\" \
+     transform=\"rotate(-90 16 %g)\">%s</text>\n"
+    (mt +. (ph /. 2.))
+    (mt +. (ph /. 2.))
+    ylabel;
+  (* series *)
+  let color i = List.nth colors (i mod List.length colors) in
+  List.iteri
+    (fun i s ->
+      match s.points with
+      | [] -> ()
+      | pts ->
+        let path =
+          String.concat " "
+            (List.map (fun (x, y) -> Printf.sprintf "%g,%g" (px x) (py y)) pts)
+        in
+        put
+          "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" \
+           stroke-width=\"1.8\"/>\n"
+          path (color i);
+        List.iter
+          (fun (x, y) ->
+            put "<circle cx=\"%g\" cy=\"%g\" r=\"2.6\" fill=\"%s\"/>\n" (px x)
+              (py y) (color i))
+          pts)
+    series;
+  (* legend *)
+  List.iteri
+    (fun i s ->
+      let ly = mt +. 10. +. (float_of_int i *. 17.) in
+      let lx = ml +. pw +. 14. in
+      put
+        "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"%s\" \
+         stroke-width=\"2\"/>\n"
+        lx ly (lx +. 20.) ly (color i);
+      put "<text x=\"%g\" y=\"%g\" font-size=\"11\">%s</text>\n" (lx +. 26.)
+        (ly +. 4.) s.label)
+    series;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write_file ?width ?height ?colors ~title ~xlabel ~ylabel series file =
+  let oc = open_out file in
+  output_string oc (render ?width ?height ?colors ~title ~xlabel ~ylabel series);
+  close_out oc

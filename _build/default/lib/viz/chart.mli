@@ -1,0 +1,39 @@
+(** Line charts in pure SVG.
+
+    The experiment sweeps produce labelled series; this renders them
+    in the style of the paper's Figures 8–12 (one panel, x axis =
+    sweep parameter, one polyline per structure, legend) without any
+    plotting dependency.  The benchmark harness uses it to regenerate
+    the figures as images next to the numeric tables. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;  (** (x, y), in x order *)
+}
+
+(** [render ?width ?height ?colors ~title ~xlabel ~ylabel series] is a
+    complete SVG document.  Axis ranges come from the data (with a
+    small margin); ticks are chosen at round steps.  Colors cycle
+    through [colors] (a default qualitative palette is provided).
+    @raise Invalid_argument when no series has at least one point. *)
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?colors:string list ->
+  title:string ->
+  xlabel:string ->
+  ylabel:string ->
+  series list ->
+  string
+
+(** [write_file file ...] renders straight to [file]. *)
+val write_file :
+  ?width:int ->
+  ?height:int ->
+  ?colors:string list ->
+  title:string ->
+  xlabel:string ->
+  ylabel:string ->
+  series list ->
+  string ->
+  unit

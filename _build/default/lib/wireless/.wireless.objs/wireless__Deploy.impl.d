@@ -1,0 +1,1 @@
+lib/wireless/deploy.ml: Array Float Geometry Netgraph Printf Rand Udg

@@ -1,0 +1,1 @@
+lib/wireless/deploy.mli: Geometry Rand

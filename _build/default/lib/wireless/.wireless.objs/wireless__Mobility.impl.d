@@ -1,0 +1,1 @@
+lib/wireless/mobility.ml: Array Float Geometry Rand

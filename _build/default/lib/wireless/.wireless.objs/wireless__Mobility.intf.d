@@ -1,0 +1,1 @@
+lib/wireless/mobility.mli: Geometry Rand

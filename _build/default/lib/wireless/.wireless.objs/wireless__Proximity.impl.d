@@ -1,0 +1,1 @@
+lib/wireless/proximity.ml: Array Delaunay Float Geometry List Netgraph

@@ -1,0 +1,1 @@
+lib/wireless/proximity.mli: Geometry Netgraph

@@ -1,0 +1,1 @@
+lib/wireless/rand.ml: Array Float Int64

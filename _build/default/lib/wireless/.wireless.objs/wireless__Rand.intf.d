@@ -1,0 +1,1 @@
+lib/wireless/rand.mli:

@@ -1,0 +1,1 @@
+lib/wireless/udg.ml: Array Geometry List Netgraph Rand

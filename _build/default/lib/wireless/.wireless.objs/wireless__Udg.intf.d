@@ -1,0 +1,1 @@
+lib/wireless/udg.mli: Geometry Netgraph Rand

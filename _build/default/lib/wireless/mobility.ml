@@ -1,0 +1,87 @@
+module P = Geometry.Point
+
+type t = { pos : P.t array; advance : unit -> unit }
+
+let positions t = t.pos
+let step t = t.advance ()
+
+let step_many t k =
+  for _ = 1 to k do
+    step t
+  done
+
+let clamp side v = Float.max 0. (Float.min side v)
+
+let random_waypoint rng ~side ~min_speed ~max_speed ~init =
+  if min_speed < 0. || max_speed < min_speed then
+    invalid_arg "Mobility.random_waypoint: bad speed range";
+  let n = Array.length init in
+  let pos = Array.copy init in
+  let fresh_speed () =
+    min_speed +. Rand.float rng (Float.max epsilon_float (max_speed -. min_speed))
+  in
+  let fresh_waypoint () = P.make (Rand.float rng side) (Rand.float rng side) in
+  let waypoint = Array.init n (fun _ -> fresh_waypoint ()) in
+  let speed = Array.init n (fun _ -> fresh_speed ()) in
+  let advance () =
+    for i = 0 to n - 1 do
+      let p = pos.(i) and w = waypoint.(i) in
+      let d = P.dist p w in
+      if d <= speed.(i) then begin
+        pos.(i) <- w;
+        waypoint.(i) <- fresh_waypoint ();
+        speed.(i) <- fresh_speed ()
+      end
+      else pos.(i) <- P.add p (P.scale (speed.(i) /. d) (P.sub w p))
+    done
+  in
+  { pos; advance }
+
+let gauss_markov rng ~side ~alpha ~mean_speed ~init =
+  if alpha < 0. || alpha > 1. then invalid_arg "Mobility.gauss_markov: alpha";
+  let n = Array.length init in
+  let pos = Array.copy init in
+  let vel =
+    Array.init n (fun _ ->
+        let theta = Rand.float rng (2. *. Float.pi) in
+        P.scale mean_speed (P.make (cos theta) (sin theta)))
+  in
+  let noise = mean_speed *. sqrt (1. -. (alpha *. alpha)) in
+  let advance () =
+    for i = 0 to n - 1 do
+      (* AR(1) velocity update *)
+      let v = vel.(i) in
+      let v' =
+        P.make
+          ((alpha *. v.P.x) +. (noise *. Rand.gaussian rng))
+          ((alpha *. v.P.y) +. (noise *. Rand.gaussian rng))
+      in
+      let p = P.add pos.(i) v' in
+      (* bounce off the borders by reflecting position and velocity *)
+      let reflect lo hi x vx =
+        if x < lo then (lo +. (lo -. x), -.vx)
+        else if x > hi then (hi -. (x -. hi), -.vx)
+        else (x, vx)
+      in
+      let x, vx = reflect 0. side p.P.x v'.P.x in
+      let y, vy = reflect 0. side p.P.y v'.P.y in
+      pos.(i) <- P.make (clamp side x) (clamp side y);
+      vel.(i) <- P.make vx vy
+    done
+  in
+  { pos; advance }
+
+let partial rng ~side ~mobile ~speed ~init =
+  if mobile < 0. || mobile > 1. then invalid_arg "Mobility.partial: mobile";
+  let n = Array.length init in
+  let moving = Array.init n (fun _ -> Rand.float rng 1. < mobile) in
+  let inner = random_waypoint rng ~side ~min_speed:speed ~max_speed:speed ~init in
+  let pos = Array.copy init in
+  let advance () =
+    step inner;
+    let updated = positions inner in
+    for i = 0 to n - 1 do
+      if moving.(i) then pos.(i) <- updated.(i)
+    done
+  in
+  { pos; advance }

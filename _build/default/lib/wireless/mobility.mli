@@ -1,0 +1,54 @@
+(** Node mobility models.
+
+    The paper assumes nodes are static "during a reasonable period of
+    time" and leaves dynamic maintenance as future work; these models
+    provide the motion workloads for studying exactly that (see
+    {!Core.Maintenance} and the mobility example).  A model owns a
+    mutable position array and advances it one time unit per step;
+    every model keeps nodes inside the deployment square. *)
+
+type t
+
+(** Current positions (the array is owned by the model: it mutates on
+    {!step}; copy it to keep a snapshot). *)
+val positions : t -> Geometry.Point.t array
+
+(** Advance every node by one time unit. *)
+val step : t -> unit
+
+(** [step_many t k] advances [k] time units. *)
+val step_many : t -> int -> unit
+
+(** Random waypoint: each node walks toward a uniformly chosen
+    waypoint at a per-node speed drawn from [[min_speed, max_speed]];
+    on arrival it draws a fresh waypoint and speed.  The standard ad
+    hoc networking benchmark model. *)
+val random_waypoint :
+  Rand.t ->
+  side:float ->
+  min_speed:float ->
+  max_speed:float ->
+  init:Geometry.Point.t array ->
+  t
+
+(** Gauss–Markov: per-node velocity evolves as an AR(1) process with
+    memory [alpha] in [[0, 1]] ([1] = straight lines, [0] = Brownian),
+    mean speed [mean_speed].  Nodes bounce off the region border. *)
+val gauss_markov :
+  Rand.t ->
+  side:float ->
+  alpha:float ->
+  mean_speed:float ->
+  init:Geometry.Point.t array ->
+  t
+
+(** A fraction of nodes move (random waypoint), the rest stay put —
+    the "mostly static sensor field with a few mobile collectors"
+    workload.  [mobile] gives the moving fraction in [[0, 1]]. *)
+val partial :
+  Rand.t ->
+  side:float ->
+  mobile:float ->
+  speed:float ->
+  init:Geometry.Point.t array ->
+  t

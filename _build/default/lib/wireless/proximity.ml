@@ -1,0 +1,61 @@
+module P = Geometry.Point
+module G = Netgraph.Graph
+
+(* Any blocker of an RNG lune or Gabriel disk of edge (u, v) lies
+   within |uv| <= radius of u, so scanning u's UDG neighbors sees
+   every candidate. *)
+let no_blocker udg points u v inside =
+  List.for_all
+    (fun w -> w = v || not (inside points.(u) points.(v) points.(w)))
+    (G.neighbors udg u)
+
+let is_rng_edge points udg u v =
+  G.has_edge udg u v && no_blocker udg points u v Geometry.Circle.in_lune
+
+let is_gabriel_edge points udg u v =
+  G.has_edge udg u v && no_blocker udg points u v Geometry.Circle.in_diametral
+
+let filter_edges udg keep =
+  let g = G.create (G.node_count udg) in
+  G.iter_edges udg (fun u v -> if keep u v then G.add_edge g u v);
+  g
+
+let rng_graph udg points = filter_edges udg (is_rng_edge points udg)
+let gabriel_graph udg points = filter_edges udg (is_gabriel_edge points udg)
+
+let yao_graph udg points ~cones =
+  if cones < 1 then invalid_arg "Proximity.yao_graph: cones < 1";
+  let n = G.node_count udg in
+  let g = G.create n in
+  let sector u v =
+    let theta = P.angle_of (P.sub points.(v) points.(u)) in
+    let theta = if theta < 0. then theta +. (2. *. Float.pi) else theta in
+    let s = int_of_float (theta /. (2. *. Float.pi) *. float_of_int cones) in
+    min s (cones - 1)
+  in
+  for u = 0 to n - 1 do
+    let best = Array.make cones (-1) in
+    List.iter
+      (fun v ->
+        let s = sector u v in
+        let better =
+          best.(s) = -1
+          ||
+          let db = P.dist2 points.(u) points.(best.(s)) in
+          let dv = P.dist2 points.(u) points.(v) in
+          dv < db || (dv = db && v < best.(s))
+        in
+        if better then best.(s) <- v)
+      (G.neighbors udg u);
+    Array.iter (fun v -> if v >= 0 then G.add_edge g u v) best
+  done;
+  g
+
+let udel points ~radius =
+  let t = Delaunay.Triangulation.triangulate points in
+  let g = G.create (Array.length points) in
+  List.iter
+    (fun (u, v) ->
+      if P.dist points.(u) points.(v) <= radius then G.add_edge g u v)
+    (Delaunay.Triangulation.edges t);
+  g

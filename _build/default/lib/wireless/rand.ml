@@ -1,0 +1,46 @@
+type t = { mutable state : int64 }
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state gamma;
+  mix t.state
+
+let split t = create (mix (bits64 t))
+
+let float t bound =
+  if bound <= 0. then invalid_arg "Rand.float: bound <= 0";
+  (* 53 random bits mapped to [0, 1) *)
+  let b = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float b /. 9007199254740992. *. bound
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rand.int: bound <= 0";
+  (* rejection-free for our purposes: bias is negligible for
+     bound << 2^63 *)
+  let b = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem b (Int64.of_int bound))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let gaussian t =
+  let u1 = float t 1. in
+  let u1 = if u1 = 0. then epsilon_float else u1 in
+  let u2 = float t 1. in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Experiments must be reproducible run-to-run and machine-to-machine,
+    so the library carries its own small PRNG instead of the global
+    [Random] state: a seed fully determines every deployment, and
+    independent streams can be split off for parallel sweeps. *)
+
+type t
+
+(** [create seed] is a fresh generator. *)
+val create : int64 -> t
+
+(** [split t] derives an independent generator; the parent advances. *)
+val split : t -> t
+
+(** Next raw 64-bit value. *)
+val bits64 : t -> int64
+
+(** [float t bound] is uniform in [[0, bound)].
+    @raise Invalid_argument when [bound <= 0]. *)
+val float : t -> float -> float
+
+(** [int t bound] is uniform in [[0, bound)].
+    @raise Invalid_argument when [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [gaussian t] is standard-normal (Box–Muller). *)
+val gaussian : t -> float
+
+(** [shuffle t arr] permutes [arr] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,59 @@
+module P = Geometry.Point
+
+let build points ~radius =
+  if radius <= 0. then invalid_arg "Udg.build: radius <= 0";
+  let n = Array.length points in
+  let g = Netgraph.Graph.create n in
+  if n > 1 then begin
+    let grid = Geometry.Grid.create ~cell_size:radius points in
+    for u = 0 to n - 1 do
+      List.iter
+        (fun v -> if v > u then Netgraph.Graph.add_edge g u v)
+        (Geometry.Grid.neighbors_within grid u radius)
+    done
+  end;
+  g
+
+let neighborhood g u ~hops =
+  let dist = Netgraph.Traversal.bfs g u in
+  let acc = ref [] in
+  Array.iteri (fun v d -> if d <= hops then acc := v :: !acc) dist;
+  List.rev !acc
+
+let is_udg points ~radius g =
+  let n = Array.length points in
+  Netgraph.Graph.node_count g = n
+  &&
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let in_range = P.dist points.(u) points.(v) <= radius in
+      if in_range <> Netgraph.Graph.has_edge g u v then ok := false
+    done
+  done;
+  !ok
+
+
+let build_quasi rng points ~r_min ~r_max =
+  if r_min <= 0. || r_max < r_min then
+    invalid_arg "Udg.build_quasi: need 0 < r_min <= r_max";
+  let n = Array.length points in
+  let g = Netgraph.Graph.create n in
+  if n > 1 then begin
+    let grid = Geometry.Grid.create ~cell_size:r_max points in
+    for u = 0 to n - 1 do
+      List.iter
+        (fun v ->
+          if v > u then begin
+            let d = P.dist points.(u) points.(v) in
+            let keep =
+              d <= r_min
+              || (r_max > r_min
+                 && Rand.float rng 1. < (r_max -. d) /. (r_max -. r_min))
+            in
+            if keep then Netgraph.Graph.add_edge g u v
+          end)
+        (Geometry.Grid.neighbors_within grid u r_max)
+    done
+  end;
+  g

@@ -1,0 +1,1 @@
+test/test_async.ml: Alcotest Array Core Distsim Int64 Netgraph Wireless

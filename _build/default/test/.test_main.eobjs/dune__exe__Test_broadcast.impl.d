@@ -1,0 +1,1 @@
+test/test_broadcast.ml: Alcotest Array Core Int64 List Netgraph Wireless

@@ -1,0 +1,1 @@
+test/test_cds.ml: Alcotest Array Core Fun Geometry Int64 List Netgraph Printf Wireless

@@ -1,0 +1,1 @@
+test/test_claims.ml: Alcotest Array Core Float Geometry Int64 List Netgraph Queue Wireless

@@ -1,0 +1,1 @@
+test/test_delaunay.ml: Alcotest Array Delaunay Geometry List Wireless

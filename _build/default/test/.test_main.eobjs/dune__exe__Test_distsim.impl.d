@@ -1,0 +1,1 @@
+test/test_distsim.ml: Alcotest Array Distsim Fun List Netgraph

@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest Array Core List Printf Wireless

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Array Float Geometry List Wireless

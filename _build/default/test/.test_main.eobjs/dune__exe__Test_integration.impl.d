@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Core Float List Netgraph Wireless

@@ -1,0 +1,1 @@
+test/test_ldel.ml: Alcotest Array Core Delaunay Geometry Int64 List Netgraph Set Wireless

@@ -1,0 +1,1 @@
+test/test_maintenance.ml: Alcotest Array Core Geometry List Netgraph Printf Wireless

@@ -1,0 +1,1 @@
+test/test_mis.ml: Alcotest Array Core List Netgraph Wireless

@@ -1,0 +1,1 @@
+test/test_netgraph.ml: Alcotest Array Geometry List Netgraph

@@ -1,0 +1,1 @@
+test/test_packetsim.ml: Alcotest Array Core Geometry Int64 Netgraph Wireless

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Core Delaunay Geometry Hashtbl Int64 List Netgraph Printf QCheck QCheck_alcotest Wireless

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Core Distsim Geometry Int64 List Netgraph Printf Wireless

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Core Geometry Int64 List Netgraph Printf Wireless

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Core Delaunay Distsim Float Geometry List Netgraph Wireless

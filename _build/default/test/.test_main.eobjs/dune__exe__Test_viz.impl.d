@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Array Core Filename Fun Geometry Int64 List Netgraph Scanf Set String Sys Viz Wireless

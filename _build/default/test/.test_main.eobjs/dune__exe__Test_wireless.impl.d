@@ -1,0 +1,1 @@
+test/test_wireless.ml: Alcotest Array Float Fun Geometry Int64 Netgraph Wireless

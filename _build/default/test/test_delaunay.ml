@@ -1,0 +1,195 @@
+(* Delaunay triangulation: exactness of the empty-circumcircle
+   property, combinatorial counts, degeneracies. *)
+
+module P = Geometry.Point
+module DT = Delaunay.Triangulation
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let p = P.make
+
+let test_single_triangle () =
+  let pts = [| p 0. 0.; p 1. 0.; p 0. 1. |] in
+  let t = DT.triangulate pts in
+  checki "one triangle" 1 (List.length (DT.triangles t));
+  checki "three edges" 3 (List.length (DT.edges t));
+  check "has triangle any order" true (DT.has_triangle t 2 0 1);
+  Alcotest.(check (list int)) "hull" [ 0; 1; 2 ] (List.sort compare (DT.hull t))
+
+let test_square_diagonal () =
+  (* unit square plus center: 4 triangles around the center *)
+  let pts = [| p 0. 0.; p 1. 0.; p 1. 1.; p 0. 1.; p 0.5 0.5 |] in
+  let t = DT.triangulate pts in
+  checki "four triangles" 4 (List.length (DT.triangles t));
+  check "all delaunay" true (DT.is_delaunay pts (DT.triangles t));
+  checki "hull size" 4 (List.length (DT.hull t))
+
+let test_cocircular_square () =
+  (* a plain square: 4 cocircular points; either diagonal gives a
+     valid Delaunay triangulation *)
+  let pts = [| p 0. 0.; p 1. 0.; p 1. 1.; p 0. 1. |] in
+  let t = DT.triangulate pts in
+  checki "two triangles" 2 (List.length (DT.triangles t));
+  checki "five edges" 5 (List.length (DT.edges t))
+
+let test_collinear_fallback () =
+  let pts = [| p 3. 3.; p 0. 0.; p 1. 1.; p 2. 2. |] in
+  let t = DT.triangulate pts in
+  checki "no triangles" 0 (List.length (DT.triangles t));
+  (* path along the line in sorted order *)
+  Alcotest.(check (list (pair int int)))
+    "path edges"
+    [ (1, 2); (2, 3); (0, 3) ]
+    (DT.edges t)
+
+let test_two_points () =
+  let t = DT.triangulate [| p 0. 0.; p 5. 5. |] in
+  Alcotest.(check (list (pair int int))) "single edge" [ (0, 1) ] (DT.edges t)
+
+let test_duplicate_rejected () =
+  check "duplicate raises" true
+    (try
+       ignore (DT.triangulate [| p 0. 0.; p 1. 1.; p 0. 0. |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_point_on_hull_edge () =
+  (* inserting a point exactly on an existing hull edge *)
+  let pts = [| p 0. 0.; p 4. 0.; p 2. 3.; p 2. 0. |] in
+  let t = DT.triangulate pts in
+  check "delaunay" true (DT.is_delaunay pts (DT.triangles t));
+  checki "two triangles" 2 (List.length (DT.triangles t))
+
+let test_point_outside_hull_collinear () =
+  (* new point collinear with a hull edge, beyond it *)
+  let pts = [| p 0. 0.; p 2. 0.; p 1. 2.; p 4. 0. |] in
+  let t = DT.triangulate pts in
+  check "delaunay" true (DT.is_delaunay pts (DT.triangles t));
+  check "covers all points" true
+    (List.for_all
+       (fun v -> List.exists (fun (a, b) -> a = v || b = v) (DT.edges t))
+       [ 0; 1; 2; 3 ])
+
+let euler_holds n t =
+  (* for a triangulation of a point set with h hull points (general
+     position): T = 2n - 2 - h, E = 3n - 3 - h *)
+  let h = List.length (DT.hull t) in
+  List.length (DT.triangles t) = (2 * n) - 2 - h
+  && List.length (DT.edges t) = (3 * n) - 3 - h
+
+let test_random_delaunay () =
+  let rng = Wireless.Rand.create 12345L in
+  for _ = 1 to 25 do
+    let n = 3 + Wireless.Rand.int rng 120 in
+    let pts =
+      Array.init n (fun _ ->
+          p (Wireless.Rand.float rng 100.) (Wireless.Rand.float rng 100.))
+    in
+    let t = DT.triangulate pts in
+    check "empty circumcircle" true (DT.is_delaunay pts (DT.triangles t));
+    check "euler counts" true (euler_holds n t)
+  done
+
+let test_random_insertion_order_invariance () =
+  (* the Delaunay triangulation is unique (no 4 cocircular points
+     w.p. 1), so shuffling the input gives the same edge set *)
+  let rng = Wireless.Rand.create 99L in
+  let n = 60 in
+  let pts =
+    Array.init n (fun _ ->
+        p (Wireless.Rand.float rng 50.) (Wireless.Rand.float rng 50.))
+  in
+  let t1 = DT.triangulate pts in
+  let perm = Array.init n (fun i -> i) in
+  Wireless.Rand.shuffle rng perm;
+  let pts2 = Array.map (fun i -> pts.(i)) perm in
+  let t2 = DT.triangulate pts2 in
+  let back = Array.make n 0 in
+  Array.iteri (fun new_i old_i -> back.(new_i) <- old_i) perm;
+  let remapped =
+    List.sort compare
+      (List.map
+         (fun (u, v) ->
+           let a = back.(u) and b = back.(v) in
+           (min a b, max a b))
+         (DT.edges t2))
+  in
+  Alcotest.(check (list (pair int int)))
+    "same edges under permutation" (DT.edges t1) remapped
+
+let test_hull_matches_convex_hull () =
+  let rng = Wireless.Rand.create 17L in
+  for _ = 1 to 10 do
+    let n = 10 + Wireless.Rand.int rng 50 in
+    let pts =
+      Array.init n (fun _ ->
+          p (Wireless.Rand.float rng 10.) (Wireless.Rand.float rng 10.))
+    in
+    let t = DT.triangulate pts in
+    let dt_hull =
+      List.sort P.compare (List.map (fun i -> pts.(i)) (DT.hull t))
+    in
+    let geo_hull =
+      List.sort P.compare (Geometry.Hull.convex_hull (Array.to_list pts))
+    in
+    check "hull = convex hull" true (dt_hull = geo_hull)
+  done
+
+let test_triangles_of_vertex () =
+  let pts = [| p 0. 0.; p 1. 0.; p 1. 1.; p 0. 1.; p 0.5 0.5 |] in
+  let t = DT.triangulate pts in
+  checki "center in all four" 4 (List.length (DT.triangles_of_vertex t 4));
+  checki "corner in two" 2 (List.length (DT.triangles_of_vertex t 0))
+
+let test_gabriel_subset_of_delaunay () =
+  (* Gabriel edges (empty diametral disk over ALL points) are always
+     Delaunay edges *)
+  let rng = Wireless.Rand.create 31L in
+  for _ = 1 to 10 do
+    let n = 40 in
+    let pts =
+      Array.init n (fun _ ->
+          p (Wireless.Rand.float rng 100.) (Wireless.Rand.float rng 100.))
+    in
+    let t = DT.triangulate pts in
+    let del_edges = DT.edges t in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        let gabriel =
+          Array.for_all
+            (fun w ->
+              P.equal w pts.(u) || P.equal w pts.(v)
+              || not (Geometry.Circle.in_diametral pts.(u) pts.(v) w))
+            pts
+        in
+        if gabriel then
+          check "gabriel edge is delaunay" true (List.mem (u, v) del_edges)
+      done
+    done
+  done
+
+let suites =
+  [
+    ( "delaunay",
+      [
+        Alcotest.test_case "single triangle" `Quick test_single_triangle;
+        Alcotest.test_case "square with center" `Quick test_square_diagonal;
+        Alcotest.test_case "cocircular square" `Quick test_cocircular_square;
+        Alcotest.test_case "collinear fallback" `Quick test_collinear_fallback;
+        Alcotest.test_case "two points" `Quick test_two_points;
+        Alcotest.test_case "duplicates rejected" `Quick test_duplicate_rejected;
+        Alcotest.test_case "point on hull edge" `Quick test_point_on_hull_edge;
+        Alcotest.test_case "collinear outside hull" `Quick
+          test_point_outside_hull_collinear;
+        Alcotest.test_case "random: empty circumcircle + euler" `Quick
+          test_random_delaunay;
+        Alcotest.test_case "insertion order invariance" `Quick
+          test_random_insertion_order_invariance;
+        Alcotest.test_case "hull = convex hull" `Quick
+          test_hull_matches_convex_hull;
+        Alcotest.test_case "triangles of vertex" `Quick
+          test_triangles_of_vertex;
+        Alcotest.test_case "gabriel ⊆ delaunay" `Quick
+          test_gabriel_subset_of_delaunay;
+      ] );
+  ]

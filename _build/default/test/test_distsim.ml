@@ -1,0 +1,178 @@
+(* The synchronous message-passing engine: delivery, rounds,
+   counters, quiescence. *)
+
+module G = Netgraph.Graph
+module E = Distsim.Engine
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* Protocol: round 0, every node broadcasts its id; each node records
+   what it hears.  Tests basic delivery to 1-hop neighbors. *)
+let test_hello_delivery () =
+  let g = G.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let proto =
+    {
+      E.init = (fun _ _ -> []);
+      E.on_round =
+        (fun ctx st inbox ->
+          if ctx.E.round = 0 then ctx.E.broadcast ctx.E.me;
+          st @ List.map (fun d -> d.E.msg) inbox);
+    }
+  in
+  let states, stats = E.run ~classify:(fun _ -> "id") g proto in
+  Alcotest.(check (list int)) "node 1 hears 0 and 2" [ 0; 2 ] states.(1);
+  Alcotest.(check (list int)) "node 0 hears 1" [ 1 ] states.(0);
+  checki "every node sent once" 4 (E.total_sent stats);
+  checki "rounds: send, deliver, quiesce" 2 stats.E.rounds
+
+let test_no_messages_quiesces_immediately () =
+  let g = G.of_edges 3 [ (0, 1); (1, 2) ] in
+  let proto =
+    { E.init = (fun _ _ -> ()); E.on_round = (fun _ st _ -> st) }
+  in
+  let _, stats = E.run ~classify:(fun _ -> "x") g proto in
+  checki "one silent round" 1 stats.E.rounds;
+  checki "nothing sent" 0 (E.total_sent stats)
+
+(* Flood: node 0 starts a token; every node forwards it once.  The
+   number of rounds equals the eccentricity of node 0 plus the final
+   silent round; everyone ends up with the token. *)
+let test_flood () =
+  let n = 6 in
+  let g = G.of_edges n (List.init (n - 1) (fun i -> (i, i + 1))) in
+  let proto =
+    {
+      E.init = (fun me _ -> me = 0);
+      (* has token? node 0 starts with it *)
+      E.on_round =
+        (fun ctx has inbox ->
+          let receives = inbox <> [] in
+          if (ctx.E.round = 0 && ctx.E.me = 0) || ((not has) && receives) then begin
+            ctx.E.broadcast ();
+            true
+          end
+          else has || receives);
+    }
+  in
+  let states, stats = E.run ~classify:(fun () -> "token") g proto in
+  check "all reached" true (Array.for_all Fun.id states);
+  checki "each forwards once" n (E.total_sent stats);
+  (* forwarding proceeds one hop per round: n send rounds + 1 silent *)
+  checki "rounds" (n + 1) stats.E.rounds
+
+let test_per_kind_counters () =
+  let g = G.of_edges 2 [ (0, 1) ] in
+  let proto =
+    {
+      E.init = (fun _ _ -> ());
+      E.on_round =
+        (fun ctx st _ ->
+          if ctx.E.round = 0 then begin
+            ctx.E.broadcast `A;
+            ctx.E.broadcast `A;
+            ctx.E.broadcast `B
+          end;
+          st);
+    }
+  in
+  let _, stats =
+    E.run ~classify:(function `A -> "a" | `B -> "b") g proto
+  in
+  Alcotest.(check (list (pair string int)))
+    "kinds" [ ("a", 4); ("b", 2) ] stats.E.by_kind;
+  checki "per node" 3 stats.E.sent.(0);
+  checki "max" 3 (E.max_sent stats);
+  Alcotest.(check (float 1e-9)) "avg" 3. (E.avg_sent stats)
+
+let test_inbox_sender_order () =
+  (* all three neighbors broadcast in round 0; inbox arrives sorted
+     by sender id because nodes are stepped in id order *)
+  let g = G.of_edges 4 [ (3, 0); (3, 1); (3, 2) ] in
+  let proto =
+    {
+      E.init = (fun _ _ -> []);
+      E.on_round =
+        (fun ctx st inbox ->
+          if ctx.E.round = 0 && ctx.E.me < 3 then ctx.E.broadcast ctx.E.me;
+          st @ List.map (fun d -> d.E.from) inbox);
+    }
+  in
+  let states, _ = E.run ~classify:string_of_int g proto in
+  Alcotest.(check (list int)) "ordered inbox" [ 0; 1; 2 ] states.(3)
+
+let test_runaway_protocol_fails () =
+  let g = G.of_edges 2 [ (0, 1) ] in
+  let proto =
+    {
+      E.init = (fun _ _ -> ());
+      E.on_round =
+        (fun ctx st _ ->
+          ctx.E.broadcast ();
+          st);
+    }
+  in
+  check "raises" true
+    (try
+       ignore (E.run ~max_rounds:10 ~classify:(fun () -> "spam") g proto);
+       false
+     with Failure _ -> true)
+
+let test_merge_stats () =
+  let g = G.of_edges 2 [ (0, 1) ] in
+  let once tag =
+    {
+      E.init = (fun _ _ -> ());
+      E.on_round =
+        (fun ctx st _ ->
+          if ctx.E.round = 0 && ctx.E.me = 0 then ctx.E.broadcast tag;
+          st);
+    }
+  in
+  let _, s1 = E.run ~classify:Fun.id g (once "x") in
+  let _, s2 = E.run ~classify:Fun.id g (once "y") in
+  let m = E.merge s1 s2 in
+  checki "total" 2 (E.total_sent m);
+  checki "node 0" 2 m.E.sent.(0);
+  Alcotest.(check (list (pair string int)))
+    "kinds merged" [ ("x", 1); ("y", 1) ] m.E.by_kind;
+  check "mismatch raises" true
+    (try
+       let g3 = G.create 3 in
+       let _, s3 = E.run ~classify:Fun.id g3 (once "z") in
+       ignore (E.merge s1 s3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_isolated_nodes () =
+  (* isolated nodes run but their broadcasts reach nobody *)
+  let g = G.create 3 in
+  let proto =
+    {
+      E.init = (fun _ _ -> 0);
+      E.on_round =
+        (fun ctx st inbox ->
+          if ctx.E.round = 0 then ctx.E.broadcast ();
+          st + List.length inbox);
+    }
+  in
+  let states, stats = E.run ~classify:(fun () -> "ping") g proto in
+  check "nothing delivered" true (Array.for_all (fun s -> s = 0) states);
+  checki "all sent" 3 (E.total_sent stats)
+
+let suites =
+  [
+    ( "distsim.engine",
+      [
+        Alcotest.test_case "hello delivery" `Quick test_hello_delivery;
+        Alcotest.test_case "quiesce when silent" `Quick
+          test_no_messages_quiesces_immediately;
+        Alcotest.test_case "flood over path" `Quick test_flood;
+        Alcotest.test_case "per-kind counters" `Quick test_per_kind_counters;
+        Alcotest.test_case "inbox sender order" `Quick test_inbox_sender_order;
+        Alcotest.test_case "runaway protocol detected" `Quick
+          test_runaway_protocol_fails;
+        Alcotest.test_case "merge stats" `Quick test_merge_stats;
+        Alcotest.test_case "isolated nodes" `Quick test_isolated_nodes;
+      ] );
+  ]

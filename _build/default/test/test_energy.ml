@@ -1,0 +1,109 @@
+(* Network-lifetime simulation under the power model. *)
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let instance seed n radius =
+  let rng = Wireless.Rand.create seed in
+  let pts, _ =
+    Wireless.Deploy.connected_uniform rng ~n ~side:200. ~radius
+      ~max_attempts:2000
+  in
+  pts
+
+let test_no_deaths_with_huge_battery () =
+  let pts = instance 990L 60 60. in
+  let r =
+    Core.Energy.run pts ~radius:60. ~sink:0 ~policy:Core.Energy.Static
+      ~epochs:10 ~battery:1e15 ~beta:3.
+  in
+  check "nobody dies" true (r.Core.Energy.first_death = None);
+  checki "all epochs run" 10 r.Core.Energy.epochs_run;
+  Alcotest.(check (float 1e-9)) "full delivery" 1. (Core.Energy.delivery_ratio r);
+  checki "attempted = (n-1) * epochs" (59 * 10) r.Core.Energy.attempted
+
+let test_sink_never_dies_and_spends_nothing () =
+  let pts = instance 991L 60 60. in
+  let r =
+    Core.Energy.run pts ~radius:60. ~sink:5 ~policy:Core.Energy.Static
+      ~epochs:50 ~battery:1e8 ~beta:3.
+  in
+  check "sink not among deaths" true
+    (List.for_all (fun (_, u) -> u <> 5) r.Core.Energy.deaths);
+  (* the sink only receives *)
+  Alcotest.(check (float 1e-9)) "sink spends 0" 0. r.Core.Energy.spent.(5)
+
+let test_deaths_chronological_and_consistent () =
+  let pts = instance 992L 80 60. in
+  let r =
+    Core.Energy.run pts ~radius:60. ~sink:0 ~policy:Core.Energy.Static
+      ~epochs:100 ~battery:5e7 ~beta:3.
+  in
+  (match r.Core.Energy.first_death with
+  | Some e ->
+    check "first death matches list" true
+      (match r.Core.Energy.deaths with (e', _) :: _ -> e' = e | [] -> false)
+  | None -> check "no deaths listed" true (r.Core.Energy.deaths = []));
+  let rec sorted = function
+    | (e1, _) :: ((e2, _) :: _ as rest) -> e1 <= e2 && sorted rest
+    | _ -> true
+  in
+  check "chronological" true (sorted r.Core.Energy.deaths);
+  (* dead nodes spent at least their battery *)
+  List.iter
+    (fun (_, u) -> check "exhausted" true (r.Core.Energy.spent.(u) >= 5e7))
+    r.Core.Energy.deaths
+
+let test_rotation_reduces_deaths () =
+  (* aggregate across seeds: energy-aware reclustering must not kill
+     more nodes than the static policy, and typically kills far
+     fewer *)
+  let total_static = ref 0 and total_aware = ref 0 in
+  List.iter
+    (fun seed ->
+      let pts = instance seed 100 60. in
+      let run policy =
+        Core.Energy.run pts ~radius:60. ~sink:0 ~policy ~epochs:100
+          ~battery:2e8 ~beta:3.
+      in
+      total_static :=
+        !total_static + List.length (run Core.Energy.Static).Core.Energy.deaths;
+      total_aware :=
+        !total_aware
+        + List.length (run (Core.Energy.Energy_aware 5)).Core.Energy.deaths)
+    [ 11L; 12L; 13L ];
+  check
+    (Printf.sprintf "aware deaths (%d) <= static deaths (%d)" !total_aware
+       !total_static)
+    true
+    (!total_aware <= !total_static)
+
+let test_invalid_args () =
+  let pts = instance 993L 20 60. in
+  let bad f = try f (); false with Invalid_argument _ -> true in
+  check "bad sink" true
+    (bad (fun () ->
+         ignore
+           (Core.Energy.run pts ~radius:60. ~sink:99 ~policy:Core.Energy.Static
+              ~epochs:1 ~battery:1. ~beta:2.)));
+  check "bad epochs" true
+    (bad (fun () ->
+         ignore
+           (Core.Energy.run pts ~radius:60. ~sink:0 ~policy:Core.Energy.Static
+              ~epochs:0 ~battery:1. ~beta:2.)))
+
+let suites =
+  [
+    ( "core.energy",
+      [
+        Alcotest.test_case "huge battery, no deaths" `Quick
+          test_no_deaths_with_huge_battery;
+        Alcotest.test_case "sink immortal and passive" `Quick
+          test_sink_never_dies_and_spends_nothing;
+        Alcotest.test_case "death accounting" `Quick
+          test_deaths_chronological_and_consistent;
+        Alcotest.test_case "rotation reduces deaths" `Slow
+          test_rotation_reduces_deaths;
+        Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+      ] );
+  ]

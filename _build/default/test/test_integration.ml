@@ -1,0 +1,156 @@
+(* End-to-end integration: the full pipeline on fixed seeds, the
+   experiment harness, and cross-structure consistency. *)
+
+module G = Netgraph.Graph
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let build seed n radius =
+  let rng = Wireless.Rand.create seed in
+  let pts, _ =
+    Wireless.Deploy.connected_uniform rng ~n ~side:200. ~radius
+      ~max_attempts:2000
+  in
+  Core.Backbone.build pts ~radius
+
+let test_pipeline_structures () =
+  let bb = build 400L 80 50. in
+  let structures = Core.Backbone.structures bb in
+  checki "ten structures" 10 (List.length structures);
+  let names = List.map (fun (n, _, _) -> n) structures in
+  Alcotest.(check (list string))
+    "table-one order"
+    [
+      "UDG"; "RNG"; "GG"; "LDel"; "CDS"; "CDS'"; "ICDS"; "ICDS'";
+      "LDel(ICDS)"; "LDel(ICDS')";
+    ]
+    names;
+  (* every structure is a subgraph of the UDG except the primed ones
+     which add only UDG edges anyway *)
+  List.iter
+    (fun (name, g, _) ->
+      check (name ^ " within UDG") true (G.is_subgraph g bb.Core.Backbone.udg))
+    structures
+
+let test_sparseness () =
+  (* every derived structure has O(n) edges: at most 6n here, versus
+     the UDG's potentially quadratic count *)
+  let bb = build 401L 100 60. in
+  let n = 100 in
+  List.iter
+    (fun (name, g, _) ->
+      if name <> "UDG" then
+        check (name ^ " sparse") true (G.edge_count g <= 6 * n))
+    (Core.Backbone.structures bb)
+
+let test_quality_rows () =
+  let bb = build 402L 70 50. in
+  let rows = Core.Quality.rows bb in
+  checki "ten rows" 10 (List.length rows);
+  List.iter
+    (fun (r : Core.Quality.row) ->
+      check (r.Core.Quality.name ^ " has degrees") true
+        (r.Core.Quality.deg_avg >= 0.);
+      match r.Core.Quality.name with
+      | "CDS" | "ICDS" | "LDel(ICDS)" ->
+        check "backbone rows have no stretch" true
+          (r.Core.Quality.len_avg = None)
+      | "UDG" ->
+        check "UDG stretch is 1" true
+          (r.Core.Quality.len_avg = Some 1. && r.Core.Quality.hop_max = Some 1.)
+      | _ ->
+        check "spanning rows have stretch" true
+          (r.Core.Quality.len_avg <> None))
+    rows
+
+let test_quality_aggregate () =
+  let rows1 = Core.Quality.rows (build 403L 50 50.) in
+  let rows2 = Core.Quality.rows (build 404L 50 50.) in
+  let aggs = Core.Quality.aggregate [ rows1; rows2 ] in
+  checki "ten aggregates" 10 (List.length aggs);
+  List.iteri
+    (fun i (a : Core.Quality.agg) ->
+      let r1 = List.nth rows1 i and r2 = List.nth rows2 i in
+      check "max is max" true
+        (a.Core.Quality.a_deg_max
+        = max r1.Core.Quality.deg_max r2.Core.Quality.deg_max);
+      check "avg is mean" true
+        (Float.abs
+           (a.Core.Quality.a_deg_avg
+           -. ((r1.Core.Quality.deg_avg +. r2.Core.Quality.deg_avg) /. 2.))
+        < 1e-9))
+    aggs
+
+let test_experiments_table1_quick () =
+  let cfg = { Core.Experiments.quick with instances = 2 } in
+  let aggs = Core.Experiments.table1 ~cfg ~n:40 ~radius:60. () in
+  checki "ten structures" 10 (List.length aggs);
+  let udg = List.hd aggs in
+  check "first row is UDG" true (udg.Core.Quality.a_name = "UDG");
+  check "UDG stretch 1" true (udg.Core.Quality.a_len_max = Some 1.)
+
+let test_experiments_sweep_quick () =
+  let cfg = { Core.Experiments.quick with instances = 2 } in
+  let series = Core.Experiments.degree_vs_n ~cfg ~radius:60. ~ns:[ 20; 30 ] () in
+  checki "twelve curves" 12 (List.length series);
+  List.iter
+    (fun (s : Core.Experiments.series) ->
+      checki "two points each" 2 (List.length s.Core.Experiments.points))
+    series;
+  (* determinism: the same sweep twice gives identical numbers *)
+  let series2 = Core.Experiments.degree_vs_n ~cfg ~radius:60. ~ns:[ 20; 30 ] () in
+  check "deterministic" true (series = series2)
+
+let test_experiments_comm_quick () =
+  let cfg = { Core.Experiments.quick with instances = 2 } in
+  let series = Core.Experiments.comm_vs_n ~cfg ~radius:60. ~ns:[ 20; 30 ] () in
+  checki "six curves" 6 (List.length series);
+  (* communication cost per node is a small constant *)
+  List.iter
+    (fun (s : Core.Experiments.series) ->
+      List.iter
+        (fun (_, v) -> check "bounded" true (v > 0. && v < 150.))
+        s.Core.Experiments.points)
+    series
+
+let test_ldel_icds'_equals_planar_plus_links () =
+  let bb = build 405L 70 50. in
+  (* LDel(ICDS') = PLDel(ICDS) + dominatee-dominator links *)
+  G.iter_edges bb.Core.Backbone.ldel_icds' (fun u v ->
+      let in_planar = G.has_edge bb.Core.Backbone.ldel_icds_g u v in
+      let roles = bb.Core.Backbone.cds.Core.Cds.roles in
+      let dominatee_link =
+        (roles.(u) = Core.Mis.Dominatee && roles.(v) = Core.Mis.Dominator)
+        || (roles.(v) = Core.Mis.Dominatee && roles.(u) = Core.Mis.Dominator)
+      in
+      check "edge classified" true (in_planar || dominatee_link))
+
+let test_deterministic_pipeline () =
+  let bb1 = build 406L 60 50. in
+  let bb2 = build 406L 60 50. in
+  check "same udg" true (G.equal bb1.Core.Backbone.udg bb2.Core.Backbone.udg);
+  check "same backbone graph" true
+    (G.equal bb1.Core.Backbone.ldel_icds_g bb2.Core.Backbone.ldel_icds_g)
+
+let suites =
+  [
+    ( "integration",
+      [
+        Alcotest.test_case "pipeline structures" `Quick
+          test_pipeline_structures;
+        Alcotest.test_case "sparseness" `Quick test_sparseness;
+        Alcotest.test_case "quality rows" `Quick test_quality_rows;
+        Alcotest.test_case "quality aggregation" `Quick test_quality_aggregate;
+        Alcotest.test_case "table1 (quick)" `Quick
+          test_experiments_table1_quick;
+        Alcotest.test_case "degree sweep (quick)" `Slow
+          test_experiments_sweep_quick;
+        Alcotest.test_case "comm sweep (quick)" `Slow
+          test_experiments_comm_quick;
+        Alcotest.test_case "LDel(ICDS') composition" `Quick
+          test_ldel_icds'_equals_planar_plus_links;
+        Alcotest.test_case "pipeline deterministic" `Quick
+          test_deterministic_pipeline;
+      ] );
+  ]

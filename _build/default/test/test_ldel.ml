@@ -1,0 +1,202 @@
+(* Localized Delaunay (Algorithms 2-3): local triangle computation,
+   acceptance, planarization. *)
+
+module G = Netgraph.Graph
+module P = Geometry.Point
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let random_instance seed n side radius =
+  let rng = Wireless.Rand.create seed in
+  let pts, _ =
+    Wireless.Deploy.connected_uniform rng ~n ~side ~radius ~max_attempts:2000
+  in
+  (pts, Wireless.Udg.build pts ~radius)
+
+let test_local_triangles_triangle () =
+  let pts = [| P.make 0. 0.; P.make 1. 0.; P.make 0.5 0.8 |] in
+  let g = Wireless.Udg.build pts ~radius:1.5 in
+  check "single local triangle" true
+    (Core.Ldel.local_delaunay_triangles g pts 0 = [ (0, 1, 2) ])
+
+let test_local_triangles_from_neighborhood_equivalence () =
+  let pts, udg = random_instance 100L 60 200. 50. in
+  for u = 0 to 59 do
+    let via_graph = Core.Ldel.local_delaunay_triangles udg pts u in
+    let via_view =
+      Core.Ldel.local_triangles_of_neighborhood ~me:u ~me_pos:pts.(u)
+        ~nbrs:(List.map (fun v -> (v, pts.(v))) (G.neighbors udg u))
+    in
+    check "same triangles" true (via_graph = via_view)
+  done
+
+let test_triangle_fits () =
+  let pts = [| P.make 0. 0.; P.make 1. 0.; P.make 0. 1. |] in
+  check "fits" true (Core.Ldel.triangle_fits pts ~radius:1.5 (0, 1, 2));
+  check "hypotenuse too long" false
+    (Core.Ldel.triangle_fits pts ~radius:1.2 (0, 1, 2))
+
+let test_triangles_intersect_cases () =
+  let pts =
+    [|
+      P.make 0. 0.; (* 0 *)
+      P.make 4. 0.; (* 1 *)
+      P.make 2. 3.; (* 2 *)
+      P.make 2. 1.; (* 3: inside triangle 0-1-2 *)
+      P.make 6. 0.; (* 4 *)
+      P.make 5. 2.; (* 5 *)
+      P.make 0. 5.; (* 6 *)
+      P.make 1. 4.; (* 7 *)
+      P.make (-2.) 4.; (* 8 *)
+    |]
+  in
+  let ti = Core.Ldel.triangles_intersect pts in
+  (* containment without edge crossings: tiny triangle inside big *)
+  let tiny = (3, 3, 3) in
+  ignore tiny;
+  check "vertex inside" true (ti (0, 1, 2) (3, 4, 5));
+  (* sharing an edge, disjoint interiors *)
+  check "shared edge ok" false (ti (0, 1, 2) (1, 2, 5));
+  (* sharing a vertex only *)
+  check "shared vertex ok" false (ti (0, 1, 2) (2, 6, 7));
+  (* disjoint *)
+  check "disjoint" false (ti (0, 1, 3) (6, 7, 8))
+
+let test_circumcircle_contains () =
+  let pts = [| P.make 0. 0.; P.make 2. 0.; P.make 0. 2.; P.make 1. 1.; P.make 9. 9. |] in
+  check "inside" true (Core.Ldel.circumcircle_contains pts (0, 1, 2) 3);
+  check "outside" false (Core.Ldel.circumcircle_contains pts (0, 1, 2) 4);
+  check "corner excluded" false (Core.Ldel.circumcircle_contains pts (0, 1, 2) 0)
+
+(* The key theorems from Li et al. that the paper relies on, checked
+   empirically on random instances: *)
+
+let test_ldel_contains_gabriel () =
+  let pts, udg = random_instance 101L 80 200. 50. in
+  let l = Core.Ldel.build udg pts ~radius:50. in
+  let gg = Wireless.Proximity.gabriel_graph udg pts in
+  check "GG ⊆ LDel1" true (G.is_subgraph gg l.Core.Ldel.ldel1);
+  check "GG ⊆ PLDel" true (G.is_subgraph gg l.Core.Ldel.planar)
+
+let test_ldel_contains_udel () =
+  (* unit Delaunay triangles are 1-localized Delaunay triangles, so
+     UDel ⊆ LDel1 *)
+  let pts, udg = random_instance 102L 80 200. 50. in
+  let l = Core.Ldel.build udg pts ~radius:50. in
+  let udel = Wireless.Proximity.udel pts ~radius:50. in
+  check "UDel ⊆ LDel1" true (G.is_subgraph udel l.Core.Ldel.ldel1)
+
+let test_pldel_planar_and_connected () =
+  for seed = 110 to 119 do
+    let pts, udg = random_instance (Int64.of_int seed) 90 200. 50. in
+    let l = Core.Ldel.build udg pts ~radius:50. in
+    check "planar" true (Netgraph.Planarity.is_planar l.Core.Ldel.planar pts);
+    check "connected" true
+      (Netgraph.Components.is_connected l.Core.Ldel.planar);
+    check "planar ⊆ ldel1" true
+      (G.is_subgraph l.Core.Ldel.planar l.Core.Ldel.ldel1);
+    check "ldel1 within UDG distance" true
+      (G.fold_edges l.Core.Ldel.ldel1
+         (fun acc u v -> acc && P.dist pts.(u) pts.(v) <= 50.)
+         true)
+  done
+
+let test_ldel1_thickness_two_edge_bound () =
+  (* LDel1 has thickness 2, hence at most 2(3n - 6) edges *)
+  let pts, udg = random_instance 120L 100 200. 60. in
+  let l = Core.Ldel.build udg pts ~radius:60. in
+  let n = Array.length pts in
+  check "edge bound" true
+    (G.edge_count l.Core.Ldel.ldel1 <= 2 * ((3 * n) - 6))
+
+let test_kept_subset_accepted () =
+  let pts, udg = random_instance 121L 80 200. 50. in
+  let l = Core.Ldel.build udg pts ~radius:50. in
+  let module TS = Set.Make (struct
+    type t = int * int * int
+
+    let compare = compare
+  end) in
+  let acc = TS.of_list l.Core.Ldel.triangles in
+  check "kept ⊆ accepted" true
+    (List.for_all (fun t -> TS.mem t acc) l.Core.Ldel.kept_triangles)
+
+let test_ldel_on_icds () =
+  (* the pipeline case: LDel over the induced backbone stays planar,
+     connected on backbone nodes, and only touches backbone nodes *)
+  for seed = 130 to 134 do
+    let pts, udg = random_instance (Int64.of_int seed) 90 200. 50. in
+    let cds = Core.Cds.of_udg udg in
+    let l = Core.Ldel.build cds.Core.Cds.icds pts ~radius:50. in
+    check "planar" true (Netgraph.Planarity.is_planar l.Core.Ldel.planar pts);
+    check "backbone connected" true
+      (Netgraph.Components.connected_within l.Core.Ldel.planar
+         (Core.Cds.backbone_nodes cds));
+    G.iter_edges l.Core.Ldel.planar (fun u v ->
+        check "backbone only" true
+          (cds.Core.Cds.backbone.(u) && cds.Core.Cds.backbone.(v)))
+  done
+
+let test_degenerate_inputs () =
+  (* two nodes: single Gabriel edge, no triangles *)
+  let pts = [| P.make 0. 0.; P.make 1. 0. |] in
+  let udg = Wireless.Udg.build pts ~radius:2. in
+  let l = Core.Ldel.build udg pts ~radius:2. in
+  checki "no triangles" 0 (List.length l.Core.Ldel.triangles);
+  check "edge kept" true (G.has_edge l.Core.Ldel.planar 0 1);
+  (* collinear nodes: consecutive edges are Gabriel, no triangles *)
+  let pts = Array.init 4 (fun i -> P.make (float_of_int i) 0.) in
+  let udg = Wireless.Udg.build pts ~radius:1.5 in
+  let l = Core.Ldel.build udg pts ~radius:1.5 in
+  checki "no triangles" 0 (List.length l.Core.Ldel.triangles);
+  check "path kept" true
+    (G.has_edge l.Core.Ldel.planar 0 1
+    && G.has_edge l.Core.Ldel.planar 1 2
+    && G.has_edge l.Core.Ldel.planar 2 3)
+
+let test_dense_equals_udel_plus () =
+  (* when the radius covers the whole deployment, every node sees
+     everything: LDel1 = Del (all triangles survive) *)
+  let rng = Wireless.Rand.create 140L in
+  let pts =
+    Array.init 20 (fun _ ->
+        P.make (Wireless.Rand.float rng 10.) (Wireless.Rand.float rng 10.))
+  in
+  let radius = 100. in
+  let udg = Wireless.Udg.build pts ~radius in
+  let l = Core.Ldel.build udg pts ~radius in
+  let del = Delaunay.Triangulation.triangulate pts in
+  let del_edges = Delaunay.Triangulation.edges del in
+  check "LDel1 = Del when everyone sees everyone" true
+    (List.sort compare (G.edges l.Core.Ldel.ldel1) = del_edges);
+  check "planarization removes nothing" true
+    (List.length l.Core.Ldel.kept_triangles
+    = List.length l.Core.Ldel.triangles)
+
+let suites =
+  [
+    ( "core.ldel",
+      [
+        Alcotest.test_case "local triangles (triangle)" `Quick
+          test_local_triangles_triangle;
+        Alcotest.test_case "neighborhood view equivalence" `Quick
+          test_local_triangles_from_neighborhood_equivalence;
+        Alcotest.test_case "triangle fits" `Quick test_triangle_fits;
+        Alcotest.test_case "intersection cases" `Quick
+          test_triangles_intersect_cases;
+        Alcotest.test_case "circumcircle contains" `Quick
+          test_circumcircle_contains;
+        Alcotest.test_case "GG ⊆ LDel" `Quick test_ldel_contains_gabriel;
+        Alcotest.test_case "UDel ⊆ LDel1" `Quick test_ldel_contains_udel;
+        Alcotest.test_case "PLDel planar + connected" `Quick
+          test_pldel_planar_and_connected;
+        Alcotest.test_case "thickness-2 edge bound" `Quick
+          test_ldel1_thickness_two_edge_bound;
+        Alcotest.test_case "kept ⊆ accepted" `Quick test_kept_subset_accepted;
+        Alcotest.test_case "LDel on ICDS" `Quick test_ldel_on_icds;
+        Alcotest.test_case "degenerate inputs" `Quick test_degenerate_inputs;
+        Alcotest.test_case "full visibility = Delaunay" `Quick
+          test_dense_equals_udel_plus;
+      ] );
+  ]

@@ -1,0 +1,330 @@
+(* Property-based tests (qcheck): the paper's lemmas and the
+   substrate's algebraic invariants, checked on randomized inputs. *)
+
+module P = Geometry.Point
+module Pred = Geometry.Predicates
+module G = Netgraph.Graph
+
+(* ---------------- generators ---------------- *)
+
+let coord = QCheck.Gen.float_range 0. 100.
+
+let gen_point = QCheck.Gen.map2 P.make coord coord
+
+let gen_points ~min ~max =
+  QCheck.Gen.(int_range min max >>= fun n -> array_size (return n) gen_point)
+
+(* random connected wireless instance; regenerates until connected *)
+let gen_instance ~min ~max ~radius =
+  let open QCheck.Gen in
+  int_bound 1_000_000 >>= fun seed ->
+  int_range min max >>= fun n ->
+  return
+    (let rng = Wireless.Rand.create (Int64.of_int (seed + 17)) in
+     let pts, _ =
+       Wireless.Deploy.connected_uniform rng ~n ~side:200. ~radius
+         ~max_attempts:5000
+     in
+     pts)
+
+let arb gen print = QCheck.make ~print gen
+
+let print_points pts =
+  Printf.sprintf "[%d points]" (Array.length pts)
+
+(* ---------------- geometry properties ---------------- *)
+
+let prop_dist_symmetric =
+  QCheck.Test.make ~name:"dist symmetric" ~count:200
+    (arb QCheck.Gen.(pair gen_point gen_point) (fun _ -> "pair"))
+    (fun (a, b) -> P.dist a b = P.dist b a)
+
+let prop_triangle_inequality =
+  QCheck.Test.make ~name:"triangle inequality" ~count:200
+    (arb QCheck.Gen.(triple gen_point gen_point gen_point) (fun _ -> "triple"))
+    (fun (a, b, c) -> P.dist a c <= P.dist a b +. P.dist b c +. 1e-9)
+
+let prop_orient_antisymmetric =
+  QCheck.Test.make ~name:"orient2d antisymmetry" ~count:500
+    (arb QCheck.Gen.(triple gen_point gen_point gen_point) (fun _ -> "triple"))
+    (fun (a, b, c) ->
+      let flip = function
+        | Pred.Ccw -> Pred.Cw
+        | Pred.Cw -> Pred.Ccw
+        | Pred.Collinear -> Pred.Collinear
+      in
+      Pred.orient2d a b c = flip (Pred.orient2d b a c))
+
+let prop_orient_rotation =
+  QCheck.Test.make ~name:"orient2d cyclic invariance" ~count:500
+    (arb QCheck.Gen.(triple gen_point gen_point gen_point) (fun _ -> "triple"))
+    (fun (a, b, c) -> Pred.orient2d a b c = Pred.orient2d b c a)
+
+let prop_incircle_corner_rotation =
+  QCheck.Test.make ~name:"incircle invariant under corner rotation" ~count:300
+    (arb
+       QCheck.Gen.(pair (triple gen_point gen_point gen_point) gen_point)
+       (fun _ -> "quad"))
+    (fun ((a, b, c), d) ->
+      Pred.incircle a b c d = Pred.incircle b c a d)
+
+let prop_segment_intersect_symmetric =
+  QCheck.Test.make ~name:"proper intersection symmetric" ~count:300
+    (arb
+       QCheck.Gen.(
+         pair (pair gen_point gen_point) (pair gen_point gen_point))
+       (fun _ -> "segs"))
+    (fun ((a, b), (c, d)) ->
+      let s1 = Geometry.Segment.make a b and s2 = Geometry.Segment.make c d in
+      Geometry.Segment.properly_intersect s1 s2
+      = Geometry.Segment.properly_intersect s2 s1)
+
+let prop_hull_contains_all =
+  QCheck.Test.make ~name:"hull contains all inputs" ~count:50
+    (arb (gen_points ~min:3 ~max:60) print_points)
+    (fun pts ->
+      let h = Geometry.Hull.convex_hull (Array.to_list pts) in
+      List.length h < 3
+      || Array.for_all (Geometry.Hull.contains_point h) pts)
+
+(* ---------------- Delaunay properties ---------------- *)
+
+let distinct pts =
+  let tbl = Hashtbl.create 16 in
+  Array.for_all
+    (fun (q : P.t) ->
+      if Hashtbl.mem tbl (q.x, q.y) then false
+      else (
+        Hashtbl.add tbl (q.x, q.y) ();
+        true))
+    pts
+
+let prop_delaunay_empty_circumcircle =
+  QCheck.Test.make ~name:"Delaunay empty circumcircle" ~count:40
+    (arb (gen_points ~min:3 ~max:80) print_points)
+    (fun pts ->
+      QCheck.assume (distinct pts);
+      let t = Delaunay.Triangulation.triangulate pts in
+      Delaunay.Triangulation.is_delaunay pts
+        (Delaunay.Triangulation.triangles t))
+
+let prop_delaunay_planar =
+  QCheck.Test.make ~name:"Delaunay edges are planar" ~count:25
+    (arb (gen_points ~min:3 ~max:60) print_points)
+    (fun pts ->
+      QCheck.assume (distinct pts);
+      let t = Delaunay.Triangulation.triangulate pts in
+      let g =
+        G.of_edges (Array.length pts) (Delaunay.Triangulation.edges t)
+      in
+      Netgraph.Planarity.is_planar g pts)
+
+(* ---------------- paper lemmas on random instances ---------------- *)
+
+let prop_mis_valid =
+  QCheck.Test.make ~name:"clustering yields a maximal independent set"
+    ~count:25
+    (arb (gen_instance ~min:20 ~max:80 ~radius:50.) print_points)
+    (fun pts ->
+      let g = Wireless.Udg.build pts ~radius:50. in
+      let roles = Core.Mis.compute g in
+      Core.Mis.is_independent g roles
+      && Core.Mis.is_dominating g roles
+      && Core.Mis.is_maximal g roles)
+
+let prop_lemma1_five_dominators =
+  QCheck.Test.make ~name:"Lemma 1: dominatee has ≤ 5 dominators" ~count:25
+    (arb (gen_instance ~min:30 ~max:100 ~radius:50.) print_points)
+    (fun pts ->
+      let g = Wireless.Udg.build pts ~radius:50. in
+      let roles = Core.Mis.compute g in
+      let ok = ref true in
+      Array.iteri
+        (fun u r ->
+          if
+            r = Core.Mis.Dominatee
+            && List.length (Core.Mis.dominators_of g roles u) > 5
+          then ok := false)
+        roles;
+      !ok)
+
+let prop_lemma2_bounded_dominators_in_disk =
+  QCheck.Test.make
+    ~name:"Lemma 2: dominators within 2R of a node are bounded" ~count:20
+    (arb (gen_instance ~min:40 ~max:120 ~radius:40.) print_points)
+    (fun pts ->
+      let radius = 40. in
+      let g = Wireless.Udg.build pts ~radius in
+      let roles = Core.Mis.compute g in
+      (* Lemma 2 with k = 2: the area argument gives pi(k+.5)^2/(pi/4)
+         = (2k+1)^2 = 25; any two dominators are > R apart so the
+         bound holds with room to spare *)
+      Array.for_all
+        (fun (p : P.t) ->
+          let count = ref 0 in
+          Array.iteri
+            (fun v r ->
+              if r = Core.Mis.Dominator && P.dist p pts.(v) <= 2. *. radius
+              then incr count)
+            roles;
+          !count <= 25)
+        pts)
+
+let prop_cds_connected =
+  QCheck.Test.make ~name:"CDS connects the backbone" ~count:20
+    (arb (gen_instance ~min:30 ~max:100 ~radius:50.) print_points)
+    (fun pts ->
+      let g = Wireless.Udg.build pts ~radius:50. in
+      let cds = Core.Cds.of_udg g in
+      Netgraph.Components.connected_within cds.Core.Cds.cds
+        (Core.Cds.backbone_nodes cds))
+
+let prop_lemma5_hop_stretch =
+  QCheck.Test.make
+    ~name:"Lemma 5: CDS' hop distance ≤ 3h + 2" ~count:12
+    (arb (gen_instance ~min:25 ~max:70 ~radius:50.) print_points)
+    (fun pts ->
+      let g = Wireless.Udg.build pts ~radius:50. in
+      let cds = Core.Cds.of_udg g in
+      let n = Array.length pts in
+      let ok = ref true in
+      for s = 0 to n - 1 do
+        let hb = Netgraph.Traversal.bfs g s in
+        let hs = Netgraph.Traversal.bfs cds.Core.Cds.cds' s in
+        for t = 0 to n - 1 do
+          if t <> s && hb.(t) <> max_int then
+            if hs.(t) = max_int || hs.(t) > (3 * hb.(t)) + 2 then ok := false
+        done
+      done;
+      !ok)
+
+let prop_lemma6_length_stretch =
+  QCheck.Test.make
+    ~name:"Lemma 6: CDS' length ≤ 6·len + 5R" ~count:12
+    (arb (gen_instance ~min:25 ~max:70 ~radius:50.) print_points)
+    (fun pts ->
+      let radius = 50. in
+      let g = Wireless.Udg.build pts ~radius in
+      let cds = Core.Cds.of_udg g in
+      let n = Array.length pts in
+      let ok = ref true in
+      for s = 0 to n - 1 do
+        let db = Netgraph.Traversal.dijkstra g pts s in
+        let ds = Netgraph.Traversal.dijkstra cds.Core.Cds.cds' pts s in
+        for t = 0 to n - 1 do
+          if t <> s && db.(t) < infinity then
+            if ds.(t) > (6. *. db.(t)) +. (5. *. radius) +. 1e-6 then
+              ok := false
+        done
+      done;
+      !ok)
+
+let prop_pldel_planar =
+  QCheck.Test.make ~name:"PLDel(ICDS) is planar" ~count:15
+    (arb (gen_instance ~min:30 ~max:90 ~radius:50.) print_points)
+    (fun pts ->
+      let bb = Core.Backbone.build pts ~radius:50. in
+      Netgraph.Planarity.is_planar bb.Core.Backbone.ldel_icds_g pts)
+
+let prop_ldel_icds'_spans =
+  QCheck.Test.make ~name:"LDel(ICDS') spans all nodes" ~count:15
+    (arb (gen_instance ~min:30 ~max:90 ~radius:50.) print_points)
+    (fun pts ->
+      let bb = Core.Backbone.build pts ~radius:50. in
+      Netgraph.Components.is_connected bb.Core.Backbone.ldel_icds')
+
+let prop_rng_lune_empty =
+  QCheck.Test.make ~name:"RNG edges have empty lunes" ~count:15
+    (arb (gen_instance ~min:20 ~max:60 ~radius:50.) print_points)
+    (fun pts ->
+      let udg = Wireless.Udg.build pts ~radius:50. in
+      let rng_g = Wireless.Proximity.rng_graph udg pts in
+      G.fold_edges rng_g
+        (fun acc u v ->
+          acc
+          && Array.for_all
+               (fun w ->
+                 P.equal w pts.(u) || P.equal w pts.(v)
+                 || not (Geometry.Circle.in_lune pts.(u) pts.(v) w))
+               pts)
+        true)
+
+let prop_gabriel_disk_empty =
+  QCheck.Test.make ~name:"Gabriel edges have empty diametral disks" ~count:15
+    (arb (gen_instance ~min:20 ~max:60 ~radius:50.) print_points)
+    (fun pts ->
+      let udg = Wireless.Udg.build pts ~radius:50. in
+      let gg = Wireless.Proximity.gabriel_graph udg pts in
+      G.fold_edges gg
+        (fun acc u v ->
+          acc
+          && Array.for_all
+               (fun w ->
+                 P.equal w pts.(u) || P.equal w pts.(v)
+                 || not (Geometry.Circle.in_diametral pts.(u) pts.(v) w))
+               pts)
+        true)
+
+let prop_gfg_delivers =
+  QCheck.Test.make ~name:"GFG delivers on the planar backbone" ~count:10
+    (arb (gen_instance ~min:30 ~max:70 ~radius:50.) print_points)
+    (fun pts ->
+      let bb = Core.Backbone.build pts ~radius:50. in
+      let planar = (Core.Backbone.ldel_full bb).Core.Ldel.planar in
+      let n = Array.length pts in
+      let ok = ref true in
+      for src = 0 to min 10 (n - 1) do
+        let dst = n - 1 - src in
+        if src <> dst then
+          match Core.Routing.gfg planar pts ~src ~dst with
+          | Some p -> if not (Netgraph.Traversal.is_path planar p) then ok := false
+          | None -> ok := false
+      done;
+      !ok)
+
+let prop_protocol_equals_centralized =
+  QCheck.Test.make ~name:"protocol ≡ centralized (randomized)" ~count:8
+    (arb (gen_instance ~min:20 ~max:50 ~radius:50.) print_points)
+    (fun pts ->
+      let bb = Core.Backbone.build pts ~radius:50. in
+      let pr = Core.Protocol.run pts ~radius:50. in
+      pr.Core.Protocol.roles = bb.Core.Backbone.cds.Core.Cds.roles
+      && pr.Core.Protocol.cds_edges
+         = bb.Core.Backbone.cds.Core.Cds.connectors.Core.Connectors.cds_edges
+      && G.equal pr.Core.Protocol.ldel_graph bb.Core.Backbone.ldel_icds_g)
+
+let to_alcotest = List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "properties.geometry",
+      to_alcotest
+        [
+          prop_dist_symmetric;
+          prop_triangle_inequality;
+          prop_orient_antisymmetric;
+          prop_orient_rotation;
+          prop_incircle_corner_rotation;
+          prop_segment_intersect_symmetric;
+          prop_hull_contains_all;
+        ] );
+    ( "properties.delaunay",
+      to_alcotest [ prop_delaunay_empty_circumcircle; prop_delaunay_planar ]
+    );
+    ( "properties.lemmas",
+      to_alcotest
+        [
+          prop_mis_valid;
+          prop_lemma1_five_dominators;
+          prop_lemma2_bounded_dominators_in_disk;
+          prop_cds_connected;
+          prop_lemma5_hop_stretch;
+          prop_lemma6_length_stretch;
+          prop_pldel_planar;
+          prop_ldel_icds'_spans;
+          prop_rng_lune_empty;
+          prop_gabriel_disk_empty;
+          prop_gfg_delivers;
+          prop_protocol_equals_centralized;
+        ] );
+  ]

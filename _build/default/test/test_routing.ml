@@ -1,0 +1,239 @@
+(* Geographic routing: greedy, GFG (GPSR-style), hierarchical. *)
+
+module G = Netgraph.Graph
+module P = Geometry.Point
+
+let check = Alcotest.(check bool)
+
+let instance seed n radius =
+  let rng = Wireless.Rand.create seed in
+  let pts, _ =
+    Wireless.Deploy.connected_uniform rng ~n ~side:200. ~radius
+      ~max_attempts:2000
+  in
+  pts
+
+let test_greedy_straight_line () =
+  let pts = Array.init 5 (fun i -> P.make (float_of_int i) 0.) in
+  let g = Wireless.Udg.build pts ~radius:1.2 in
+  (match Core.Routing.greedy g pts ~src:0 ~dst:4 with
+  | Some p -> Alcotest.(check (list int)) "direct chain" [ 0; 1; 2; 3; 4 ] p
+  | None -> Alcotest.fail "greedy should succeed on a line");
+  match Core.Routing.greedy g pts ~src:2 ~dst:2 with
+  | Some p -> Alcotest.(check (list int)) "self" [ 2 ] p
+  | None -> Alcotest.fail "self route"
+
+let test_greedy_local_minimum () =
+  (* a "C" shape: src and dst close in space, but the only path goes
+     around; greedy gets stuck at the tip *)
+  let pts =
+    [|
+      P.make 0. 0.; (* src *)
+      P.make 0. 2.; (* up *)
+      P.make 2. 2.; (* across *)
+      P.make 2. 0.; (* down = dst side *)
+      P.make 0.9 0.; (* dead-end closer to dst *)
+    |]
+  in
+  let g = G.of_edges 5 [ (0, 4); (0, 1); (1, 2); (2, 3) ] in
+  check "greedy stuck" true (Core.Routing.greedy g pts ~src:0 ~dst:3 = None);
+  (* GFG recovers via the perimeter *)
+  match Core.Routing.gfg g pts ~src:0 ~dst:3 with
+  | Some p ->
+    check "valid path" true (Netgraph.Traversal.is_path g p);
+    check "ends at dst" true (List.nth p (List.length p - 1) = 3)
+  | None -> Alcotest.fail "gfg must deliver on planar connected"
+
+let test_gfg_delivery_guarantee () =
+  for seed = 300 to 304 do
+    let pts = instance (Int64.of_int seed) 60 50. in
+    let bb = Core.Backbone.build pts ~radius:50. in
+    let planar = (Core.Backbone.ldel_full bb).Core.Ldel.planar in
+    check "planar precondition" true
+      (Netgraph.Planarity.is_planar planar pts);
+    let n = Array.length pts in
+    for src = 0 to n - 1 do
+      let dst = (src + (n / 2)) mod n in
+      if src <> dst then
+        match Core.Routing.gfg planar pts ~src ~dst with
+        | Some p ->
+          check "path valid" true (Netgraph.Traversal.is_path planar p);
+          check "starts at src" true (List.hd p = src)
+        | None -> Alcotest.failf "undelivered %d->%d (seed %d)" src dst seed
+    done
+  done
+
+let test_gfg_disconnected_returns_none () =
+  let pts = [| P.make 0. 0.; P.make 1. 0.; P.make 50. 0.; P.make 51. 0. |] in
+  let g = G.of_edges 4 [ (0, 1); (2, 3) ] in
+  check "unreachable" true (Core.Routing.gfg g pts ~src:0 ~dst:3 = None)
+
+let test_hierarchical_delivery () =
+  for seed = 310 to 312 do
+    let pts = instance (Int64.of_int seed) 80 50. in
+    let bb = Core.Backbone.build pts ~radius:50. in
+    let n = Array.length pts in
+    let rng = Wireless.Rand.create 999L in
+    for _ = 1 to 50 do
+      let src = Wireless.Rand.int rng n and dst = Wireless.Rand.int rng n in
+      match Core.Routing.hierarchical bb ~src ~dst with
+      | Some p ->
+        check "starts" true (List.hd p = src);
+        check "ends" true (List.nth p (List.length p - 1) = dst)
+      | None -> Alcotest.failf "hierarchical undelivered %d->%d" src dst
+    done
+  done
+
+let test_hierarchical_adjacent_direct () =
+  let pts = instance 313L 60 50. in
+  let bb = Core.Backbone.build pts ~radius:50. in
+  let udg = bb.Core.Backbone.udg in
+  G.iter_edges udg (fun u v ->
+      match Core.Routing.hierarchical bb ~src:u ~dst:v with
+      | Some p -> check "one hop" true (List.length p <= 2)
+      | None -> Alcotest.fail "adjacent must deliver")
+
+let test_hierarchical_path_edges_exist () =
+  (* every hop of a hierarchical route is a real UDG link *)
+  let pts = instance 314L 70 50. in
+  let bb = Core.Backbone.build pts ~radius:50. in
+  let n = Array.length pts in
+  for src = 0 to n - 1 do
+    let dst = (src + 17) mod n in
+    if src <> dst then
+      match Core.Routing.hierarchical bb ~src ~dst with
+      | Some p ->
+        check "UDG-realizable" true
+          (Netgraph.Traversal.is_path bb.Core.Backbone.udg p)
+      | None -> Alcotest.fail "undelivered"
+  done
+
+let test_variants_on_line () =
+  (* on a straight chain every directional rule routes hop by hop *)
+  let pts = Array.init 6 (fun i -> P.make (float_of_int i) 0.) in
+  let g = Wireless.Udg.build pts ~radius:1.2 in
+  List.iter
+    (fun (name, route) ->
+      match route g pts ~src:0 ~dst:5 with
+      | Some p ->
+        Alcotest.(check (list int)) (name ^ " chain") [ 0; 1; 2; 3; 4; 5 ] p
+      | None -> Alcotest.failf "%s failed on the chain" name)
+    [
+      ("greedy", Core.Routing.greedy);
+      ("compass", Core.Routing.compass);
+      ("mfr", Core.Routing.mfr);
+      ("nfp", Core.Routing.nfp);
+    ]
+
+let test_variants_choose_differently () =
+  (* src 0 at origin, dst 3 to the east; neighbor 1 is closest to dst
+     (greedy's pick), neighbor 2 makes more forward progress (MFR's
+     pick), and is nearer to src than... set up so NFP picks 1 *)
+  let pts =
+    [|
+      P.make 0. 0.; (* src *)
+      P.make 4. 0.5; (* closer to dst, less progress, nearer to src *)
+      P.make 5. 3.; (* most forward progress, farther from dst *)
+      P.make 7. 0.; (* dst *)
+    |]
+  in
+  let g = G.of_edges 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  (match Core.Routing.greedy g pts ~src:0 ~dst:3 with
+  | Some (_ :: v :: _) ->
+    Alcotest.(check int) "greedy takes nearest-to-dst" 1 v
+  | _ -> Alcotest.fail "greedy failed");
+  (match Core.Routing.mfr g pts ~src:0 ~dst:3 with
+  | Some (_ :: v :: _) -> Alcotest.(check int) "mfr takes most-forward" 2 v
+  | _ -> Alcotest.fail "mfr failed");
+  match Core.Routing.nfp g pts ~src:0 ~dst:3 with
+  | Some (_ :: v :: _) ->
+    Alcotest.(check int) "nfp takes nearest-with-progress" 1 v
+  | _ -> Alcotest.fail "nfp failed"
+
+let test_variants_fail_without_progress () =
+  (* dead end: no neighbor makes forward progress *)
+  let pts = [| P.make 0. 0.; P.make (-1.) 0.; P.make 5. 0. |] in
+  let g = G.of_edges 3 [ (0, 1) ] in
+  check "greedy stuck" true (Core.Routing.greedy g pts ~src:0 ~dst:2 = None);
+  check "mfr stuck" true (Core.Routing.mfr g pts ~src:0 ~dst:2 = None);
+  check "nfp stuck" true (Core.Routing.nfp g pts ~src:0 ~dst:2 = None)
+
+let test_variants_delivery_rates () =
+  (* on dense random UDGs all directional heuristics deliver most
+     pairs and produce valid paths *)
+  let pts = instance 320L 100 60. in
+  let g = Wireless.Udg.build pts ~radius:60. in
+  let n = Array.length pts in
+  List.iter
+    (fun (name, route, threshold) ->
+      let ok = ref 0 and total = ref 0 in
+      for src = 0 to n - 1 do
+        let dst = (src + (n / 3)) mod n in
+        if src <> dst then begin
+          incr total;
+          match route g pts ~src ~dst with
+          | Some p ->
+            check (name ^ " path valid") true (Netgraph.Traversal.is_path g p);
+            incr ok
+          | None -> ()
+        end
+      done;
+      check
+        (Printf.sprintf "%s delivers enough (%d/%d)" name !ok !total)
+        true
+        (float_of_int !ok >= threshold *. float_of_int !total))
+    [
+      ("greedy", Core.Routing.greedy, 0.9);
+      ("compass", Core.Routing.compass, 0.9);
+      ("mfr", Core.Routing.mfr, 0.9);
+      (* NFP's short steps make it orbit near the destination on some
+         pairs — delivery is genuinely weaker, which is part of why
+         greedy+face won out historically *)
+      ("nfp", Core.Routing.nfp, 0.6);
+    ]
+
+let test_evaluate () =
+  let pts = instance 315L 60 50. in
+  let bb = Core.Backbone.build pts ~radius:50. in
+  let planar = bb.Core.Backbone.ldel_icds' in
+  let rng = Wireless.Rand.create 5L in
+  let ev =
+    Core.Routing.evaluate
+      ~router:(fun ~src ~dst -> Core.Routing.hierarchical bb ~src ~dst)
+      ~base:bb.Core.Backbone.udg pts ~pairs:40 rng
+  in
+  ignore planar;
+  Alcotest.(check int) "all pairs sampled" 40 ev.Core.Routing.pairs;
+  Alcotest.(check int) "all delivered" 40 ev.Core.Routing.delivered;
+  check "stretch sane" true
+    (ev.Core.Routing.avg_length_stretch >= 1.
+    && ev.Core.Routing.avg_length_stretch < 10.)
+
+let suites =
+  [
+    ( "core.routing",
+      [
+        Alcotest.test_case "greedy straight line" `Quick
+          test_greedy_straight_line;
+        Alcotest.test_case "greedy local minimum + gfg recovery" `Quick
+          test_greedy_local_minimum;
+        Alcotest.test_case "gfg delivery guarantee" `Slow
+          test_gfg_delivery_guarantee;
+        Alcotest.test_case "gfg on disconnected" `Quick
+          test_gfg_disconnected_returns_none;
+        Alcotest.test_case "hierarchical delivery" `Slow
+          test_hierarchical_delivery;
+        Alcotest.test_case "hierarchical adjacent = direct" `Quick
+          test_hierarchical_adjacent_direct;
+        Alcotest.test_case "hierarchical uses UDG links" `Quick
+          test_hierarchical_path_edges_exist;
+        Alcotest.test_case "variants on a line" `Quick test_variants_on_line;
+        Alcotest.test_case "variants choose differently" `Quick
+          test_variants_choose_differently;
+        Alcotest.test_case "variants fail without progress" `Quick
+          test_variants_fail_without_progress;
+        Alcotest.test_case "variants delivery rates" `Quick
+          test_variants_delivery_rates;
+        Alcotest.test_case "evaluate" `Quick test_evaluate;
+      ] );
+  ]
