@@ -15,6 +15,9 @@ let pf = Format.printf
 (* --out DIR: also export each figure's series as CSV and SVG charts *)
 let out_dir : string option ref = ref None
 
+(* --stats: per-artifact obs report (counters + stage spans) *)
+let with_stats = ref false
+
 let chart_series (s : Core.Experiments.series) =
   { Viz.Chart.label = s.Core.Experiments.label; points = s.Core.Experiments.points }
 
@@ -23,7 +26,10 @@ let export name ~xlabel series =
   | None -> ()
   | Some dir ->
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-    (* CSV: one row per x, one column per curve *)
+    (* CSV: one row per x, one column per curve.  Each curve's points
+       are materialized as an array once (row lookups are O(1), not
+       List.nth), and a curve shorter than the x column yields empty
+       cells instead of raising. *)
     let csv = Filename.concat dir (name ^ ".csv") in
     let oc = open_out csv in
     (match series with
@@ -32,14 +38,18 @@ let export name ~xlabel series =
       Printf.fprintf oc "x,%s\n"
         (String.concat ","
            (List.map (fun s -> s.Core.Experiments.label) series));
+      let cols =
+        List.map (fun s -> Array.of_list s.Core.Experiments.points) series
+      in
       List.iteri
         (fun i (x, _) ->
           Printf.fprintf oc "%g" x;
           List.iter
-            (fun s ->
-              Printf.fprintf oc ",%g"
-                (snd (List.nth s.Core.Experiments.points i)))
-            series;
+            (fun col ->
+              if i < Array.length col then
+                Printf.fprintf oc ",%g" (snd col.(i))
+              else output_string oc ",")
+            cols;
           output_char oc '\n')
         first.Core.Experiments.points);
     close_out oc;
@@ -258,14 +268,13 @@ let extension_power_stretch cfg =
   let pts = List.hd (instances cfg 100 radius) in
   let bb = Core.Backbone.build pts ~radius in
   let udg = bb.Core.Backbone.udg in
+  (* every spanning structure of the registry, measured against the
+     UDG base (which is excluded: its power stretch is 1) *)
   let structures =
-    [
-      ("RNG", Wireless.Proximity.rng_graph udg pts);
-      ("GG", Wireless.Proximity.gabriel_graph udg pts);
-      ("CDS'", bb.Core.Backbone.cds.Core.Cds.cds');
-      ("ICDS'", bb.Core.Backbone.cds.Core.Cds.icds');
-      ("LDel(ICDS')", bb.Core.Backbone.ldel_icds');
-    ]
+    List.filter_map
+      (fun (name, g, scope) ->
+        if scope = `Spans_all && name <> "UDG" then Some (name, g) else None)
+      (Core.Backbone.structures bb)
   in
   pf "%-13s %12s %12s %12s %12s@." "structure" "b=2 avg" "b=2 max" "b=4 avg"
     "b=4 max";
@@ -536,6 +545,8 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
   let args = List.filter (fun a -> a <> "--quick") args in
+  with_stats := List.mem "--stats" args;
+  let args = List.filter (fun a -> a <> "--stats") args in
   let rec take_out acc = function
     | "--out" :: dir :: rest ->
       out_dir := Some dir;
@@ -544,6 +555,7 @@ let () =
     | [] -> List.rev acc
   in
   let args = take_out [] args in
+  if !with_stats then Obs.set_enabled true;
   let cfg =
     if quick then { Core.Experiments.quick with instances = 2 }
     else Core.Experiments.default
@@ -555,22 +567,33 @@ let () =
   let n_sweep = if quick then 150 else 500 in
   let all = args = [] in
   let want name = all || List.mem name args in
-  if want "table1" then table1 cfg;
-  if want "fig8" then fig8 cfg;
-  if want "fig9" then fig9 cfg;
-  if want "fig10" then fig10 cfg;
-  if want "fig11" then fig11 cfg_sweep n_sweep;
-  if want "fig12" then fig12 cfg_sweep n_sweep;
-  if want "ablation" then begin
-    ablation_clustering cfg;
-    ablation_connectors cfg;
-    ablation_ldel_scope cfg;
-    ablation_routing cfg;
-    extension_power_stretch cfg;
-    extension_broadcast cfg;
-    extension_packet_level cfg;
-    extension_quasi_udg cfg;
-    extension_lifetime cfg;
-    extension_bounds cfg
-  end;
-  if want "micro" then micro ()
+  (* with --stats each artifact gets its own isolated work account:
+     counters are reset before and reported after the run *)
+  let artifact name f =
+    if want name then begin
+      if !with_stats then Obs.reset ();
+      f ();
+      if !with_stats then begin
+        pf "@.-- %s: work counters and stage spans --@." name;
+        Obs.report (Obs.pretty Format.std_formatter)
+      end
+    end
+  in
+  artifact "table1" (fun () -> table1 cfg);
+  artifact "fig8" (fun () -> fig8 cfg);
+  artifact "fig9" (fun () -> fig9 cfg);
+  artifact "fig10" (fun () -> fig10 cfg);
+  artifact "fig11" (fun () -> fig11 cfg_sweep n_sweep);
+  artifact "fig12" (fun () -> fig12 cfg_sweep n_sweep);
+  artifact "ablation" (fun () ->
+      ablation_clustering cfg;
+      ablation_connectors cfg;
+      ablation_ldel_scope cfg;
+      ablation_routing cfg;
+      extension_power_stretch cfg;
+      extension_broadcast cfg;
+      extension_packet_level cfg;
+      extension_quasi_udg cfg;
+      extension_lifetime cfg;
+      extension_bounds cfg);
+  artifact "micro" micro

@@ -15,8 +15,40 @@
    `generate` can be fed back to every other subcommand via --input. *)
 
 open Cmdliner
+module Config = Core.Backbone.Config
 
 (* ---------------- shared options ---------------- *)
+
+let stats =
+  let doc =
+    "After the run, report observability counters (predicate calls, exact \
+     fallbacks, grid queries, Delaunay insertions, protocol messages) and \
+     per-stage timing spans to stderr.  $(docv) is pretty, json or csv; \
+     bare $(b,--stats) means pretty.  Counter values are deterministic for \
+     a fixed --seed; span durations are wall-clock."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "pretty") (some string) None
+    & info [ "stats" ] ~docv:"FORMAT" ~doc)
+
+(* Run [f] with the observability layer on and report to stderr in the
+   requested format.  Returns the exit code of [f], or 2 on an unknown
+   format. *)
+let with_stats fmt_name f =
+  match fmt_name with
+  | None -> f ()
+  | Some fmt_name -> (
+    match Obs.named_sink Format.err_formatter fmt_name with
+    | None ->
+      Printf.eprintf "unknown stats format %S (expected pretty, json or csv)\n"
+        fmt_name;
+      2
+    | Some sink ->
+      Obs.set_enabled true;
+      let code = f () in
+      Obs.report sink;
+      code)
 
 let seed =
   let doc = "Random seed for the deployment." in
@@ -84,7 +116,8 @@ let generate_cmd =
     let doc = "Write the deployment to $(docv) instead of stdout." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run seed n side radius connected output =
+  let run seed n side radius connected output stats_fmt =
+    with_stats stats_fmt @@ fun () ->
     let pts = deployment ~seed ~n ~side ~radius ~connected ~input:None in
     (match output with
     | Some file ->
@@ -98,14 +131,15 @@ let generate_cmd =
   let doc = "draw a random node deployment" in
   Cmd.v
     (Cmd.info "generate" ~doc)
-    Term.(const run $ seed $ nodes $ side $ radius $ connected $ output)
+    Term.(const run $ seed $ nodes $ side $ radius $ connected $ output $ stats)
 
 (* ---------------- build ---------------- *)
 
 let build_cmd =
-  let run seed n side radius input =
+  let run seed n side radius input stats_fmt =
+    with_stats stats_fmt @@ fun () ->
     let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
-    let bb = Core.Backbone.build pts ~radius in
+    let bb = Core.Backbone.run { Config.default with Config.radius } pts in
     let roles = bb.Core.Backbone.cds.Core.Cds.roles in
     let dominators =
       Array.fold_left
@@ -135,14 +169,15 @@ let build_cmd =
   let doc = "construct all backbone structures and print statistics" in
   Cmd.v
     (Cmd.info "build" ~doc)
-    Term.(const run $ seed $ nodes $ side $ radius $ input)
+    Term.(const run $ seed $ nodes $ side $ radius $ input $ stats)
 
 (* ---------------- measure ---------------- *)
 
 let measure_cmd =
-  let run seed n side radius input =
+  let run seed n side radius input stats_fmt =
+    with_stats stats_fmt @@ fun () ->
     let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
-    let bb = Core.Backbone.build pts ~radius in
+    let bb = Core.Backbone.run { Config.default with Config.radius } pts in
     let rows = Core.Quality.rows bb in
     Format.printf "%a@." Core.Quality.pp_agg_header ();
     List.iter (fun r -> Format.printf "%a@." Core.Quality.pp_row r) rows;
@@ -151,7 +186,7 @@ let measure_cmd =
   let doc = "measure Table-I quality metrics on one instance" in
   Cmd.v
     (Cmd.info "measure" ~doc)
-    Term.(const run $ seed $ nodes $ side $ radius $ input)
+    Term.(const run $ seed $ nodes $ side $ radius $ input $ stats)
 
 (* ---------------- route ---------------- *)
 
@@ -169,9 +204,10 @@ let route_cmd =
       & opt (enum [ ("greedy", `Greedy); ("gfg", `Gfg); ("hierarchical", `Hier) ]) `Hier
       & info [ "scheme" ] ~docv:"SCHEME" ~doc)
   in
-  let run seed n side radius input src dst scheme =
+  let run seed n side radius input src dst scheme stats_fmt =
+    with_stats stats_fmt @@ fun () ->
     let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
-    let bb = Core.Backbone.build pts ~radius in
+    let bb = Core.Backbone.run { Config.default with Config.radius } pts in
     let result =
       match scheme with
       | `Greedy -> Core.Routing.greedy bb.Core.Backbone.udg pts ~src ~dst
@@ -204,12 +240,15 @@ let route_cmd =
   let doc = "route a packet between two nodes" in
   Cmd.v
     (Cmd.info "route" ~doc)
-    Term.(const run $ seed $ nodes $ side $ radius $ input $ src $ dst $ scheme)
+    Term.(
+      const run $ seed $ nodes $ side $ radius $ input $ src $ dst $ scheme
+      $ stats)
 
 (* ---------------- protocol ---------------- *)
 
 let protocol_cmd =
-  let run seed n side radius input =
+  let run seed n side radius input stats_fmt =
+    with_stats stats_fmt @@ fun () ->
     let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
     let r = Core.Protocol.run pts ~radius in
     let phase name stats =
@@ -236,21 +275,25 @@ let protocol_cmd =
   let doc = "run the distributed construction and report message costs" in
   Cmd.v
     (Cmd.info "protocol" ~doc)
-    Term.(const run $ seed $ nodes $ side $ radius $ input)
+    Term.(const run $ seed $ nodes $ side $ radius $ input $ stats)
 
 (* ---------------- dump ---------------- *)
 
 let dump_cmd =
   let structure =
+    (* valid names come from the registry — the single source of the
+       Table I structure list *)
     let doc =
-      "Structure to dump: udg, rng, gg, ldel, cds, cds', icds, icds', \
-       ldel-icds, ldel-icds'."
+      Printf.sprintf "Structure to dump: %s."
+        (String.concat ", "
+           (List.map String.lowercase_ascii Core.Backbone.names))
     in
-    Arg.(value & opt string "ldel-icds" & info [ "structure" ] ~docv:"NAME" ~doc)
+    Arg.(value & opt string "ldel(icds)" & info [ "structure" ] ~docv:"NAME" ~doc)
   in
-  let run seed n side radius input structure =
+  let run seed n side radius input structure stats_fmt =
+    with_stats stats_fmt @@ fun () ->
     let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
-    let bb = Core.Backbone.build pts ~radius in
+    let bb = Core.Backbone.run { Config.default with Config.radius } pts in
     let canonical s =
       String.lowercase_ascii
         (String.concat ""
@@ -282,7 +325,7 @@ let dump_cmd =
   let doc = "emit a structure's edge list as CSV (u,v,x1,y1,x2,y2)" in
   Cmd.v
     (Cmd.info "dump" ~doc)
-    Term.(const run $ seed $ nodes $ side $ radius $ input $ structure)
+    Term.(const run $ seed $ nodes $ side $ radius $ input $ structure $ stats)
 
 (* ---------------- broadcast ---------------- *)
 
@@ -290,7 +333,8 @@ let broadcast_cmd =
   let source =
     Arg.(value & opt int 0 & info [ "source" ] ~docv:"NODE" ~doc:"Originating node.")
   in
-  let run seed n side radius input source =
+  let run seed n side radius input source stats_fmt =
+    with_stats stats_fmt @@ fun () ->
     let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
     let udg = Wireless.Udg.build pts ~radius in
     let cds = Core.Cds.of_udg udg in
@@ -308,7 +352,7 @@ let broadcast_cmd =
   let doc = "broadcast one packet network-wide and compare relay disciplines" in
   Cmd.v
     (Cmd.info "broadcast" ~doc)
-    Term.(const run $ seed $ nodes $ side $ radius $ input $ source)
+    Term.(const run $ seed $ nodes $ side $ radius $ input $ source $ stats)
 
 (* ---------------- lifetime ---------------- *)
 
@@ -322,7 +366,8 @@ let lifetime_cmd =
   let beta =
     Arg.(value & opt float 3. & info [ "beta" ] ~docv:"B" ~doc:"Path-loss exponent.")
   in
-  let run seed n side radius input epochs battery beta =
+  let run seed n side radius input epochs battery beta stats_fmt =
+    with_stats stats_fmt @@ fun () ->
     let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
     let sink = 0 in
     Printf.printf "%-18s %12s %7s %9s\n" "policy" "first death" "deaths"
@@ -349,7 +394,7 @@ let lifetime_cmd =
     (Cmd.info "lifetime" ~doc)
     Term.(
       const run $ seed $ nodes $ side $ radius $ input $ epochs $ battery
-      $ beta)
+      $ beta $ stats)
 
 (* ---------------- experiment ---------------- *)
 
@@ -361,7 +406,8 @@ let experiment_cmd =
   let instances =
     Arg.(value & opt int 3 & info [ "instances" ] ~docv:"K" ~doc:"Vertex sets per point.")
   in
-  let run which instances =
+  let run which instances stats_fmt =
+    with_stats stats_fmt @@ fun () ->
     let cfg = { Core.Experiments.default with instances } in
     match which with
     | "table1" ->
@@ -394,7 +440,9 @@ let experiment_cmd =
       1
   in
   let doc = "regenerate one of the paper's tables or figures" in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ which $ instances)
+  Cmd.v
+    (Cmd.info "experiment" ~doc)
+    Term.(const run $ which $ instances $ stats)
 
 (* ---------------- main ---------------- *)
 

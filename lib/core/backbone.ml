@@ -10,6 +10,19 @@ type t = {
   ldel_icds' : G.t;
 }
 
+module Config = struct
+  type radio = Disk | Quasi of { r_min : float; seed : int64 }
+
+  type t = {
+    radius : float;
+    priority : (int -> int) option;
+    radio : radio;
+    sink : Obs.sink option;
+  }
+
+  let default = { radius = 60.; priority = None; radio = Disk; sink = None }
+end
+
 let add_dominatee_links udg roles g =
   let g = G.copy g in
   Array.iteri
@@ -19,31 +32,84 @@ let add_dominatee_links udg roles g =
     roles;
   g
 
-let build ?priority points ~radius =
-  let udg = Wireless.Udg.build points ~radius in
-  let cds = Cds.of_udg ?priority udg in
-  let ldel_icds = Ldel.build cds.Cds.icds points ~radius in
-  let ldel_icds_g = ldel_icds.Ldel.planar in
-  let ldel_icds' =
-    add_dominatee_links udg cds.Cds.roles ldel_icds_g
+let run (cfg : Config.t) points =
+  let radius = cfg.Config.radius in
+  let build_stages () =
+    Obs.span "backbone" (fun () ->
+        let udg =
+          Obs.span "udg" (fun () ->
+              match cfg.Config.radio with
+              | Config.Disk -> Wireless.Udg.build points ~radius
+              | Config.Quasi { r_min; seed } ->
+                Wireless.Udg.build_quasi
+                  (Wireless.Rand.create seed)
+                  points ~r_min ~r_max:radius)
+        in
+        let cds = Cds.of_udg ?priority:cfg.Config.priority udg in
+        let ldel_icds =
+          Obs.span "ldel" (fun () -> Ldel.build cds.Cds.icds points ~radius)
+        in
+        let ldel_icds_g = ldel_icds.Ldel.planar in
+        let ldel_icds' =
+          Obs.span "links" (fun () ->
+              add_dominatee_links udg cds.Cds.roles ldel_icds_g)
+        in
+        { points; radius; udg; cds; ldel_icds; ldel_icds_g; ldel_icds' })
   in
-  { points; radius; udg; cds; ldel_icds; ldel_icds_g; ldel_icds' }
+  match cfg.Config.sink with
+  | None -> build_stages ()
+  | Some sink ->
+    let was = Obs.enabled () in
+    Obs.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.set_enabled was;
+        Obs.report sink)
+      build_stages
+
+let build ?priority points ~radius =
+  run { Config.default with Config.radius; priority } points
 
 let ldel_full t = Ldel.build t.udg t.points ~radius:t.radius
 
-let structures t =
-  let rng = Wireless.Proximity.rng_graph t.udg t.points in
-  let gg = Wireless.Proximity.gabriel_graph t.udg t.points in
-  let ldel_v = (ldel_full t).Ldel.planar in
+(* The structure registry: Table I order, defined in exactly one
+   place.  The four baseline rows span all nodes by construction; the
+   backbone family carries the paper's spans-all / backbone-only
+   distinction.  Everything that enumerates structures — [structures],
+   the CLI's build/dump subcommands, the experiment sweeps, the bench
+   extensions — derives from these lists. *)
+
+let baseline_registry : (string * (t -> G.t) * [ `Spans_all | `Backbone_only ]) list
+    =
   [
-    ("UDG", t.udg, `Spans_all);
-    ("RNG", rng, `Spans_all);
-    ("GG", gg, `Spans_all);
-    ("LDel", ldel_v, `Spans_all);
-    ("CDS", t.cds.Cds.cds, `Backbone_only);
-    ("CDS'", t.cds.Cds.cds', `Spans_all);
-    ("ICDS", t.cds.Cds.icds, `Backbone_only);
-    ("ICDS'", t.cds.Cds.icds', `Spans_all);
-    ("LDel(ICDS)", t.ldel_icds_g, `Backbone_only);
-    ("LDel(ICDS')", t.ldel_icds', `Spans_all);
+    ("UDG", (fun t -> t.udg), `Spans_all);
+    ("RNG", (fun t -> Wireless.Proximity.rng_graph t.udg t.points), `Spans_all);
+    ("GG", (fun t -> Wireless.Proximity.gabriel_graph t.udg t.points), `Spans_all);
+    ("LDel", (fun t -> (ldel_full t).Ldel.planar), `Spans_all);
   ]
+
+let backbone_registry : (string * (t -> G.t) * [ `Spans_all | `Backbone_only ]) list
+    =
+  [
+    ("CDS", (fun t -> t.cds.Cds.cds), `Backbone_only);
+    ("CDS'", (fun t -> t.cds.Cds.cds'), `Spans_all);
+    ("ICDS", (fun t -> t.cds.Cds.icds), `Backbone_only);
+    ("ICDS'", (fun t -> t.cds.Cds.icds'), `Spans_all);
+    ("LDel(ICDS)", (fun t -> t.ldel_icds_g), `Backbone_only);
+    ("LDel(ICDS')", (fun t -> t.ldel_icds'), `Spans_all);
+  ]
+
+let registry = baseline_registry @ backbone_registry
+
+let names = List.map (fun (n, _, _) -> n) registry
+
+let materialize entries t =
+  List.map (fun (name, builder, scope) -> (name, builder t, scope)) entries
+
+let structures t = materialize registry t
+let backbone_structures t = materialize backbone_registry t
+
+let spanning_backbone_structures t =
+  materialize
+    (List.filter (fun (_, _, scope) -> scope = `Spans_all) backbone_registry)
+    t

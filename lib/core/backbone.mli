@@ -1,10 +1,10 @@
 (** The full spanner pipeline: deployment → UDG → clustering →
     connectors → CDS family → localized Delaunay planarization.
 
-    [build] computes every structure the paper evaluates, over one
-    node deployment.  This is the library's front door: examples, the
-    CLI, the benchmarks and the experiment sweeps all consume this
-    record. *)
+    [run] computes every structure the paper evaluates, over one node
+    deployment, driven by a {!Config.t}.  This is the library's front
+    door: examples, the CLI, the benchmarks and the experiment sweeps
+    all consume this record. *)
 
 type t = {
   points : Geometry.Point.t array;
@@ -18,9 +18,43 @@ type t = {
           structure spanning all nodes *)
 }
 
-(** [build points ~radius] runs the whole pipeline.  The UDG need not
-    be connected, but the spanner guarantees only hold per component.
-    [priority] overrides the clustering order (see {!Cds.of_udg}). *)
+(** Pipeline configuration — one record instead of a growing pile of
+    optional arguments. *)
+module Config : sig
+  (** The radio model: an ideal unit disk of radius [Config.radius],
+      or a quasi unit disk whose links between [r_min] and the radius
+      survive with distance-proportional probability (drawn from a
+      dedicated RNG seeded by [seed], so a config is reproducible). *)
+  type radio = Disk | Quasi of { r_min : float; seed : int64 }
+
+  type t = {
+    radius : float;  (** transmission radius, shared by all nodes *)
+    priority : (int -> int) option;
+        (** clustering order override (smaller wins; default the node
+            id, the paper's smallest-ID rule — see {!Cds.of_udg}) *)
+    radio : radio;
+    sink : Obs.sink option;
+        (** when set, {!run} enables the observability layer for the
+            duration of the build and emits a snapshot of the global
+            obs state afterwards; call [Obs.reset] first for numbers
+            isolated to one run *)
+  }
+
+  (** radius 60, smallest-ID clustering, ideal disk, no sink. *)
+  val default : t
+end
+
+(** [run cfg points] runs the whole pipeline.  The UDG need not be
+    connected, but the spanner guarantees only hold per component.
+    Stage timings are charged to obs spans [backbone/udg],
+    [backbone/cds/mis], [backbone/cds/connectors],
+    [backbone/cds/assemble], [backbone/ldel] and [backbone/links]. *)
+val run : Config.t -> Geometry.Point.t array -> t
+
+(** [build points ~radius] is
+    [run { Config.default with radius; priority }] — the historical
+    front door, kept so existing callers compile.  New code should
+    construct a {!Config.t} and call {!run}. *)
 val build :
   ?priority:(int -> int) -> Geometry.Point.t array -> radius:float -> t
 
@@ -29,10 +63,31 @@ val build :
     pipeline, so it is not built eagerly). *)
 val ldel_full : t -> Ldel.t
 
-(** [structures t] enumerates the named graphs the evaluation reports
-    on, in Table I order: UDG, RNG, GG, LDel(V), CDS, CDS′, ICDS,
-    ICDS′, LDel(ICDS), LDel(ICDS′).  [spans_all] says whether the
-    structure connects all nodes (only then are stretch factors
-    defined). *)
+(** {1 Structure registry}
+
+    The named graphs the evaluation reports on, in Table I order: UDG,
+    RNG, GG, LDel(V), CDS, CDS′, ICDS, ICDS′, LDel(ICDS), LDel(ICDS′).
+    [`Spans_all] says whether the structure connects all nodes (only
+    then are stretch factors defined).  The registry is the single
+    source of that list: the CLI, the experiment sweeps and the bench
+    harness all consume it rather than maintaining their own copies. *)
+
+val registry :
+  (string * (t -> Netgraph.Graph.t) * [ `Spans_all | `Backbone_only ]) list
+
+(** Registry names, in Table I order. *)
+val names : string list
+
+(** [structures t] materializes the whole registry on one instance. *)
 val structures :
+  t -> (string * Netgraph.Graph.t * [ `Spans_all | `Backbone_only ]) list
+
+(** The six backbone-family rows (CDS … LDel(ICDS′)) — Figure 8's
+    structures. *)
+val backbone_structures :
+  t -> (string * Netgraph.Graph.t * [ `Spans_all | `Backbone_only ]) list
+
+(** The spanning backbone rows (CDS′, ICDS′, LDel(ICDS′)) — the
+    structures whose stretch Figures 9 and 11 track. *)
+val spanning_backbone_structures :
   t -> (string * Netgraph.Graph.t * [ `Spans_all | `Backbone_only ]) list

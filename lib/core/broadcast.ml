@@ -7,6 +7,8 @@ type outcome = {
   rounds : int;
 }
 
+let c_transmissions = Obs.counter "broadcast.transmissions"
+
 let coverage o =
   let n = Array.length o.reached in
   if n = 0 then 1.
@@ -40,6 +42,7 @@ let run_relay udg ~source ~should_relay =
     }
   in
   let states, stats = E.run ~classify:(fun () -> "Packet") udg proto in
+  Obs.add c_transmissions (E.total_sent stats);
   {
     reached = Array.map (fun st -> st.heard) states;
     transmissions = E.total_sent stats;

@@ -31,13 +31,15 @@ let build udg roles connectors =
   { roles; connectors; backbone; cds; cds'; icds; icds' }
 
 let of_udg ?priority udg =
-  let roles =
-    match priority with
-    | None -> Mis.compute udg
-    | Some priority -> Mis.compute_with_priority udg ~priority
-  in
-  let connectors = Connectors.find udg roles in
-  build udg roles connectors
+  Obs.span "cds" (fun () ->
+      let roles =
+        Obs.span "mis" (fun () ->
+            match priority with
+            | None -> Mis.compute udg
+            | Some priority -> Mis.compute_with_priority udg ~priority)
+      in
+      let connectors = Obs.span "connectors" (fun () -> Connectors.find udg roles) in
+      Obs.span "assemble" (fun () -> build udg roles connectors))
 
 let backbone_nodes t =
   let acc = ref [] in

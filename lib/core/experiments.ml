@@ -72,15 +72,9 @@ let sweep xs ~of_x =
         })
       first
 
+(* Figure 8's structures: the backbone family of the registry. *)
 let degree_structures (bb : Backbone.t) =
-  [
-    ("CDS", bb.Backbone.cds.Cds.cds);
-    ("CDS'", bb.Backbone.cds.Cds.cds');
-    ("ICDS", bb.Backbone.cds.Cds.icds);
-    ("ICDS'", bb.Backbone.cds.Cds.icds');
-    ("LDel(ICDS)", bb.Backbone.ldel_icds_g);
-    ("LDel(ICDS')", bb.Backbone.ldel_icds');
-  ]
+  List.map (fun (name, g, _) -> (name, g)) (Backbone.backbone_structures bb)
 
 let default_ns = [ 20; 30; 40; 50; 60; 70; 80; 90; 100 ]
 let default_radii = [ 20.; 25.; 30.; 35.; 40.; 45.; 50.; 55.; 60. ]
@@ -106,11 +100,9 @@ let degree_vs_n ?(cfg = default) ?(radius = 60.) ?(ns = default_ns) () =
 
 let stretch_values bb =
   let spanning =
-    [
-      ("CDS'", bb.Backbone.cds.Cds.cds');
-      ("ICDS'", bb.Backbone.cds.Cds.icds');
-      ("LDel(ICDS')", bb.Backbone.ldel_icds');
-    ]
+    List.map
+      (fun (name, g, _) -> (name, g))
+      (Backbone.spanning_backbone_structures bb)
   in
   List.concat_map
     (fun (name, g) ->
@@ -192,6 +184,9 @@ let comm_and_degree_vs_radius ?(cfg = default) ?(n = 500)
 let pp_series fmt = function
   | [] -> ()
   | series ->
+    (* one array per curve: indexing rows is O(1), and a curve shorter
+       than the x column renders a blank cell instead of raising *)
+    let cols = List.map (fun s -> Array.of_list s.points) series in
     let xs = List.map fst (List.hd series).points in
     Format.fprintf fmt "%-10s" "x";
     List.iter (fun s -> Format.fprintf fmt " %22s" s.label) series;
@@ -200,7 +195,10 @@ let pp_series fmt = function
       (fun i x ->
         Format.fprintf fmt "%-10g" x;
         List.iter
-          (fun s -> Format.fprintf fmt " %22.3f" (snd (List.nth s.points i)))
-          series;
+          (fun col ->
+            if i < Array.length col then
+              Format.fprintf fmt " %22.3f" (snd col.(i))
+            else Format.fprintf fmt " %22s" "-")
+          cols;
         Format.pp_print_newline fmt ())
       xs

@@ -666,10 +666,11 @@ let icds_stats r = E.merge (cds_stats r) r.stats_status
 let ldel_stats r = E.merge (icds_stats r) r.stats_ldel
 
 let run points ~radius =
-  let udg = Wireless.Udg.build points ~radius in
+  Obs.span "protocol" @@ fun () ->
+  let udg = Obs.span "udg" (fun () -> Wireless.Udg.build points ~radius) in
   let n = Array.length points in
   let cluster, stats_cluster =
-    E.run ~classify udg (cluster_protocol points)
+    Obs.span "cluster" (fun () -> E.run ~classify udg (cluster_protocol points))
   in
   let roles =
     Array.map
@@ -680,7 +681,10 @@ let run points ~radius =
         | `White -> assert false)
       cluster
   in
-  let conn, stats_connector = E.run ~classify udg (connectors_protocol cluster) in
+  let conn, stats_connector =
+    Obs.span "connectors" (fun () ->
+        E.run ~classify udg (connectors_protocol cluster))
+  in
   let connector = Array.map (fun st -> st.c_is_connector) conn in
   let cds_edges =
     List.sort_uniq compare
@@ -689,7 +693,9 @@ let run points ~radius =
   let backbone =
     Array.init n (fun u -> roles.(u) = Mis.Dominator || connector.(u))
   in
-  let status, stats_status = E.run ~classify udg (status_protocol backbone) in
+  let status, stats_status =
+    Obs.span "status" (fun () -> E.run ~classify udg (status_protocol backbone))
+  in
   let icds_edges =
     let acc = ref [] in
     Array.iteri
@@ -702,7 +708,8 @@ let run points ~radius =
     List.sort compare !acc
   in
   let ldel, stats_ldel =
-    E.run ~classify udg (ldel_protocol status cluster points ~radius)
+    Obs.span "ldel" (fun () ->
+        E.run ~classify udg (ldel_protocol status cluster points ~radius))
   in
   let ldel_triangles =
     List.sort_uniq compare

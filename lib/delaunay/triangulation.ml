@@ -7,6 +7,14 @@ module Pred = Geometry.Predicates
    with the mesh exterior to its left. *)
 let ghost = -1
 
+(* Bowyer–Watson work counters: one insertion per point after the
+   seed; the cavity size (bad triangles excavated per insertion) is
+   this kernel's analogue of edge flips. *)
+let c_triangulations = Obs.counter "delaunay.triangulations"
+let c_insertions = Obs.counter "delaunay.insertions"
+let c_cavity = Obs.counter "delaunay.cavity_triangles"
+let d_cavity = Obs.dist "delaunay.cavity_size"
+
 module TriSet = Set.Make (struct
   type t = int * int * int
 
@@ -52,10 +60,16 @@ let in_circumdisk pts (a, b, c) p =
 let directed_edges (a, b, c) = [ (a, b); (b, c); (c, a) ]
 
 let insert t pi =
+  Obs.incr c_insertions;
   let p = t.pts.(pi) in
   let bad =
     TriSet.filter (fun tri -> in_circumdisk t.pts tri p) t.alive
   in
+  if !Obs.on then begin
+    let cavity = TriSet.cardinal bad in
+    Obs.add c_cavity cavity;
+    Obs.observe d_cavity (float_of_int cavity)
+  end;
   if TriSet.is_empty bad then
     (* Every point is covered by a real or ghost triangle; an empty
        cavity means a duplicate point sat exactly on a vertex. *)
@@ -115,6 +129,7 @@ let collinear_fallback pts =
   path 0 []
 
 let triangulate pts =
+  Obs.incr c_triangulations;
   check_distinct pts;
   match find_seed pts with
   | None ->

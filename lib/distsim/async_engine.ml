@@ -1,3 +1,7 @@
+let c_runs = Obs.counter "distsim.async.runs"
+let c_sent = Obs.counter "distsim.async.sent"
+let c_deliveries = Obs.counter "distsim.async.deliveries"
+
 type 'msg delivery = { from : int; time : float; msg : 'msg }
 
 type 'msg context = {
@@ -112,4 +116,9 @@ let run ?(max_messages = 10_000_000) ~delay graph protocol =
       loop ()
   in
   loop ();
+  if !Obs.on then begin
+    Obs.incr c_runs;
+    Obs.add c_sent (Array.fold_left ( + ) 0 sent);
+    Obs.add c_deliveries !deliveries
+  end;
   (states, { deliveries = !deliveries; sent; finish_time = !finish })

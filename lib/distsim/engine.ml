@@ -1,3 +1,23 @@
+(* The per-run [stats] record remains the protocol-facing return value
+   (figures 10/12 need per-node counts per phase), but every run also
+   settles its tallies into the global obs counters below, so message
+   work is reported through the same channel as the predicate and
+   Delaunay counters.  The flush happens once per run — nothing is
+   charged per message. *)
+let c_runs = Obs.counter "distsim.runs"
+let c_rounds = Obs.counter "distsim.rounds"
+let c_messages = Obs.counter "distsim.messages"
+
+let flush_stats_to_obs ~rounds ~total ~by_kind =
+  if !Obs.on then begin
+    Obs.incr c_runs;
+    Obs.add c_rounds rounds;
+    Obs.add c_messages total;
+    List.iter
+      (fun (k, c) -> Obs.add (Obs.counter ("distsim.msg." ^ k)) c)
+      by_kind
+  end
+
 type 'msg delivery = { from : int; msg : 'msg }
 
 type 'msg context = {
@@ -97,4 +117,6 @@ let run ?max_rounds ~classify graph protocol =
   let by_kind =
     List.sort compare (Hashtbl.fold (fun k c acc -> (k, c) :: acc) kinds [])
   in
-  (states, { rounds = !rounds; sent; by_kind })
+  let stats = { rounds = !rounds; sent; by_kind } in
+  flush_stats_to_obs ~rounds:stats.rounds ~total:(total_sent stats) ~by_kind;
+  (states, stats)

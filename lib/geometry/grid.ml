@@ -4,6 +4,9 @@ type t = {
   cells : (int * int, int list ref) Hashtbl.t;
 }
 
+let c_queries = Obs.counter "grid.queries"
+let d_results = Obs.dist "grid.query_results"
+
 let cell_of t (p : Point.t) =
   (int_of_float (Float.floor (p.x /. t.cell_size)),
    int_of_float (Float.floor (p.y /. t.cell_size)))
@@ -33,19 +36,29 @@ let fold_cells t (cx, cy) rings f init =
 
 let neighbors_within t i r =
   if r > t.cell_size then invalid_arg "Grid.neighbors_within: r > cell_size";
+  Obs.incr c_queries;
   let p = t.points.(i) in
   let r2 = r *. r in
-  fold_cells t (cell_of t p) 1
-    (fun acc j ->
-      if j <> i && Point.dist2 p t.points.(j) <= r2 then j :: acc else acc)
-    []
+  let res =
+    fold_cells t (cell_of t p) 1
+      (fun acc j ->
+        if j <> i && Point.dist2 p t.points.(j) <= r2 then j :: acc else acc)
+      []
+  in
+  if !Obs.on then Obs.observe d_results (float_of_int (List.length res));
+  res
 
 let points_within t p r =
+  Obs.incr c_queries;
   let rings = max 1 (int_of_float (Float.ceil (r /. t.cell_size))) in
   let r2 = r *. r in
-  fold_cells t (cell_of t p) rings
-    (fun acc j -> if Point.dist2 p t.points.(j) <= r2 then j :: acc else acc)
-    []
+  let res =
+    fold_cells t (cell_of t p) rings
+      (fun acc j -> if Point.dist2 p t.points.(j) <= r2 then j :: acc else acc)
+      []
+  in
+  if !Obs.on then Obs.observe d_results (float_of_int (List.length res));
+  res
 
 let size t = Array.length t.points
 let points t = t.points

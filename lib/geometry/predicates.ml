@@ -1,5 +1,14 @@
 type orientation = Ccw | Cw | Collinear
 
+(* Work counters: every filtered-predicate call, and how often the
+   float filter is inconclusive and falls through to the exact
+   expansion arithmetic.  The fallback rate is the quantity that
+   decides whether the filter bounds below are doing their job. *)
+let c_orient2d = Obs.counter "predicates.orient2d"
+let c_orient2d_exact = Obs.counter "predicates.orient2d.exact"
+let c_incircle = Obs.counter "predicates.incircle"
+let c_incircle_exact = Obs.counter "predicates.incircle.exact"
+
 (* Error-free transformations: [two_sum], [two_diff] and [two_prod]
    return the rounded result together with the exact rounding error,
    so determinants can be evaluated exactly (as multi-term float
@@ -93,6 +102,7 @@ let orient2d_exact_sign (a : Point.t) (b : Point.t) (c : Point.t) =
   expansion_sign (expansion_sub (expansion_mul bax cay) (expansion_mul bay cax))
 
 let orient2d (a : Point.t) (b : Point.t) (c : Point.t) =
+  Obs.incr c_orient2d;
   let detleft = (b.x -. a.x) *. (c.y -. a.y) in
   let detright = (b.y -. a.y) *. (c.x -. a.x) in
   let det = detleft -. detright in
@@ -103,7 +113,10 @@ let orient2d (a : Point.t) (b : Point.t) (c : Point.t) =
   let s =
     if det > bound then 1
     else if det < -.bound then -1
-    else orient2d_exact_sign a b c
+    else begin
+      Obs.incr c_orient2d_exact;
+      orient2d_exact_sign a b c
+    end
   in
   if s > 0 then Ccw else if s < 0 then Cw else Collinear
 
@@ -133,6 +146,7 @@ let incircle_exact_sign (a : Point.t) (b : Point.t) (c : Point.t)
   expansion_sign (expansion_sum (expansion_sum t1 t2) t3)
 
 let incircle_sign a b c d =
+  Obs.incr c_incircle;
   let det = incircle_det a b c d in
   let ax, ay = (a.Point.x -. d.Point.x, a.Point.y -. d.Point.y) in
   let bx, by = (b.Point.x -. d.Point.x, b.Point.y -. d.Point.y) in
@@ -151,7 +165,10 @@ let incircle_sign a b c d =
   let bound = 1e-14 *. permanent in
   if det > bound then 1
   else if det < -.bound then -1
-  else incircle_exact_sign a b c d
+  else begin
+    Obs.incr c_incircle_exact;
+    incircle_exact_sign a b c d
+  end
 
 let incircle a b c d =
   match orient2d a b c with

@@ -1,0 +1,281 @@
+let on = ref false
+let enabled () = !on
+let set_enabled b = on := b
+
+type counter = { c_name : string; mutable c_value : int }
+
+type dist_cell = {
+  d_name : string;
+  mutable d_count : int;
+  mutable d_sum : float;
+  mutable d_min : float;
+  mutable d_max : float;
+}
+
+type dist = dist_cell
+
+type span_cell = { mutable s_calls : int; mutable s_seconds : float }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let dists : (string, dist_cell) Hashtbl.t = Hashtbl.create 16
+let spans : (string, span_cell) Hashtbl.t = Hashtbl.create 16
+
+(* span paths in first-entered order, reversed *)
+let span_order : string list ref = ref []
+
+(* the '/'-joined path of currently open spans *)
+let span_path = ref ""
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.add counters name c;
+    c
+
+let incr c = if !on then c.c_value <- c.c_value + 1
+let add c n = if !on then c.c_value <- c.c_value + n
+let value c = c.c_value
+
+let dist name =
+  match Hashtbl.find_opt dists name with
+  | Some d -> d
+  | None ->
+    let d =
+      { d_name = name; d_count = 0; d_sum = 0.; d_min = infinity;
+        d_max = neg_infinity }
+    in
+    Hashtbl.add dists name d;
+    d
+
+let observe d v =
+  if !on then begin
+    d.d_count <- d.d_count + 1;
+    d.d_sum <- d.d_sum +. v;
+    if v < d.d_min then d.d_min <- v;
+    if v > d.d_max then d.d_max <- v
+  end
+
+let span name f =
+  if not !on then f ()
+  else begin
+    let parent = !span_path in
+    let path = if parent = "" then name else parent ^ "/" ^ name in
+    let cell =
+      match Hashtbl.find_opt spans path with
+      | Some c -> c
+      | None ->
+        let c = { s_calls = 0; s_seconds = 0. } in
+        Hashtbl.add spans path c;
+        span_order := path :: !span_order;
+        c
+    in
+    span_path := path;
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        cell.s_calls <- cell.s_calls + 1;
+        cell.s_seconds <- cell.s_seconds +. (Unix.gettimeofday () -. t0);
+        span_path := parent)
+      f
+  end
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.iter
+    (fun _ d ->
+      d.d_count <- 0;
+      d.d_sum <- 0.;
+      d.d_min <- infinity;
+      d.d_max <- neg_infinity)
+    dists;
+  Hashtbl.reset spans;
+  span_order := [];
+  span_path := ""
+
+module Snapshot = struct
+  type dist_stats = { count : int; sum : float; min : float; max : float }
+  type span_stats = { path : string; calls : int; seconds : float }
+
+  type t = {
+    counters : (string * int) list;
+    dists : (string * dist_stats) list;
+    spans : span_stats list;
+  }
+
+  let capture () =
+    {
+      counters =
+        List.sort compare
+          (Hashtbl.fold (fun k c acc -> (k, c.c_value) :: acc) counters []);
+      dists =
+        List.sort compare
+          (Hashtbl.fold
+             (fun k d acc ->
+               if d.d_count = 0 then acc
+               else
+                 ( k,
+                   { count = d.d_count; sum = d.d_sum; min = d.d_min;
+                     max = d.d_max } )
+                 :: acc)
+             dists []);
+      spans =
+        List.rev_map
+          (fun path ->
+            let c = Hashtbl.find spans path in
+            { path; calls = c.s_calls; seconds = c.s_seconds })
+          !span_order;
+    }
+
+  let lines s =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+
+  let of_json_lines s =
+    let parse acc line =
+      try
+        Scanf.sscanf line "{\"kind\":\"counter\",\"name\":%S,\"value\":%d}"
+          (fun name v -> { acc with counters = (name, v) :: acc.counters })
+      with Scanf.Scan_failure _ | End_of_file -> (
+        try
+          Scanf.sscanf line
+            "{\"kind\":\"dist\",\"name\":%S,\"count\":%d,\"sum\":%g,\"min\":%g,\"max\":%g}"
+            (fun name count sum min max ->
+              { acc with dists = (name, { count; sum; min; max }) :: acc.dists })
+        with Scanf.Scan_failure _ | End_of_file -> (
+          try
+            Scanf.sscanf line
+              "{\"kind\":\"span\",\"name\":%S,\"calls\":%d,\"seconds\":%g}"
+              (fun path calls seconds ->
+                { acc with spans = { path; calls; seconds } :: acc.spans })
+          with Scanf.Scan_failure _ | End_of_file ->
+            failwith ("Obs.Snapshot.of_json_lines: bad line: " ^ line)))
+    in
+    let acc =
+      List.fold_left parse { counters = []; dists = []; spans = [] } (lines s)
+    in
+    {
+      counters = List.rev acc.counters;
+      dists = List.rev acc.dists;
+      spans = List.rev acc.spans;
+    }
+
+  let of_csv s =
+    let parse acc line =
+      match String.split_on_char ',' line with
+      | [ "kind"; "name"; _; _; _; _ ] -> acc
+      | [ "counter"; name; v; _; _; _ ] ->
+        { acc with counters = (name, int_of_string v) :: acc.counters }
+      | [ "dist"; name; count; sum; min; max ] ->
+        {
+          acc with
+          dists =
+            ( name,
+              { count = int_of_string count; sum = float_of_string sum;
+                min = float_of_string min; max = float_of_string max } )
+            :: acc.dists;
+        }
+      | [ "span"; path; calls; seconds; _; _ ] ->
+        {
+          acc with
+          spans =
+            { path; calls = int_of_string calls;
+              seconds = float_of_string seconds }
+            :: acc.spans;
+        }
+      | _ -> failwith ("Obs.Snapshot.of_csv: bad line: " ^ line)
+    in
+    let acc =
+      List.fold_left parse { counters = []; dists = []; spans = [] } (lines s)
+    in
+    {
+      counters = List.rev acc.counters;
+      dists = List.rev acc.dists;
+      spans = List.rev acc.spans;
+    }
+end
+
+type sink = Snapshot.t -> unit
+
+let pretty fmt (s : Snapshot.t) =
+  let open Format in
+  if s.counters <> [] then begin
+    fprintf fmt "counters:@.";
+    List.iter
+      (fun (name, v) -> fprintf fmt "  %-40s %12d@." name v)
+      s.counters
+  end;
+  if s.spans <> [] then begin
+    fprintf fmt "spans:%42s %12s@." "calls" "seconds";
+    List.iter
+      (fun { Snapshot.path; calls; seconds } ->
+        let depth =
+          String.fold_left (fun d c -> if c = '/' then d + 1 else d) 0 path
+        in
+        let leaf =
+          match String.rindex_opt path '/' with
+          | None -> path
+          | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+        in
+        let indent = String.make (2 + (2 * depth)) ' ' in
+        fprintf fmt "%s%-*s %12d %12.6f@." indent
+          (max 1 (46 - String.length indent))
+          leaf calls seconds)
+      s.spans
+  end;
+  if s.dists <> [] then begin
+    fprintf fmt "dists:%41s %9s %9s %9s@." "count" "avg" "min" "max";
+    List.iter
+      (fun (name, { Snapshot.count; sum; min; max }) ->
+        fprintf fmt "  %-40s %5d %9.2f %9.2f %9.2f@." name count
+          (sum /. float_of_int count)
+          min max)
+      s.dists
+  end
+
+(* %.17g round-trips IEEE doubles exactly *)
+let g17 = Printf.sprintf "%.17g"
+
+let json fmt (s : Snapshot.t) =
+  let open Format in
+  List.iter
+    (fun (name, v) ->
+      fprintf fmt "{\"kind\":\"counter\",\"name\":%S,\"value\":%d}@." name v)
+    s.counters;
+  List.iter
+    (fun (name, { Snapshot.count; sum; min; max }) ->
+      fprintf fmt
+        "{\"kind\":\"dist\",\"name\":%S,\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s}@."
+        name count (g17 sum) (g17 min) (g17 max))
+    s.dists;
+  List.iter
+    (fun { Snapshot.path; calls; seconds } ->
+      fprintf fmt "{\"kind\":\"span\",\"name\":%S,\"calls\":%d,\"seconds\":%s}@."
+        path calls (g17 seconds))
+    s.spans
+
+let csv fmt (s : Snapshot.t) =
+  let open Format in
+  fprintf fmt "kind,name,a,b,c,d@.";
+  List.iter
+    (fun (name, v) -> fprintf fmt "counter,%s,%d,,,@." name v)
+    s.counters;
+  List.iter
+    (fun (name, { Snapshot.count; sum; min; max }) ->
+      fprintf fmt "dist,%s,%d,%s,%s,%s@." name count (g17 sum) (g17 min)
+        (g17 max))
+    s.dists;
+  List.iter
+    (fun { Snapshot.path; calls; seconds } ->
+      fprintf fmt "span,%s,%d,%s,,@." path calls (g17 seconds))
+    s.spans
+
+let named_sink fmt = function
+  | "pretty" -> Some (pretty fmt)
+  | "json" -> Some (json fmt)
+  | "csv" -> Some (csv fmt)
+  | _ -> None
+
+let report sink = sink (Snapshot.capture ())

@@ -1,0 +1,120 @@
+(** Observability: named monotonic counters, value distributions and
+    nestable timing spans, behind a near-zero-cost interface.
+
+    Everything hangs off one global registry so instrumented modules
+    (geometry predicates, the grid, the Delaunay kernel, the
+    distributed engines, the backbone pipeline) report through a
+    single channel.  When disabled — the default — every hot-path hook
+    is a single load-and-branch on {!enabled}; no allocation, no
+    hashing, no clock reads.  Counter values are deterministic for a
+    deterministic computation; span durations are wall-clock and are
+    the only non-deterministic quantity a {!Snapshot.t} carries.
+
+    Handles are created once, at module initialization time
+    ([let c = Obs.counter "delaunay.insertions"]), and bumped in hot
+    loops.  [counter]/[dist] are idempotent per name, so two modules
+    naming the same metric share one cell. *)
+
+(** {1 Switch} *)
+
+(** The global on/off flag, exposed as a ref so hot paths can guard
+    compound instrumentation ([if !Obs.on then ...]) at the cost of a
+    single load.  Treat as read-only outside {!set_enabled}. *)
+val on : bool ref
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** [reset ()] zeroes every counter, distribution and span while
+    keeping all registered handles valid. *)
+val reset : unit -> unit
+
+(** {1 Counters} *)
+
+type counter
+
+(** [counter name] returns the monotonic counter registered under
+    [name], creating it at zero on first use. *)
+val counter : string -> counter
+
+(** [incr c] adds one when enabled; a no-op when disabled. *)
+val incr : counter -> unit
+
+(** [add c n] adds [n] when enabled; a no-op when disabled. *)
+val add : counter -> int -> unit
+
+(** Current value (reads even when disabled). *)
+val value : counter -> int
+
+(** {1 Distributions}
+
+    Count / sum / min / max of an observed stream of values — enough
+    for average sizes (grid query degrees, cavity sizes) without
+    storing samples. *)
+
+type dist
+
+val dist : string -> dist
+val observe : dist -> float -> unit
+
+(** {1 Spans}
+
+    [span name f] times [f ()] with a wall clock and charges it to the
+    path [parent/.../name] formed by the spans currently open on the
+    (thread-unsafe, global) span stack.  Re-entering the same path
+    accumulates: a snapshot reports calls and total seconds per path.
+    When disabled it is exactly [f ()]. *)
+
+val span : string -> (unit -> 'a) -> 'a
+
+(** {1 Snapshots and sinks} *)
+
+module Snapshot : sig
+  type dist_stats = { count : int; sum : float; min : float; max : float }
+  type span_stats = { path : string; calls : int; seconds : float }
+
+  type t = {
+    counters : (string * int) list;  (** sorted by name *)
+    dists : (string * dist_stats) list;  (** sorted by name; count > 0 *)
+    spans : span_stats list;  (** first-entered order (execution order) *)
+  }
+
+  (** Capture the registry's current state.  Counters are reported
+      even when zero; distributions only once observed. *)
+  val capture : unit -> t
+
+  (** Parse the output of the {!val-json} sink (one JSON object per
+      line).  Only the exact subset this module emits is understood.
+      @raise Failure on malformed input. *)
+  val of_json_lines : string -> t
+
+  (** Parse the output of the {!val-csv} sink.
+      @raise Failure on malformed input. *)
+  val of_csv : string -> t
+end
+
+(** A sink consumes one snapshot; the destination (file, formatter,
+    buffer) is captured in the closure, so sinks are pluggable
+    end-to-end: [Backbone.Config.sink], [--stats] in the CLI and the
+    bench harness all take a value of this type. *)
+type sink = Snapshot.t -> unit
+
+(** Human-readable table: counters, span tree (indented by nesting),
+    distributions. *)
+val pretty : Format.formatter -> sink
+
+(** JSON-lines: one [{"kind":...}] object per metric.  Floats are
+    printed with 17 significant digits and round-trip exactly through
+    {!Snapshot.of_json_lines}. *)
+val json : Format.formatter -> sink
+
+(** CSV with header [kind,name,a,b,c,d]; round-trips through
+    {!Snapshot.of_csv}. *)
+val csv : Format.formatter -> sink
+
+(** [named_sink fmt name] maps ["pretty"], ["json"], ["csv"] to the
+    sink above; [None] for anything else. *)
+val named_sink : Format.formatter -> string -> sink option
+
+(** [report sink] captures and emits in one step. *)
+val report : sink -> unit

@@ -126,6 +126,82 @@ let test_ldel_icds'_equals_planar_plus_links () =
       in
       check "edge classified" true (in_planar || dominatee_link))
 
+let test_run_config_equals_build () =
+  let rng = Wireless.Rand.create 407L in
+  let pts, _ =
+    Wireless.Deploy.connected_uniform rng ~n:60 ~side:200. ~radius:50.
+      ~max_attempts:2000
+  in
+  let via_build = Core.Backbone.build pts ~radius:50. in
+  let via_run =
+    Core.Backbone.run
+      { Core.Backbone.Config.default with Core.Backbone.Config.radius = 50. }
+      pts
+  in
+  check "same udg" true
+    (G.equal via_build.Core.Backbone.udg via_run.Core.Backbone.udg);
+  List.iter2
+    (fun (name, g1, _) (_, g2, _) ->
+      check (name ^ " identical via run") true (G.equal g1 g2))
+    (Core.Backbone.structures via_build)
+    (Core.Backbone.structures via_run)
+
+let test_run_quasi_radio () =
+  let rng = Wireless.Rand.create 408L in
+  let pts, _ =
+    Wireless.Deploy.connected_uniform rng ~n:60 ~side:200. ~radius:50.
+      ~max_attempts:2000
+  in
+  let bb =
+    Core.Backbone.run
+      {
+        Core.Backbone.Config.default with
+        Core.Backbone.Config.radius = 50.;
+        radio = Core.Backbone.Config.Quasi { r_min = 35.; seed = 9L };
+      }
+      pts
+  in
+  let disk = Core.Backbone.build pts ~radius:50. in
+  check "quasi udg within disk udg" true
+    (G.is_subgraph bb.Core.Backbone.udg disk.Core.Backbone.udg);
+  (* derived structures still live inside the (quasi) UDG *)
+  List.iter
+    (fun (name, g, _) ->
+      check (name ^ " within quasi UDG") true
+        (G.is_subgraph g bb.Core.Backbone.udg))
+    (Core.Backbone.structures bb)
+
+let test_registry_is_single_source () =
+  Alcotest.(check (list string))
+    "registry drives the published name list"
+    [
+      "UDG"; "RNG"; "GG"; "LDel"; "CDS"; "CDS'"; "ICDS"; "ICDS'"; "LDel(ICDS)";
+      "LDel(ICDS')";
+    ]
+    Core.Backbone.names;
+  let bb = build 409L 50 50. in
+  Alcotest.(check (list string))
+    "structures follow the registry order" Core.Backbone.names
+    (List.map (fun (n, _, _) -> n) (Core.Backbone.structures bb));
+  Alcotest.(check (list string))
+    "backbone family subset, in order"
+    [ "CDS"; "CDS'"; "ICDS"; "ICDS'"; "LDel(ICDS)"; "LDel(ICDS')" ]
+    (List.map (fun (n, _, _) -> n) (Core.Backbone.backbone_structures bb));
+  Alcotest.(check (list string))
+    "spanning backbone structures are the primed ones"
+    [ "CDS'"; "ICDS'"; "LDel(ICDS')" ]
+    (List.map (fun (n, _, _) -> n)
+       (Core.Backbone.spanning_backbone_structures bb));
+  (* scopes: exactly the non-spanning backbones are Backbone_only *)
+  List.iter
+    (fun (name, _, scope) ->
+      let expect_backbone_only =
+        List.mem name [ "CDS"; "ICDS"; "LDel(ICDS)" ]
+      in
+      check (name ^ " scope") true
+        (scope = if expect_backbone_only then `Backbone_only else `Spans_all))
+    (Core.Backbone.structures bb)
+
 let test_deterministic_pipeline () =
   let bb1 = build 406L 60 50. in
   let bb2 = build 406L 60 50. in
@@ -150,6 +226,12 @@ let suites =
           test_experiments_comm_quick;
         Alcotest.test_case "LDel(ICDS') composition" `Quick
           test_ldel_icds'_equals_planar_plus_links;
+        Alcotest.test_case "Backbone.run equals build" `Quick
+          test_run_config_equals_build;
+        Alcotest.test_case "Backbone.run quasi radio" `Quick
+          test_run_quasi_radio;
+        Alcotest.test_case "registry single source" `Quick
+          test_registry_is_single_source;
         Alcotest.test_case "pipeline deterministic" `Quick
           test_deterministic_pipeline;
       ] );

@@ -1,0 +1,244 @@
+(* The observability layer: counter/span semantics, determinism of the
+   work counters for a fixed seed, sink round-trips, and the disabled
+   path leaving the registry untouched. *)
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* Every test starts from a clean, disabled registry and must leave
+   the global switch off for the rest of the suite. *)
+let isolated f () =
+  Obs.reset ();
+  Obs.set_enabled false;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+let deployment seed n radius =
+  let rng = Wireless.Rand.create seed in
+  fst
+    (Wireless.Deploy.connected_uniform rng ~n ~side:200. ~radius
+       ~max_attempts:2000)
+
+(* ------------------------------------------------------------------ *)
+(* Core semantics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_basics () =
+  let c = Obs.counter "test.basics" in
+  Obs.incr c;
+  checki "disabled incr is a no-op" 0 (Obs.value c);
+  Obs.set_enabled true;
+  Obs.incr c;
+  Obs.add c 41;
+  checki "enabled counts" 42 (Obs.value c);
+  check "same name, same cell" true (Obs.counter "test.basics" == c);
+  Obs.reset ();
+  checki "reset zeroes but keeps the handle" 0 (Obs.value c)
+
+let test_disabled_leaves_counters_untouched () =
+  (* run a real pipeline with obs off: nothing may move *)
+  let pts = deployment 2002L 40 60. in
+  let bb = Core.Backbone.build pts ~radius:60. in
+  let _ = Core.Protocol.run pts ~radius:60. in
+  ignore (Core.Backbone.ldel_full bb);
+  let snap = Obs.Snapshot.capture () in
+  List.iter
+    (fun (name, v) -> checki (name ^ " untouched") 0 v)
+    snap.Obs.Snapshot.counters;
+  check "no dists" true (snap.Obs.Snapshot.dists = []);
+  check "no spans" true (snap.Obs.Snapshot.spans = [])
+
+let test_span_nesting () =
+  Obs.set_enabled true;
+  let v =
+    Obs.span "outer" (fun () ->
+        Obs.span "inner" (fun () -> ());
+        Obs.span "inner" (fun () -> ());
+        7)
+  in
+  checki "span returns the body's value" 7 v;
+  Obs.span "outer" (fun () -> ());
+  let snap = Obs.Snapshot.capture () in
+  let paths =
+    List.map
+      (fun s -> (s.Obs.Snapshot.path, s.Obs.Snapshot.calls))
+      snap.Obs.Snapshot.spans
+  in
+  Alcotest.(check (list (pair string int)))
+    "paths nest and accumulate"
+    [ ("outer", 2); ("outer/inner", 2) ]
+    paths
+
+let test_span_unwinds_on_exception () =
+  Obs.set_enabled true;
+  (try Obs.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Obs.span "after" (fun () -> ());
+  let snap = Obs.Snapshot.capture () in
+  let paths = List.map (fun s -> s.Obs.Snapshot.path) snap.Obs.Snapshot.spans in
+  Alcotest.(check (list string))
+    "stack popped despite the raise" [ "boom"; "after" ] paths
+
+(* ------------------------------------------------------------------ *)
+(* Determinism for a fixed seed                                        *)
+(* ------------------------------------------------------------------ *)
+
+let counters_of f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  f ();
+  Obs.set_enabled false;
+  (Obs.Snapshot.capture ()).Obs.Snapshot.counters
+
+let test_backbone_counters_deterministic () =
+  let pts = deployment 2002L 60 60. in
+  let run () = ignore (Core.Backbone.build pts ~radius:60.) in
+  let c1 = counters_of run and c2 = counters_of run in
+  check "two identical builds, identical counters" true (c1 = c2);
+  let v name = List.assoc name c1 in
+  check "predicates counted" true (v "predicates.incircle" > 0);
+  check "insertions counted" true (v "delaunay.insertions" > 0);
+  check "grid queried once per node" true (v "grid.queries" = 60);
+  check "fallbacks never exceed calls" true
+    (v "predicates.orient2d.exact" <= v "predicates.orient2d"
+    && v "predicates.incircle.exact" <= v "predicates.incircle")
+
+let test_protocol_message_counters_deterministic () =
+  let pts = deployment 2002L 50 60. in
+  let run () = ignore (Core.Protocol.run pts ~radius:60.) in
+  let c1 = counters_of run and c2 = counters_of run in
+  check "message counters deterministic" true (c1 = c2);
+  let v name = List.assoc name c1 in
+  check "messages flowed" true (v "distsim.messages" > 0);
+  checki "four engine phases" 4 (v "distsim.runs");
+  (* the obs channel agrees with the engine's own per-phase account *)
+  Obs.reset ();
+  Obs.set_enabled true;
+  let r = Core.Protocol.run pts ~radius:60. in
+  Obs.set_enabled false;
+  let snap = (Obs.Snapshot.capture ()).Obs.Snapshot.counters in
+  let total =
+    List.fold_left
+      (fun acc s -> acc + Distsim.Engine.total_sent s)
+      0
+      [
+        r.Core.Protocol.stats_cluster;
+        r.Core.Protocol.stats_connector;
+        r.Core.Protocol.stats_status;
+        r.Core.Protocol.stats_ldel;
+      ]
+  in
+  checki "obs total = stats total" total (List.assoc "distsim.messages" snap);
+  let by_kind_total =
+    List.fold_left
+      (fun acc (name, v) ->
+        if String.length name > 12 && String.sub name 0 12 = "distsim.msg." then
+          acc + v
+        else acc)
+      0 snap
+  in
+  checki "per-kind counters sum to the total" total by_kind_total
+
+(* ------------------------------------------------------------------ *)
+(* Sinks round-trip                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let populated_snapshot () =
+  Obs.set_enabled true;
+  let c = Obs.counter "rt.counter" in
+  Obs.add c 12345;
+  let d = Obs.dist "rt.dist" in
+  Obs.observe d 1.5;
+  Obs.observe d 0.25;
+  Obs.span "rt" (fun () -> Obs.span "leg" (fun () -> ()));
+  ignore (Core.Backbone.build (deployment 2002L 30 60.) ~radius:60.);
+  Obs.set_enabled false;
+  Obs.Snapshot.capture ()
+
+let render sink_of snap =
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  (sink_of fmt : Obs.sink) snap;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let test_json_roundtrip () =
+  let snap = populated_snapshot () in
+  let parsed = Obs.Snapshot.of_json_lines (render Obs.json snap) in
+  check "json round-trips bit-for-bit" true (parsed = snap)
+
+let test_csv_roundtrip () =
+  let snap = populated_snapshot () in
+  let parsed = Obs.Snapshot.of_csv (render Obs.csv snap) in
+  check "csv round-trips bit-for-bit" true (parsed = snap)
+
+let test_pretty_mentions_everything () =
+  let snap = populated_snapshot () in
+  let out = render Obs.pretty snap in
+  let mentions needle =
+    let nl = String.length needle and ol = String.length out in
+    let rec go i = i + nl <= ol && (String.sub out i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle -> check ("pretty mentions " ^ needle) true (mentions needle))
+    [ "rt.counter"; "12345"; "rt.dist"; "leg"; "predicates.orient2d" ]
+
+let test_named_sinks () =
+  check "pretty known" true
+    (Obs.named_sink Format.str_formatter "pretty" <> None);
+  check "json known" true (Obs.named_sink Format.str_formatter "json" <> None);
+  check "csv known" true (Obs.named_sink Format.str_formatter "csv" <> None);
+  check "xml unknown" true (Obs.named_sink Format.str_formatter "xml" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Backbone.Config sink plumbing                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_config_sink () =
+  let captured = ref None in
+  let cfg =
+    {
+      Core.Backbone.Config.default with
+      Core.Backbone.Config.radius = 60.;
+      sink = Some (fun snap -> captured := Some snap);
+    }
+  in
+  ignore (Core.Backbone.run cfg (deployment 2002L 40 60.));
+  check "obs restored to disabled" true (not (Obs.enabled ()));
+  match !captured with
+  | None -> Alcotest.fail "sink not invoked"
+  | Some snap ->
+    let v name = List.assoc name snap.Obs.Snapshot.counters in
+    check "counters flowed through the sink" true
+      (v "predicates.incircle" > 0 && v "delaunay.insertions" > 0);
+    check "stage spans reported" true
+      (List.exists
+         (fun s -> s.Obs.Snapshot.path = "backbone/cds/mis")
+         snap.Obs.Snapshot.spans)
+
+let suites =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "counter basics" `Quick (isolated test_counter_basics);
+        Alcotest.test_case "disabled leaves counters untouched" `Quick
+          (isolated test_disabled_leaves_counters_untouched);
+        Alcotest.test_case "span nesting" `Quick (isolated test_span_nesting);
+        Alcotest.test_case "span unwinds on exception" `Quick
+          (isolated test_span_unwinds_on_exception);
+        Alcotest.test_case "backbone counters deterministic" `Quick
+          (isolated test_backbone_counters_deterministic);
+        Alcotest.test_case "protocol message counters deterministic" `Quick
+          (isolated test_protocol_message_counters_deterministic);
+        Alcotest.test_case "json round-trip" `Quick (isolated test_json_roundtrip);
+        Alcotest.test_case "csv round-trip" `Quick (isolated test_csv_roundtrip);
+        Alcotest.test_case "pretty output" `Quick
+          (isolated test_pretty_mentions_everything);
+        Alcotest.test_case "named sinks" `Quick (isolated test_named_sinks);
+        Alcotest.test_case "Config sink plumbing" `Quick
+          (isolated test_config_sink);
+      ] );
+  ]
