@@ -482,6 +482,260 @@ let extension_bounds cfg =
   pf "(the paper itself notes these constants are loose)@."
 
 (* ------------------------------------------------------------------ *)
+(* Metrics engine benchmark                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A faithful copy of the stretch implementation the fused CSR engine
+   replaced: one pass per metric, adjacency-set neighbor lists, a
+   boxed-tuple heap and a settled array.  Kept verbatim so the
+   reported speedup is measured against the real predecessor. *)
+module Seed_metrics = struct
+  module G = Netgraph.Graph
+
+  let weighted_sssp g cost s =
+    let n = G.node_count g in
+    let dist = Array.make n infinity in
+    let settled = Array.make n false in
+    dist.(s) <- 0.;
+    let data = ref (Array.make 16 (0., 0)) in
+    let size = ref 0 in
+    let swap i j =
+      let t = !data.(i) in
+      !data.(i) <- !data.(j);
+      !data.(j) <- t
+    in
+    let push k v =
+      if !size = Array.length !data then begin
+        let bigger = Array.make (2 * !size) (0., 0) in
+        Array.blit !data 0 bigger 0 !size;
+        data := bigger
+      end;
+      !data.(!size) <- (k, v);
+      incr size;
+      let i = ref (!size - 1) in
+      while !i > 0 && fst !data.((!i - 1) / 2) > fst !data.(!i) do
+        swap ((!i - 1) / 2) !i;
+        i := (!i - 1) / 2
+      done
+    in
+    let pop () =
+      if !size = 0 then None
+      else begin
+        let top = !data.(0) in
+        decr size;
+        !data.(0) <- !data.(!size);
+        let i = ref 0 and continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < !size && fst !data.(l) < fst !data.(!smallest) then
+            smallest := l;
+          if r < !size && fst !data.(r) < fst !data.(!smallest) then
+            smallest := r;
+          if !smallest <> !i then begin
+            swap !i !smallest;
+            i := !smallest
+          end
+          else continue := false
+        done;
+        Some top
+      end
+    in
+    push 0. s;
+    let rec loop () =
+      match pop () with
+      | None -> ()
+      | Some (d, u) ->
+        if not settled.(u) then begin
+          settled.(u) <- true;
+          List.iter
+            (fun v ->
+              let nd = d +. cost u v in
+              if nd < dist.(v) then begin
+                dist.(v) <- nd;
+                push nd v
+              end)
+            (G.neighbors g u)
+        end;
+        loop ()
+    in
+    loop ();
+    dist
+
+  let bfs g s =
+    let n = G.node_count g in
+    let dist = Array.make n max_int in
+    dist.(s) <- 0;
+    let q = Queue.create () in
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if dist.(v) = max_int then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end)
+        (G.neighbors g u)
+    done;
+    dist
+
+  let generic_stretch ~base ~sub sssp to_float =
+    let n = G.node_count base in
+    let sum = ref 0. and maxr = ref 0. and pairs = ref 0 in
+    for s = 0 to n - 1 do
+      let db = sssp base s in
+      let ds = sssp sub s in
+      for t = s + 1 to n - 1 do
+        if G.has_edge base s t then begin
+          sum := !sum +. 1.;
+          if !maxr < 1. then maxr := 1.;
+          incr pairs
+        end
+        else
+          match (to_float db.(t), to_float ds.(t)) with
+          | None, _ -> ()
+          | Some _, None -> failwith "disconnected"
+          | Some b, Some sb ->
+            if b > 0. then begin
+              let r = sb /. b in
+              sum := !sum +. r;
+              if r > !maxr then maxr := r;
+              incr pairs
+            end
+      done
+    done;
+    if !pairs = 0 then (1., 1.) else (!sum /. float_of_int !pairs, !maxr)
+
+  let stretch_factors ~base ~sub points =
+    let float_dist d = if d = infinity then None else Some d in
+    let hop_dist d = if d = max_int then None else Some (float_of_int d) in
+    let euclid u v = Geometry.Point.dist points.(u) points.(v) in
+    let len_avg, len_max =
+      generic_stretch ~base ~sub
+        (fun g s -> weighted_sssp g euclid s)
+        float_dist
+    in
+    let hop_avg, hop_max =
+      generic_stretch ~base ~sub (fun g s -> bfs g s) hop_dist
+    in
+    (len_avg, len_max, hop_avg, hop_max)
+
+  let power_stretch ~base ~sub points ~beta =
+    let cost u v = Geometry.Point.dist points.(u) points.(v) ** beta in
+    let to_float d = if d = infinity then None else Some d in
+    generic_stretch ~base ~sub (fun g s -> weighted_sssp g cost s) to_float
+end
+
+let bench_metrics quick jobs =
+  header
+    (Printf.sprintf
+       "Metrics engine: seed-style sequential vs fused CSR (jobs = 1 and %d)"
+       jobs);
+  let cases =
+    if quick then [ (200, 40.) ] else [ (200, 40.); (500, 30.); (1000, 25.) ]
+  in
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  Obs.reset ();
+  let checks =
+    List.map
+      (fun (n, radius) ->
+        let rng = Wireless.Rand.create 77L in
+        let pts, _ =
+          Wireless.Deploy.connected_uniform rng ~n ~side:200. ~radius
+            ~max_attempts:5000
+        in
+        let bb = Core.Backbone.build pts ~radius in
+        let base = bb.Core.Backbone.udg in
+        let sub = bb.Core.Backbone.ldel_icds' in
+        pf "n = %-5d R = %-4g (UDG %d edges, LDel(ICDS') %d edges)@." n radius
+          (Netgraph.Graph.edge_count base)
+          (Netgraph.Graph.edge_count sub);
+        let seed =
+          Obs.span
+            (Printf.sprintf "bench.metrics.seed.n%d" n)
+            (fun () ->
+              let l_avg, l_max, h_avg, h_max =
+                Seed_metrics.stretch_factors ~base ~sub pts
+              in
+              let p_avg, p_max =
+                Seed_metrics.power_stretch ~base ~sub pts ~beta:2.
+              in
+              (l_avg, l_max, h_avg, h_max, p_avg, p_max))
+        in
+        let fused j =
+          Obs.span
+            (Printf.sprintf "bench.metrics.fused.j%d.n%d" j n)
+            (fun () ->
+              match
+                Netgraph.Metrics.combined_stretch ~jobs:j ~beta:2. ~base pts
+                  [ ("LDel(ICDS')", sub) ]
+              with
+              | [ (_, c) ] ->
+                let s = c.Netgraph.Metrics.c_stretch in
+                let p_avg, p_max =
+                  Option.get c.Netgraph.Metrics.c_power
+                in
+                ( s.Netgraph.Metrics.len_avg,
+                  s.Netgraph.Metrics.len_max,
+                  s.Netgraph.Metrics.hop_avg,
+                  s.Netgraph.Metrics.hop_max,
+                  p_avg,
+                  p_max )
+              | _ -> assert false)
+        in
+        let f1 = fused 1 in
+        let fj = if jobs > 1 then fused jobs else f1 in
+        (* the engine must agree with its predecessor: maxima are
+           grouping-insensitive, so exactly; averages only differ in
+           summation order, so to 1e-9 relative *)
+        let close a b = abs_float (a -. b) <= 1e-9 *. Float.max 1. (abs_float b) in
+        let agree (la, lm, ha, hm, pa, pm) (la', lm', ha', hm', pa', pm') =
+          lm = lm' && hm = hm' && pm = pm' && close la la' && close ha ha'
+          && close pa pa'
+        in
+        if not (agree seed f1 && agree seed fj) then
+          failwith
+            (Printf.sprintf "metrics bench: results diverge at n = %d" n);
+        (n, seed))
+      cases
+  in
+  let snap = Obs.Snapshot.capture () in
+  let seconds path =
+    match
+      List.find_opt
+        (fun (sp : Obs.Snapshot.span_stats) -> sp.Obs.Snapshot.path = path)
+        snap.Obs.Snapshot.spans
+    with
+    | Some sp -> sp.Obs.Snapshot.seconds
+    | None -> nan
+  in
+  pf "@.%-8s %10s %10s %10s %8s %8s@." "n" "seed (s)" "fused (s)"
+    (Printf.sprintf "j=%d (s)" jobs) "x fused" "x par";
+  List.iter
+    (fun (n, _) ->
+      let ts = seconds (Printf.sprintf "bench.metrics.seed.n%d" n) in
+      let t1 = seconds (Printf.sprintf "bench.metrics.fused.j%d.n%d" 1 n) in
+      let tj =
+        if jobs > 1 then
+          seconds (Printf.sprintf "bench.metrics.fused.j%d.n%d" jobs n)
+        else t1
+      in
+      pf "%-8d %10.3f %10.3f %10.3f %8.2f %8.2f@." n ts t1 tj (ts /. t1)
+        (ts /. tj))
+    checks;
+  pf "(all variants returned identical stretch results)@.";
+  let file = "BENCH_metrics.json" in
+  let oc = open_out file in
+  let fmt = Format.formatter_of_out_channel oc in
+  Obs.json fmt snap;
+  Format.pp_print_flush fmt ();
+  close_out oc;
+  pf "  [wrote %s]@." file;
+  Obs.set_enabled was
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -547,9 +801,13 @@ let () =
   let args = List.filter (fun a -> a <> "--quick") args in
   with_stats := List.mem "--stats" args;
   let args = List.filter (fun a -> a <> "--stats") args in
+  let jobs = ref (Netgraph.Pool.default_jobs ()) in
   let rec take_out acc = function
     | "--out" :: dir :: rest ->
       out_dir := Some dir;
+      take_out acc rest
+    | "--jobs" :: j :: rest ->
+      jobs := max 1 (int_of_string j);
       take_out acc rest
     | x :: rest -> take_out (x :: acc) rest
     | [] -> List.rev acc
@@ -557,8 +815,9 @@ let () =
   let args = take_out [] args in
   if !with_stats then Obs.set_enabled true;
   let cfg =
-    if quick then { Core.Experiments.quick with instances = 2 }
-    else Core.Experiments.default
+    if quick then
+      { Core.Experiments.quick with instances = 2; jobs = !jobs }
+    else { Core.Experiments.default with jobs = !jobs }
   in
   (* the n = 500 radius sweeps are the heavy ones: fewer vertex sets *)
   let cfg_sweep =
@@ -596,4 +855,5 @@ let () =
       extension_quasi_udg cfg;
       extension_lifetime cfg;
       extension_bounds cfg);
+  artifact "metrics" (fun () -> bench_metrics quick !jobs);
   artifact "micro" micro

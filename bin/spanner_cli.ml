@@ -74,6 +74,17 @@ let connected =
   let doc = "Redraw deployments until the unit disk graph is connected." in
   Arg.(value & flag & info [ "connected" ] ~doc)
 
+let jobs =
+  let doc =
+    "Worker domains for the stretch metrics (default: the machine's \
+     recommended domain count).  Results are bit-identical for any value; \
+     only wall-clock time changes."
+  in
+  Arg.(
+    value
+    & opt int (Netgraph.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
 (* ---------------- deployment I/O ---------------- *)
 
 let load_csv file =
@@ -136,10 +147,12 @@ let generate_cmd =
 (* ---------------- build ---------------- *)
 
 let build_cmd =
-  let run seed n side radius input stats_fmt =
+  let run seed n side radius input jobs stats_fmt =
     with_stats stats_fmt @@ fun () ->
     let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
-    let bb = Core.Backbone.run { Config.default with Config.radius } pts in
+    let bb =
+      Core.Backbone.run { Config.default with Config.radius; jobs } pts
+    in
     let roles = bb.Core.Backbone.cds.Core.Cds.roles in
     let dominators =
       Array.fold_left
@@ -169,15 +182,17 @@ let build_cmd =
   let doc = "construct all backbone structures and print statistics" in
   Cmd.v
     (Cmd.info "build" ~doc)
-    Term.(const run $ seed $ nodes $ side $ radius $ input $ stats)
+    Term.(const run $ seed $ nodes $ side $ radius $ input $ jobs $ stats)
 
 (* ---------------- measure ---------------- *)
 
 let measure_cmd =
-  let run seed n side radius input stats_fmt =
+  let run seed n side radius input jobs stats_fmt =
     with_stats stats_fmt @@ fun () ->
     let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
-    let bb = Core.Backbone.run { Config.default with Config.radius } pts in
+    let bb =
+      Core.Backbone.run { Config.default with Config.radius; jobs } pts
+    in
     let rows = Core.Quality.rows bb in
     Format.printf "%a@." Core.Quality.pp_agg_header ();
     List.iter (fun r -> Format.printf "%a@." Core.Quality.pp_row r) rows;
@@ -186,7 +201,7 @@ let measure_cmd =
   let doc = "measure Table-I quality metrics on one instance" in
   Cmd.v
     (Cmd.info "measure" ~doc)
-    Term.(const run $ seed $ nodes $ side $ radius $ input $ stats)
+    Term.(const run $ seed $ nodes $ side $ radius $ input $ jobs $ stats)
 
 (* ---------------- route ---------------- *)
 
@@ -406,9 +421,9 @@ let experiment_cmd =
   let instances =
     Arg.(value & opt int 3 & info [ "instances" ] ~docv:"K" ~doc:"Vertex sets per point.")
   in
-  let run which instances stats_fmt =
+  let run which instances jobs stats_fmt =
     with_stats stats_fmt @@ fun () ->
-    let cfg = { Core.Experiments.default with instances } in
+    let cfg = { Core.Experiments.default with instances; jobs } in
     match which with
     | "table1" ->
       let aggs = Core.Experiments.table1 ~cfg ~n:100 ~radius:60. () in
@@ -442,7 +457,7 @@ let experiment_cmd =
   let doc = "regenerate one of the paper's tables or figures" in
   Cmd.v
     (Cmd.info "experiment" ~doc)
-    Term.(const run $ which $ instances $ stats)
+    Term.(const run $ which $ instances $ jobs $ stats)
 
 (* ---------------- main ---------------- *)
 

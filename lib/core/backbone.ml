@@ -3,6 +3,7 @@ module G = Netgraph.Graph
 type t = {
   points : Geometry.Point.t array;
   radius : float;
+  jobs : int;
   udg : G.t;
   cds : Cds.t;
   ldel_icds : Ldel.t;
@@ -18,9 +19,17 @@ module Config = struct
     priority : (int -> int) option;
     radio : radio;
     sink : Obs.sink option;
+    jobs : int;
   }
 
-  let default = { radius = 60.; priority = None; radio = Disk; sink = None }
+  let default =
+    {
+      radius = 60.;
+      priority = None;
+      radio = Disk;
+      sink = None;
+      jobs = Netgraph.Pool.default_jobs ();
+    }
 end
 
 let add_dominatee_links udg roles g =
@@ -54,7 +63,16 @@ let run (cfg : Config.t) points =
           Obs.span "links" (fun () ->
               add_dominatee_links udg cds.Cds.roles ldel_icds_g)
         in
-        { points; radius; udg; cds; ldel_icds; ldel_icds_g; ldel_icds' })
+        {
+          points;
+          radius;
+          jobs = max 1 cfg.Config.jobs;
+          udg;
+          cds;
+          ldel_icds;
+          ldel_icds_g;
+          ldel_icds';
+        })
   in
   match cfg.Config.sink with
   | None -> build_stages ()

@@ -9,6 +9,9 @@
 type t = {
   points : Geometry.Point.t array;
   radius : float;
+  jobs : int;
+      (** worker-domain budget carried from the config — the default
+          parallelism for metrics computed on this instance *)
   udg : Netgraph.Graph.t;
   cds : Cds.t;  (** clustering, connectors, CDS / CDS′ / ICDS / ICDS′ *)
   ldel_icds : Ldel.t;  (** LDel over the induced backbone ICDS *)
@@ -38,9 +41,14 @@ module Config : sig
             duration of the build and emits a snapshot of the global
             obs state afterwards; call [Obs.reset] first for numbers
             isolated to one run *)
+    jobs : int;
+        (** worker domains for metrics over this instance (see
+            {!Netgraph.Pool}); the pipeline build itself stays
+            sequential *)
   }
 
-  (** radius 60, smallest-ID clustering, ideal disk, no sink. *)
+  (** radius 60, smallest-ID clustering, ideal disk, no sink,
+      [jobs = Netgraph.Pool.default_jobs ()]. *)
   val default : t
 end
 

@@ -7,10 +7,26 @@ type config = {
   seed : int64;
   instances : int;
   max_attempts : int;
+  jobs : int;
 }
 
-let default = { side = 200.; seed = 2002L; instances = 10; max_attempts = 2000 }
-let quick = { side = 200.; seed = 2002L; instances = 3; max_attempts = 2000 }
+let default =
+  {
+    side = 200.;
+    seed = 2002L;
+    instances = 10;
+    max_attempts = 2000;
+    jobs = Netgraph.Pool.default_jobs ();
+  }
+
+let quick = { default with instances = 3 }
+
+(* every sweep builds its instances through here so cfg.jobs reaches
+   the metrics engine via the Backbone record *)
+let backbone_of cfg pts ~radius =
+  Backbone.run
+    { Backbone.Config.default with Backbone.Config.radius; jobs = cfg.jobs }
+    pts
 
 type series = { label : string; points : (float * float) list }
 
@@ -29,7 +45,7 @@ let deployments cfg ~n ~radius =
 let table1 ?(cfg = default) ?(n = 100) ?(radius = 50.) () =
   let rows =
     List.map
-      (fun pts -> Quality.rows (Backbone.build pts ~radius))
+      (fun pts -> Quality.rows (backbone_of cfg pts ~radius))
       (deployments cfg ~n ~radius)
   in
   Quality.aggregate rows
@@ -95,7 +111,7 @@ let degree_vs_n ?(cfg = default) ?(radius = 60.) ?(ns = default_ns) () =
     ~of_x:(fun x ->
       let n = int_of_float x in
       List.map
-        (fun pts -> degree_values (Backbone.build pts ~radius))
+        (fun pts -> degree_values (backbone_of cfg pts ~radius))
         (deployments cfg ~n ~radius))
 
 let stretch_values bb =
@@ -104,18 +120,22 @@ let stretch_values bb =
       (fun (name, g, _) -> (name, g))
       (Backbone.spanning_backbone_structures bb)
   in
+  (* one fused pass shares the UDG shortest-path trees across the
+     three spanning curves instead of recomputing them per structure *)
+  let combined =
+    M.combined_stretch ~jobs:bb.Backbone.jobs ~base:bb.Backbone.udg
+      bb.Backbone.points spanning
+  in
   List.concat_map
-    (fun (name, g) ->
-      let s =
-        M.stretch_factors ~base:bb.Backbone.udg ~sub:g bb.Backbone.points
-      in
+    (fun (name, (c : M.combined)) ->
+      let s = c.M.c_stretch in
       [
         (name ^ " length max", s.M.len_max);
         (name ^ " hop max", s.M.hop_max);
         (name ^ " length avg", s.M.len_avg);
         (name ^ " hop avg", s.M.hop_avg);
       ])
-    spanning
+    combined
 
 let stretch_vs_n ?(cfg = default) ?(radius = 60.) ?(ns = default_ns) () =
   sweep
@@ -123,7 +143,7 @@ let stretch_vs_n ?(cfg = default) ?(radius = 60.) ?(ns = default_ns) () =
     ~of_x:(fun x ->
       let n = int_of_float x in
       List.map
-        (fun pts -> stretch_values (Backbone.build pts ~radius))
+        (fun pts -> stretch_values (backbone_of cfg pts ~radius))
         (deployments cfg ~n ~radius))
 
 let comm_values (r : Protocol.result) =
@@ -154,7 +174,7 @@ let comm_vs_n ?(cfg = default) ?(radius = 60.) ?(ns = default_ns) () =
 let stretch_vs_radius ?(cfg = default) ?(n = 500) ?(radii = default_radii) () =
   sweep radii ~of_x:(fun radius ->
       List.map
-        (fun pts -> stretch_values (Backbone.build pts ~radius))
+        (fun pts -> stretch_values (backbone_of cfg pts ~radius))
         (deployments cfg ~n ~radius))
 
 let comm_and_degree_vs_radius ?(cfg = default) ?(n = 500)

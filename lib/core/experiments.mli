@@ -15,6 +15,9 @@ type config = {
   seed : int64;  (** master seed; every sweep is deterministic *)
   instances : int;  (** vertex sets per parameter point *)
   max_attempts : int;  (** redraws allowed to hit a connected UDG *)
+  jobs : int;
+      (** worker domains for the stretch metrics (results are
+          bit-identical for any value — see {!Netgraph.Pool}) *)
 }
 
 val default : config

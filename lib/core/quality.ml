@@ -11,10 +11,10 @@ type row = {
   edges : int;
 }
 
-let row_of (bb : Backbone.t) ~name g spans =
+let degree_row ~name g stretch =
   let d = M.degree_stats g in
-  match spans with
-  | `Backbone_only ->
+  match stretch with
+  | None ->
     {
       name;
       deg_avg = d.M.deg_avg;
@@ -25,8 +25,7 @@ let row_of (bb : Backbone.t) ~name g spans =
       hop_max = None;
       edges = d.M.edges;
     }
-  | `Spans_all ->
-    let s = M.stretch_factors ~base:bb.Backbone.udg ~sub:g bb.Backbone.points in
+  | Some (s : M.stretch) ->
     {
       name;
       deg_avg = d.M.deg_avg;
@@ -38,10 +37,41 @@ let row_of (bb : Backbone.t) ~name g spans =
       edges = d.M.edges;
     }
 
-let rows bb =
+let row_of ?jobs (bb : Backbone.t) ~name g spans =
+  let jobs = Option.value jobs ~default:bb.Backbone.jobs in
+  let stretch =
+    match spans with
+    | `Backbone_only -> None
+    | `Spans_all ->
+      Some
+        (M.stretch_factors ~jobs ~base:bb.Backbone.udg ~sub:g
+           bb.Backbone.points)
+  in
+  degree_row ~name g stretch
+
+let rows ?jobs bb =
+  let jobs = Option.value jobs ~default:bb.Backbone.jobs in
+  let entries = Backbone.structures bb in
+  (* one fused pass: the UDG's shortest-path trees are computed once
+     and amortized over every spanning structure in the table *)
+  let spanning =
+    List.filter_map
+      (fun (name, g, spans) ->
+        if spans = `Spans_all then Some (name, g) else None)
+      entries
+  in
+  let stretch_by_name =
+    M.combined_stretch ~jobs ~base:bb.Backbone.udg bb.Backbone.points spanning
+  in
   List.map
-    (fun (name, g, spans) -> row_of bb ~name g spans)
-    (Backbone.structures bb)
+    (fun (name, g, spans) ->
+      let stretch =
+        match spans with
+        | `Backbone_only -> None
+        | `Spans_all -> Some (List.assoc name stretch_by_name).M.c_stretch
+      in
+      degree_row ~name g stretch)
+    entries
 
 type agg = {
   a_name : string;

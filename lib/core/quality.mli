@@ -17,11 +17,16 @@ type row = {
 }
 
 (** [rows backbone] measures every structure of
-    {!Backbone.structures} on one instance. *)
-val rows : Backbone.t -> row list
+    {!Backbone.structures} on one instance.  All spanning structures
+    share one fused stretch pass (the UDG shortest-path trees are
+    computed once — see {!Netgraph.Metrics.combined_stretch}), fanned
+    across [jobs] worker domains (default [backbone.jobs]). *)
+val rows : ?jobs:int -> Backbone.t -> row list
 
-(** [row_of backbone ~name g spans] measures a single graph. *)
+(** [row_of backbone ~name g spans] measures a single graph.
+    [jobs] defaults to [backbone.jobs]. *)
 val row_of :
+  ?jobs:int ->
   Backbone.t ->
   name:string ->
   Netgraph.Graph.t ->

@@ -1,24 +1,9 @@
-let component_labels g =
-  let n = Graph.node_count g in
-  let label = Array.make n (-1) in
-  for s = 0 to n - 1 do
-    if label.(s) = -1 then begin
-      let q = Queue.create () in
-      label.(s) <- s;
-      Queue.add s q;
-      while not (Queue.is_empty q) do
-        let u = Queue.pop q in
-        List.iter
-          (fun v ->
-            if label.(v) = -1 then begin
-              label.(v) <- s;
-              Queue.add v q
-            end)
-          (Graph.neighbors g u)
-      done
-    end
-  done;
-  label
+(* Labelling runs on a CSR snapshot: freezing the adjacency costs one
+   O(n + m) pass and the flood fills then touch flat int arrays
+   instead of allocating neighbor lists.  The labelling rule is
+   unchanged: each node gets the smallest node id of its component. *)
+
+let component_labels g = Csr.component_labels (Csr.of_graph g)
 
 let count g =
   let label = component_labels g in
@@ -40,13 +25,11 @@ let connected_within g nodes =
     Queue.add s q;
     while not (Queue.is_empty q) do
       let u = Queue.pop q in
-      List.iter
-        (fun v ->
+      Graph.iter_neighbors g u (fun v ->
           if Hashtbl.mem members v && not (Hashtbl.mem seen v) then begin
             Hashtbl.replace seen v ();
             Queue.add v q
           end)
-        (Graph.neighbors g u)
     done;
     List.for_all (Hashtbl.mem seen) nodes
 

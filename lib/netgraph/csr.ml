@@ -1,0 +1,187 @@
+(* Offsets + flat neighbor array.  Arc [k] for node [u] lives at
+   [offsets.(u) <= k < offsets.(u+1)]; rows are sorted because
+   [Graph.iter_neighbors] yields neighbors in increasing id order.
+   [ew]/[pw] are empty arrays (not options) so the hot loops index
+   them without an indirection; emptiness doubles as the "absent"
+   flag. *)
+
+type t = {
+  n : int;
+  m : int;
+  offsets : int array;
+  targets : int array;
+  ew : float array;  (* Euclidean weight per arc, or [||] *)
+  pw : float array;  (* |e|^beta per arc, or [||] *)
+}
+
+let of_graph ?points ?beta g =
+  let n = Graph.node_count g in
+  let m = Graph.edge_count g in
+  (match points, beta with
+  | None, Some _ -> invalid_arg "Csr.of_graph: beta requires points"
+  | Some pts, _ when Array.length pts < n ->
+    invalid_arg "Csr.of_graph: fewer points than nodes"
+  | _ -> ());
+  let offsets = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    offsets.(u + 1) <- offsets.(u) + Graph.degree g u
+  done;
+  let targets = Array.make (2 * m) 0 in
+  for u = 0 to n - 1 do
+    let k = ref offsets.(u) in
+    Graph.iter_neighbors g u (fun v ->
+        targets.(!k) <- v;
+        incr k)
+  done;
+  let ew, pw =
+    match points with
+    | None -> ([||], [||])
+    | Some pts ->
+      let ew = Array.make (2 * m) 0. in
+      for u = 0 to n - 1 do
+        for k = offsets.(u) to offsets.(u + 1) - 1 do
+          ew.(k) <- Geometry.Point.dist pts.(u) pts.(targets.(k))
+        done
+      done;
+      let pw =
+        match beta with
+        | None -> [||]
+        | Some b -> Array.map (fun w -> w ** b) ew
+      in
+      (ew, pw)
+  in
+  { n; m; offsets; targets; ew; pw }
+
+let node_count t = t.n
+let edge_count t = t.m
+let degree t u = t.offsets.(u + 1) - t.offsets.(u)
+let has_weights t = Array.length t.ew > 0
+let has_power_weights t = Array.length t.pw > 0
+
+let iter_neighbors t u f =
+  for k = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+    f t.targets.(k)
+  done
+
+let fold_neighbors t u f init =
+  let acc = ref init in
+  for k = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+    acc := f !acc t.targets.(k)
+  done;
+  !acc
+
+let neighbors t u = List.rev (fold_neighbors t u (fun acc v -> v :: acc) [])
+
+let mem_edge t u v =
+  let lo = ref t.offsets.(u) and hi = ref (t.offsets.(u + 1) - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = t.targets.(mid) in
+    if w = v then found := true
+    else if w < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+(* ---------------- traversals ---------------- *)
+
+let bfs_into t ~dist ~queue s =
+  Array.fill dist 0 t.n max_int;
+  dist.(s) <- 0;
+  queue.(0) <- s;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    let du = dist.(u) + 1 in
+    for k = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+      let v = t.targets.(k) in
+      if dist.(v) = max_int then begin
+        dist.(v) <- du;
+        queue.(!tail) <- v;
+        incr tail
+      end
+    done
+  done
+
+let bfs t s =
+  let dist = Array.make t.n max_int in
+  if t.n > 0 then bfs_into t ~dist ~queue:(Array.make t.n 0) s;
+  dist
+
+(* One SSSP body over a caller-chosen arc-weight array.  Stale heap
+   entries are recognized by key: [dist] only ever decreases, so the
+   single entry whose key equals the final distance settles the node
+   and every other (strictly larger) entry is skipped. *)
+let sssp_into t w ~heap ~dist s =
+  Array.fill dist 0 t.n infinity;
+  dist.(s) <- 0.;
+  Heap.clear heap;
+  Heap.push heap 0. s;
+  while not (Heap.is_empty heap) do
+    let d = Heap.min_key heap in
+    let u = Heap.min_value heap in
+    Heap.remove_min heap;
+    if d <= dist.(u) then
+      for k = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+        let v = t.targets.(k) in
+        let nd = d +. w.(k) in
+        if nd < dist.(v) then begin
+          dist.(v) <- nd;
+          Heap.push heap nd v
+        end
+      done
+  done
+
+let dijkstra_into t ~heap ~dist s =
+  if not (has_weights t) then
+    invalid_arg "Csr.dijkstra: snapshot built without points";
+  sssp_into t t.ew ~heap ~dist s
+
+let power_into t ~heap ~dist s =
+  if not (has_power_weights t) then
+    invalid_arg "Csr.power_sssp: snapshot built without beta";
+  sssp_into t t.pw ~heap ~dist s
+
+let dijkstra t s =
+  let dist = Array.make (max 1 t.n) infinity in
+  dijkstra_into t ~heap:(Heap.create ()) ~dist s;
+  dist
+
+let power_sssp t s =
+  let dist = Array.make (max 1 t.n) infinity in
+  power_into t ~heap:(Heap.create ()) ~dist s;
+  dist
+
+(* ---------------- components ---------------- *)
+
+let component_labels t =
+  let label = Array.make t.n (-1) in
+  let queue = Array.make (max 1 t.n) 0 in
+  for s = 0 to t.n - 1 do
+    if label.(s) = -1 then begin
+      label.(s) <- s;
+      queue.(0) <- s;
+      let head = ref 0 and tail = ref 1 in
+      while !head < !tail do
+        let u = queue.(!head) in
+        incr head;
+        for k = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+          let v = t.targets.(k) in
+          if label.(v) = -1 then begin
+            label.(v) <- s;
+            queue.(!tail) <- v;
+            incr tail
+          end
+        done
+      done
+    end
+  done;
+  label
+
+let is_connected t =
+  t.n = 0
+  ||
+  let label = component_labels t in
+  Array.for_all (fun l -> l = 0) label

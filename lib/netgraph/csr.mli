@@ -1,0 +1,85 @@
+(** Read-optimized graph snapshots in compressed sparse row form.
+
+    {!Graph.t} is the mutable build-time representation; a [Csr.t]
+    freezes it into two int arrays — per-node offsets and a flat,
+    row-sorted neighbor array — so traversals touch contiguous memory
+    and neighbor iteration allocates nothing.  Optionally the snapshot
+    precomputes per-arc edge weights (Euclidean length, and the
+    [|e|^beta] power cost), so Dijkstra relaxations stop recomputing
+    [Point.dist] in the inner loop.
+
+    This is the substrate of the metrics engine: all-pairs stretch
+    runs one SSSP per source, and on CSR each pass is a tight loop
+    over int/float arrays that is safe to run from multiple domains
+    at once (snapshots are immutable after construction). *)
+
+type t
+
+(** [of_graph g] snapshots [g] without weights.  With [points], each
+    arc [u->v] additionally carries the Euclidean weight
+    [Point.dist points.(u) points.(v)]; with [beta] (requires
+    [points]) also the power weight [dist^beta].
+    @raise Invalid_argument when [beta] is given without [points] or
+    [points] is shorter than the node count. *)
+val of_graph : ?points:Geometry.Point.t array -> ?beta:float -> Graph.t -> t
+
+val node_count : t -> int
+
+(** Number of undirected edges (half the stored arc count). *)
+val edge_count : t -> int
+
+val degree : t -> int -> int
+
+(** Whether Euclidean / power weights were precomputed. *)
+val has_weights : t -> bool
+
+val has_power_weights : t -> bool
+
+(** [iter_neighbors t u f] calls [f v] per neighbor, increasing order. *)
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+
+(** [fold_neighbors t u f init] folds over neighbors in increasing
+    order. *)
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+(** Neighbor list (allocates; for tests and interop). *)
+val neighbors : t -> int -> int list
+
+(** [mem_edge t u v] tests adjacency by binary search in [u]'s row. *)
+val mem_edge : t -> int -> int -> bool
+
+(** {1 Traversals}
+
+    The [_into] forms write into caller-owned scratch so a worker can
+    run thousands of sources with zero steady-state allocation; the
+    plain forms allocate fresh result arrays.  Distances match
+    {!Traversal.bfs} / {!Traversal.dijkstra} bit for bit (unreachable:
+    [max_int] / [infinity]). *)
+
+(** [bfs_into t ~dist ~queue s]: hop distances from [s] into [dist]
+    (length [n], fully overwritten); [queue] is an [n]-slot scratch
+    FIFO. *)
+val bfs_into : t -> dist:int array -> queue:int array -> int -> unit
+
+val bfs : t -> int -> int array
+
+(** Euclidean SSSP; requires weights.
+    @raise Invalid_argument when the snapshot has no weights. *)
+val dijkstra_into : t -> heap:Heap.t -> dist:float array -> int -> unit
+
+val dijkstra : t -> int -> float array
+
+(** Power SSSP over the [dist^beta] arc costs; requires power
+    weights.
+    @raise Invalid_argument when the snapshot has no power weights. *)
+val power_into : t -> heap:Heap.t -> dist:float array -> int -> unit
+
+val power_sssp : t -> int -> float array
+
+(** {1 Components} *)
+
+(** Same labelling rule as {!Components.component_labels}: each node
+    is labelled with the smallest node id of its component. *)
+val component_labels : t -> int array
+
+val is_connected : t -> bool

@@ -41,6 +41,8 @@ let has_edge g u v =
 
 let neighbors g u = IntSet.elements g.adj.(u)
 let degree g u = IntSet.cardinal g.adj.(u)
+let iter_neighbors g u f = IntSet.iter f g.adj.(u)
+let fold_neighbors g u f init = IntSet.fold (fun v acc -> f acc v) g.adj.(u) init
 
 let iter_edges g f =
   Array.iteri

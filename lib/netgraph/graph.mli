@@ -39,6 +39,16 @@ val neighbors : t -> int -> int list
 (** [degree g u] is the number of neighbors of [u]. *)
 val degree : t -> int -> int
 
+(** [iter_neighbors g u f] calls [f v] for each neighbor of [u] in
+    increasing id order, without materializing a list — the
+    allocation-free form of {!neighbors} that every traversal should
+    prefer. *)
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+
+(** [fold_neighbors g u f init] folds [f] over the neighbors of [u]
+    in increasing id order. *)
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
 (** [iter_edges g f] calls [f u v] once per edge with [u < v]. *)
 val iter_edges : t -> (int -> int -> unit) -> unit
 

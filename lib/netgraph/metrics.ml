@@ -21,126 +21,253 @@ type stretch = {
   hop_max : float;
 }
 
-(* Dijkstra with arbitrary edge costs, shared by the length and power
-   metrics.  Kept local: the public traversal module exposes the
-   Euclidean special case. *)
+type combined = { c_stretch : stretch; c_power : (float * float) option }
+
+let c_sources = Obs.counter "metrics.sources"
+let c_sssp = Obs.counter "metrics.sssp"
+
+(* Dijkstra with arbitrary edge costs — the generic escape hatch for
+   costs that are not precomputable per arc.  The engine below never
+   calls this; it runs on CSR snapshots with baked-in weights. *)
 let weighted_sssp g cost s =
   let n = Graph.node_count g in
   let dist = Array.make n infinity in
-  let settled = Array.make n false in
   dist.(s) <- 0.;
-  let data = ref (Array.make 16 (0., 0)) in
-  let size = ref 0 in
-  let swap i j =
-    let t = !data.(i) in
-    !data.(i) <- !data.(j);
-    !data.(j) <- t
-  in
-  let push k v =
-    if !size = Array.length !data then begin
-      let bigger = Array.make (2 * !size) (0., 0) in
-      Array.blit !data 0 bigger 0 !size;
-      data := bigger
-    end;
-    !data.(!size) <- (k, v);
-    incr size;
-    let i = ref (!size - 1) in
-    while !i > 0 && fst !data.((!i - 1) / 2) > fst !data.(!i) do
-      swap ((!i - 1) / 2) !i;
-      i := (!i - 1) / 2
-    done
-  in
-  let pop () =
-    if !size = 0 then None
-    else begin
-      let top = !data.(0) in
-      decr size;
-      !data.(0) <- !data.(!size);
-      let i = ref 0 and continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < !size && fst !data.(l) < fst !data.(!smallest) then smallest := l;
-        if r < !size && fst !data.(r) < fst !data.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          swap !i !smallest;
-          i := !smallest
-        end
-        else continue := false
-      done;
-      Some top
-    end
-  in
-  push 0. s;
-  let rec loop () =
-    match pop () with
-    | None -> ()
-    | Some (d, u) ->
-      if not settled.(u) then begin
-        settled.(u) <- true;
-        List.iter
-          (fun v ->
-            let nd = d +. cost u v in
-            if nd < dist.(v) then begin
-              dist.(v) <- nd;
-              push nd v
-            end)
-          (Graph.neighbors g u)
-      end;
-      loop ()
-  in
-  loop ();
+  let heap = Heap.create () in
+  Heap.push heap 0. s;
+  while not (Heap.is_empty heap) do
+    let d = Heap.min_key heap in
+    let u = Heap.min_value heap in
+    Heap.remove_min heap;
+    if d <= dist.(u) then
+      Graph.iter_neighbors g u (fun v ->
+          let nd = d +. cost u v in
+          if nd < dist.(v) then begin
+            dist.(v) <- nd;
+            Heap.push heap nd v
+          end)
+  done;
   dist
 
-let generic_stretch ~one_hop_direct ~base ~sub sssp to_float =
-  let n = Graph.node_count base in
-  if n <> Graph.node_count sub then
-    invalid_arg "Metrics: node count mismatch";
-  let sum = ref 0. and maxr = ref 0. and pairs = ref 0 in
-  for s = 0 to n - 1 do
-    let db = sssp base s in
-    let ds = sssp sub s in
-    for t = s + 1 to n - 1 do
-      if one_hop_direct && Graph.has_edge base s t then begin
-        (* the paper's routing sends directly to in-range nodes, so
-           adjacent pairs have stretch exactly 1 *)
-        sum := !sum +. 1.;
-        if !maxr < 1. then maxr := 1.;
-        incr pairs
-      end
-      else
-        match to_float db.(t), to_float ds.(t) with
-        | None, _ -> ()
-        | Some _, None ->
-          invalid_arg
-            (Printf.sprintf
-               "Metrics.stretch_factors: pair (%d, %d) connected in base but \
-                not in subgraph"
-               s t)
-        | Some b, Some sb ->
-          if b > 0. then begin
-            let r = sb /. b in
-            sum := !sum +. r;
-            if r > !maxr then maxr := r;
-            incr pairs
-          end
-    done
-  done;
-  if !pairs = 0 then (1., 1.) else (!sum /. float_of_int !pairs, !maxr)
+(* ------------------------------------------------------------------ *)
+(* The fused all-pairs stretch engine.                                 *)
+(*                                                                     *)
+(* One pass per source computes every requested metric (Euclidean      *)
+(* length, hop count, power cost) for the base graph once and for      *)
+(* each compared substructure, then scans targets a single time to     *)
+(* accumulate sum / max / pair-count partials.  Partials live in       *)
+(* per-source slots, so worker domains never share mutable state and   *)
+(* the final reduction folds sources in index order — results are      *)
+(* independent of the worker count.                                    *)
+(* ------------------------------------------------------------------ *)
 
-let stretch_factors ?(one_hop_direct = true) ~base ~sub points =
-  let float_dist d = if d = infinity then None else Some d in
-  let hop_dist d = if d = max_int then None else Some (float_of_int d) in
-  let len_avg, len_max =
-    generic_stretch ~one_hop_direct ~base ~sub
-      (fun g s -> Traversal.dijkstra g points s)
-      float_dist
+let fused ~one_hop_direct ~jobs ~want_len ~want_hop ~beta ~base points subs =
+  let n = Graph.node_count base in
+  List.iter
+    (fun (_, sub) ->
+      if Graph.node_count sub <> n then
+        invalid_arg "Metrics: node count mismatch")
+    subs;
+  let want_pow = beta <> None in
+  let nsubs = List.length subs in
+  let base_csr = Csr.of_graph ~points ?beta base in
+  let subs_csr =
+    Array.of_list (List.map (fun (_, g) -> Csr.of_graph ~points ?beta g) subs)
   in
-  let hop_avg, hop_max =
-    generic_stretch ~one_hop_direct ~base ~sub (fun g s -> Traversal.bfs g s)
-      hop_dist
+  (* per-(sub, source) partial accumulators; [||] when the metric is
+     off so a stray access fails loudly *)
+  let slab want = if want then Array.init nsubs (fun _ -> Array.make n 0.) else [||] in
+  let islab want = if want then Array.init nsubs (fun _ -> Array.make n 0) else [||] in
+  let len_sum = slab want_len and len_mx = slab want_len and len_cnt = islab want_len in
+  let hop_sum = slab want_hop and hop_mx = slab want_hop and hop_cnt = islab want_hop in
+  let pow_sum = slab want_pow and pow_mx = slab want_pow and pow_cnt = islab want_pow in
+  (* errors.(k).(s) = first target of a base-connected pair that the
+     substructure disconnects, or -1 *)
+  let errors = Array.init nsubs (fun _ -> Array.make n (-1)) in
+  let mk_body () =
+    (* per-worker scratch: reused across all sources this worker runs *)
+    let heap = Heap.create ~capacity:1024 () in
+    let queue = if want_hop then Array.make (max 1 n) 0 else [||] in
+    let farr want = if want then Array.make n infinity else [||] in
+    let iarr want = if want then Array.make n max_int else [||] in
+    let db_len = farr want_len and ds_len = farr want_len in
+    let db_hop = iarr want_hop and ds_hop = iarr want_hop in
+    let db_pow = farr want_pow and ds_pow = farr want_pow in
+    let adj = Bytes.make (max 1 n) '\000' in
+    fun s ->
+      if want_len then Csr.dijkstra_into base_csr ~heap ~dist:db_len s;
+      if want_hop then Csr.bfs_into base_csr ~dist:db_hop ~queue s;
+      if want_pow then Csr.power_into base_csr ~heap ~dist:db_pow s;
+      if one_hop_direct then
+        Csr.iter_neighbors base_csr s (fun v -> Bytes.set adj v '\001');
+      for k = 0 to nsubs - 1 do
+        let sub = subs_csr.(k) in
+        if want_len then Csr.dijkstra_into sub ~heap ~dist:ds_len s;
+        if want_hop then Csr.bfs_into sub ~dist:ds_hop ~queue s;
+        if want_pow then Csr.power_into sub ~heap ~dist:ds_pow s;
+        let lsum = ref 0. and lmx = ref 0. and lcnt = ref 0 in
+        let hsum = ref 0. and hmx = ref 0. and hcnt = ref 0 in
+        let psum = ref 0. and pmx = ref 0. and pcnt = ref 0 in
+        let err = ref (-1) in
+        for t = s + 1 to n - 1 do
+          if one_hop_direct && Bytes.get adj t = '\001' then begin
+            (* the paper's routing sends directly to in-range nodes,
+               so adjacent pairs have stretch exactly 1 *)
+            if want_len then begin
+              lsum := !lsum +. 1.;
+              if !lmx < 1. then lmx := 1.;
+              incr lcnt
+            end;
+            if want_hop then begin
+              hsum := !hsum +. 1.;
+              if !hmx < 1. then hmx := 1.;
+              incr hcnt
+            end;
+            if want_pow then begin
+              psum := !psum +. 1.;
+              if !pmx < 1. then pmx := 1.;
+              incr pcnt
+            end
+          end
+          else begin
+            let base_conn =
+              if want_len then db_len.(t) <> infinity
+              else if want_hop then db_hop.(t) <> max_int
+              else db_pow.(t) <> infinity
+            in
+            if base_conn then begin
+              let sub_conn =
+                if want_len then ds_len.(t) <> infinity
+                else if want_hop then ds_hop.(t) <> max_int
+                else ds_pow.(t) <> infinity
+              in
+              if not sub_conn then begin
+                if !err < 0 then err := t
+              end
+              else begin
+                if want_len then begin
+                  let b = db_len.(t) in
+                  if b > 0. then begin
+                    let r = ds_len.(t) /. b in
+                    lsum := !lsum +. r;
+                    if r > !lmx then lmx := r;
+                    incr lcnt
+                  end
+                end;
+                if want_hop then begin
+                  let b = float_of_int db_hop.(t) in
+                  if b > 0. then begin
+                    let r = float_of_int ds_hop.(t) /. b in
+                    hsum := !hsum +. r;
+                    if r > !hmx then hmx := r;
+                    incr hcnt
+                  end
+                end;
+                if want_pow then begin
+                  let b = db_pow.(t) in
+                  if b > 0. then begin
+                    let r = ds_pow.(t) /. b in
+                    psum := !psum +. r;
+                    if r > !pmx then pmx := r;
+                    incr pcnt
+                  end
+                end
+              end
+            end
+          end
+        done;
+        if want_len then begin
+          len_sum.(k).(s) <- !lsum;
+          len_mx.(k).(s) <- !lmx;
+          len_cnt.(k).(s) <- !lcnt
+        end;
+        if want_hop then begin
+          hop_sum.(k).(s) <- !hsum;
+          hop_mx.(k).(s) <- !hmx;
+          hop_cnt.(k).(s) <- !hcnt
+        end;
+        if want_pow then begin
+          pow_sum.(k).(s) <- !psum;
+          pow_mx.(k).(s) <- !pmx;
+          pow_cnt.(k).(s) <- !pcnt
+        end;
+        errors.(k).(s) <- !err
+      done;
+      if one_hop_direct then
+        Csr.iter_neighbors base_csr s (fun v -> Bytes.set adj v '\000')
   in
-  { len_avg; len_max; hop_avg; hop_max }
+  let jobs = max 1 (min jobs (max 1 n)) in
+  Obs.span "metrics.stretch" (fun () ->
+      Pool.with_pool ~jobs (fun pool -> Pool.parallel_for pool ~n mk_body));
+  let passes =
+    (if want_len then 1 else 0)
+    + (if want_hop then 1 else 0)
+    + if want_pow then 1 else 0
+  in
+  Obs.add c_sources n;
+  Obs.add c_sssp (n * (nsubs + 1) * passes);
+  (* a substructure that loses connectivity is not a spanner at all:
+     raise like the sequential implementation always did, for the
+     lexicographically first offending pair of the first bad sub *)
+  Array.iter
+    (fun per_source ->
+      Array.iteri
+        (fun s t ->
+          if t >= 0 then
+            invalid_arg
+              (Printf.sprintf
+                 "Metrics.stretch_factors: pair (%d, %d) connected in base \
+                  but not in subgraph"
+                 s t))
+        per_source)
+    errors;
+  (* deterministic reduction: fold per-source partials in source order *)
+  let reduce sum mx cnt k =
+    let s = ref 0. and m = ref 0. and c = ref 0 in
+    for src = 0 to n - 1 do
+      s := !s +. sum.(k).(src);
+      if mx.(k).(src) > !m then m := mx.(k).(src);
+      c := !c + cnt.(k).(src)
+    done;
+    if !c = 0 then (1., 1.) else (!s /. float_of_int !c, !m)
+  in
+  List.mapi
+    (fun k (name, _) ->
+      let len_avg, len_max =
+        if want_len then reduce len_sum len_mx len_cnt k else (1., 1.)
+      in
+      let hop_avg, hop_max =
+        if want_hop then reduce hop_sum hop_mx hop_cnt k else (1., 1.)
+      in
+      let c_power =
+        if want_pow then Some (reduce pow_sum pow_mx pow_cnt k) else None
+      in
+      (name, { c_stretch = { len_avg; len_max; hop_avg; hop_max }; c_power }))
+    subs
+
+let combined_stretch ?(one_hop_direct = true) ?(jobs = 1) ?beta ~base points
+    subs =
+  fused ~one_hop_direct ~jobs ~want_len:true ~want_hop:true ~beta ~base points
+    subs
+
+let stretch_factors ?(one_hop_direct = true) ?(jobs = 1) ~base ~sub points =
+  match
+    fused ~one_hop_direct ~jobs ~want_len:true ~want_hop:true ~beta:None ~base
+      points
+      [ ("", sub) ]
+  with
+  | [ (_, c) ] -> c.c_stretch
+  | _ -> assert false
+
+let power_stretch ?(one_hop_direct = true) ?(jobs = 1) ~base ~sub points ~beta
+    =
+  match
+    fused ~one_hop_direct ~jobs ~want_len:false ~want_hop:false
+      ~beta:(Some beta) ~base points
+      [ ("", sub) ]
+  with
+  | [ (_, { c_power = Some p; _ }) ] -> p
+  | _ -> assert false
 
 let pair_stretch ~base ~sub points s t =
   let db = Traversal.dijkstra base points s in
@@ -157,10 +284,3 @@ let total_edge_length g points =
   Graph.fold_edges g
     (fun acc u v -> acc +. Geometry.Point.dist points.(u) points.(v))
     0.
-
-let power_stretch ?(one_hop_direct = true) ~base ~sub points ~beta =
-  let cost u v = Geometry.Point.dist points.(u) points.(v) ** beta in
-  let to_float d = if d = infinity then None else Some d in
-  generic_stretch ~one_hop_direct ~base ~sub
-    (fun g s -> weighted_sssp g cost s)
-    to_float

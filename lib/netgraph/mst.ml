@@ -15,17 +15,19 @@ let find parent x =
 
 let minimum_spanning_forest g points =
   let n = Graph.node_count g in
-  let edges =
-    List.sort
-      (fun (w1, _, _) (w2, _, _) -> Float.compare w1 w2)
-      (Graph.fold_edges g
-         (fun acc u v ->
-           (Geometry.Point.dist points.(u) points.(v), u, v) :: acc)
-         [])
-  in
+  let m = Graph.edge_count g in
+  (* edges in one flat array sorted in place — no per-edge list cells;
+     ties break on (u, v) so the forest is deterministic regardless of
+     iteration order *)
+  let edges = Array.make m (0., 0, 0) in
+  let i = ref 0 in
+  Graph.iter_edges g (fun u v ->
+      edges.(!i) <- (Geometry.Point.dist points.(u) points.(v), u, v);
+      incr i);
+  Array.sort compare edges;
   let parent = Array.init n (fun i -> i) in
   let forest = Graph.create n in
-  List.iter
+  Array.iter
     (fun (_, u, v) ->
       let ru = find parent u and rv = find parent v in
       if ru <> rv then begin

@@ -1,0 +1,142 @@
+(* Long-lived workers wait on a condition variable for the next job
+   generation; within a job, indices are claimed with a single
+   fetch-and-add, so imbalance between sources (dense vs sparse
+   neighborhoods) self-corrects.  The caller participates in the job
+   and then waits for stragglers, so a job is fully quiescent when
+   [parallel_for] returns. *)
+
+let c_for = Obs.counter "pool.parallel_for"
+let c_tasks = Obs.counter "pool.tasks"
+let d_jobs = Obs.dist "pool.jobs"
+
+type shared = {
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable generation : int;
+  mutable mk_body : unit -> int -> unit;
+  mutable total : int;
+  next : int Atomic.t;
+  mutable active : int;  (* workers still inside the current job *)
+  mutable stop : bool;
+  mutable failure : (int * exn) option;  (* smallest failing index *)
+}
+
+type t = { shared : shared; domains : unit Domain.t array }
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let record_failure shared i exn =
+  Mutex.lock shared.mutex;
+  (match shared.failure with
+  | Some (j, _) when j <= i -> ()
+  | _ -> shared.failure <- Some (i, exn));
+  Mutex.unlock shared.mutex
+
+(* Claim and run indices until the job is drained.  Runs in workers
+   and in the caller; must not hold the mutex. *)
+let drain shared body =
+  let continue = ref true in
+  while !continue do
+    let i = Atomic.fetch_and_add shared.next 1 in
+    if i >= shared.total then continue := false
+    else try body i with exn -> record_failure shared i exn
+  done
+
+let worker shared =
+  let last_gen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock shared.mutex;
+    while (not shared.stop) && shared.generation = !last_gen do
+      Condition.wait shared.work_ready shared.mutex
+    done;
+    if shared.stop then begin
+      Mutex.unlock shared.mutex;
+      running := false
+    end
+    else begin
+      last_gen := shared.generation;
+      let mk_body = shared.mk_body in
+      Mutex.unlock shared.mutex;
+      (match mk_body () with
+      | body -> drain shared body
+      | exception exn -> record_failure shared 0 exn);
+      Mutex.lock shared.mutex;
+      shared.active <- shared.active - 1;
+      if shared.active = 0 then Condition.signal shared.work_done;
+      Mutex.unlock shared.mutex
+    end
+  done
+
+let create ~jobs () =
+  let jobs = max 1 jobs in
+  let shared =
+    {
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      generation = 0;
+      mk_body = (fun () _ -> ());
+      total = 0;
+      next = Atomic.make 0;
+      active = 0;
+      stop = false;
+      failure = None;
+    }
+  in
+  let domains =
+    Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker shared))
+  in
+  { shared; domains }
+
+let jobs t = Array.length t.domains + 1
+
+let parallel_for t ~n mk_body =
+  if n > 0 then begin
+    Obs.incr c_for;
+    Obs.add c_tasks n;
+    if !Obs.on then Obs.observe d_jobs (float_of_int (jobs t));
+    let shared = t.shared in
+    if Array.length t.domains = 0 then begin
+      (* inline fast path: no locking, same claim/record protocol *)
+      shared.total <- n;
+      Atomic.set shared.next 0;
+      shared.failure <- None;
+      drain shared (mk_body ())
+    end
+    else begin
+      Mutex.lock shared.mutex;
+      shared.mk_body <- mk_body;
+      shared.total <- n;
+      Atomic.set shared.next 0;
+      shared.failure <- None;
+      shared.active <- Array.length t.domains;
+      shared.generation <- shared.generation + 1;
+      Condition.broadcast shared.work_ready;
+      Mutex.unlock shared.mutex;
+      (match mk_body () with
+      | body -> drain shared body
+      | exception exn -> record_failure shared 0 exn);
+      Mutex.lock shared.mutex;
+      while shared.active > 0 do
+        Condition.wait shared.work_done shared.mutex
+      done;
+      Mutex.unlock shared.mutex
+    end;
+    match shared.failure with
+    | Some (_, exn) -> raise exn
+    | None -> ()
+  end
+
+let shutdown t =
+  let shared = t.shared in
+  Mutex.lock shared.mutex;
+  shared.stop <- true;
+  Condition.broadcast shared.work_ready;
+  Mutex.unlock shared.mutex;
+  Array.iter Domain.join t.domains
+
+let with_pool ~jobs f =
+  let t = create ~jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

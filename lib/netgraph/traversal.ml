@@ -6,13 +6,11 @@ let bfs g s =
   Queue.add s q;
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
-    List.iter
-      (fun v ->
+    Graph.iter_neighbors g u (fun v ->
         if dist.(v) = max_int then begin
           dist.(v) <- dist.(u) + 1;
           Queue.add v q
         end)
-      (Graph.neighbors g u)
   done;
   dist
 
@@ -25,14 +23,12 @@ let bfs_parents g s =
   Queue.add s q;
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
-    List.iter
-      (fun v ->
+    Graph.iter_neighbors g u (fun v ->
         if not seen.(v) then begin
           seen.(v) <- true;
           parent.(v) <- u;
           Queue.add v q
         end)
-      (Graph.neighbors g u)
   done;
   (parent, seen)
 
@@ -44,88 +40,29 @@ let bfs_path g s t =
   let parent, seen = bfs_parents g s in
   if not seen.(t) then None else Some (reconstruct parent s t)
 
-(* Binary min-heap keyed by float priority; lazily deleted entries are
-   skipped on pop by checking against the settled array. *)
-module Heap = struct
-  type t = {
-    mutable data : (float * int) array;
-    mutable size : int;
-  }
-
-  let create () = { data = Array.make 16 (0., 0); size = 0 }
-
-  let swap h i j =
-    let tmp = h.data.(i) in
-    h.data.(i) <- h.data.(j);
-    h.data.(j) <- tmp
-
-  let push h k v =
-    if h.size = Array.length h.data then begin
-      let bigger = Array.make (2 * h.size) (0., 0) in
-      Array.blit h.data 0 bigger 0 h.size;
-      h.data <- bigger
-    end;
-    h.data.(h.size) <- (k, v);
-    h.size <- h.size + 1;
-    let i = ref (h.size - 1) in
-    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
-      swap h ((!i - 1) / 2) !i;
-      i := (!i - 1) / 2
-    done
-
-  let pop h =
-    if h.size = 0 then None
-    else begin
-      let top = h.data.(0) in
-      h.size <- h.size - 1;
-      h.data.(0) <- h.data.(h.size);
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then
-          smallest := l;
-        if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then
-          smallest := r;
-        if !smallest <> !i then begin
-          swap h !i !smallest;
-          i := !smallest
-        end
-        else continue := false
-      done;
-      Some top
-    end
-end
-
 let dijkstra_with_parents g points s =
   let n = Graph.node_count g in
   let dist = Array.make n infinity in
   let parent = Array.make n (-1) in
-  let settled = Array.make n false in
   dist.(s) <- 0.;
   let heap = Heap.create () in
   Heap.push heap 0. s;
-  let rec loop () =
-    match Heap.pop heap with
-    | None -> ()
-    | Some (d, u) ->
-      if not settled.(u) then begin
-        settled.(u) <- true;
-        List.iter
-          (fun v ->
-            let w = Geometry.Point.dist points.(u) points.(v) in
-            let nd = d +. w in
-            if nd < dist.(v) then begin
-              dist.(v) <- nd;
-              parent.(v) <- u;
-              Heap.push heap nd v
-            end)
-          (Graph.neighbors g u)
-      end;
-      loop ()
-  in
-  loop ();
+  while not (Heap.is_empty heap) do
+    let d = Heap.min_key heap in
+    let u = Heap.min_value heap in
+    Heap.remove_min heap;
+    (* [dist] only decreases, so exactly one entry per node carries
+       its final distance; strictly larger entries are stale *)
+    if d <= dist.(u) then
+      Graph.iter_neighbors g u (fun v ->
+          let w = Geometry.Point.dist points.(u) points.(v) in
+          let nd = d +. w in
+          if nd < dist.(v) then begin
+            dist.(v) <- nd;
+            parent.(v) <- u;
+            Heap.push heap nd v
+          end)
+  done;
   (dist, parent)
 
 let dijkstra g points s = fst (dijkstra_with_parents g points s)

@@ -24,14 +24,37 @@ let is_udg points ~radius g =
   let n = Array.length points in
   Netgraph.Graph.node_count g = n
   &&
-  let ok = ref true in
-  for u = 0 to n - 1 do
-    for v = u + 1 to n - 1 do
-      let in_range = P.dist points.(u) points.(v) <= radius in
-      if in_range <> Netgraph.Graph.has_edge g u v then ok := false
-    done
-  done;
-  !ok
+  if radius <= 0. then
+    (* degenerate radius the grid cannot index; only coincident pairs
+       at radius = 0 can be in range, so scan pairs directly *)
+    let ok = ref true in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        let in_range = P.dist points.(u) points.(v) <= radius in
+        if in_range <> Netgraph.Graph.has_edge g u v then ok := false
+      done
+    done;
+    !ok
+  else if n <= 1 then Netgraph.Graph.edge_count g = 0
+  else begin
+    (* every in-range pair (found by the grid, O(n) of them for
+       bounded density) must be an edge; then matching edge counts
+       rule out any out-of-range edge without scanning the n^2
+       absent pairs *)
+    let grid = Geometry.Grid.create ~cell_size:radius points in
+    let in_range = ref 0 in
+    let all_edges = ref true in
+    for u = 0 to n - 1 do
+      List.iter
+        (fun v ->
+          if v > u then begin
+            incr in_range;
+            if not (Netgraph.Graph.has_edge g u v) then all_edges := false
+          end)
+        (Geometry.Grid.neighbors_within grid u radius)
+    done;
+    !all_edges && Netgraph.Graph.edge_count g = !in_range
+  end
 
 
 let build_quasi rng points ~r_min ~r_max =

@@ -6,4 +6,5 @@ let () =
    @ Test_routing.suites @ Test_properties.suites @ Test_viz.suites
    @ Test_maintenance.suites @ Test_claims.suites @ Test_broadcast.suites
    @ Test_packetsim.suites @ Test_stress.suites @ Test_async.suites
-   @ Test_energy.suites @ Test_integration.suites @ Test_obs.suites)
+   @ Test_energy.suites @ Test_integration.suites @ Test_obs.suites
+   @ Test_metrics_engine.suites)
