@@ -7,6 +7,12 @@
 
      dune exec bench/main.exe -- table1 fig8 fig12
      dune exec bench/main.exe -- --quick          # smaller instances
+     dune exec bench/main.exe -- metrics --check  # regression gate
+
+   --check re-runs the metrics benchmark and compares it against the
+   committed BENCH_metrics.json baseline: counters must match exactly,
+   span timings may regress by at most --check-threshold (default 0.5,
+   i.e. +50%).  Any violation fails the run with exit code 1.
 
    Reported numbers are deterministic for a fixed configuration. *)
 
@@ -627,7 +633,12 @@ module Seed_metrics = struct
     generic_stretch ~base ~sub (fun g s -> weighted_sssp g cost s) to_float
 end
 
-let bench_metrics quick jobs =
+(* committed baseline configuration marker: a jobs mismatch between the
+   checking run and the committed baseline shows up as a counter
+   violation instead of a silent apples-to-oranges timing comparison *)
+let c_bench_jobs = Obs.counter "bench.jobs"
+
+let bench_metrics ?check quick jobs =
   header
     (Printf.sprintf
        "Metrics engine: seed-style sequential vs fused CSR (jobs = 1 and %d)"
@@ -638,6 +649,7 @@ let bench_metrics quick jobs =
   let was = Obs.enabled () in
   Obs.set_enabled true;
   Obs.reset ();
+  Obs.add c_bench_jobs jobs;
   let checks =
     List.map
       (fun (n, radius) ->
@@ -727,12 +739,29 @@ let bench_metrics quick jobs =
     checks;
   pf "(all variants returned identical stretch results)@.";
   let file = "BENCH_metrics.json" in
-  let oc = open_out file in
-  let fmt = Format.formatter_of_out_channel oc in
-  Obs.json fmt snap;
-  Format.pp_print_flush fmt ();
-  close_out oc;
-  pf "  [wrote %s]@." file;
+  (match check with
+  | Some threshold ->
+    (* regression gate: compare this run against the committed baseline
+       instead of overwriting it *)
+    let ic = open_in_bin file in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let reference = Obs.Snapshot.of_json_lines contents in
+    (match Obs.Snapshot.check_against ~threshold ~reference snap with
+    | [] ->
+      pf "  [check ok: within +%.0f%% of %s]@." (100. *. threshold) file
+    | violations ->
+      pf "  [check FAILED against %s]@." file;
+      List.iter (fun v -> pf "    %s@." v) violations;
+      Obs.set_enabled was;
+      exit 1)
+  | None ->
+    let oc = open_out file in
+    let fmt = Format.formatter_of_out_channel oc in
+    Obs.json fmt snap;
+    Format.pp_print_flush fmt ();
+    close_out oc;
+    pf "  [wrote %s]@." file);
   Obs.set_enabled was
 
 (* ------------------------------------------------------------------ *)
@@ -801,7 +830,10 @@ let () =
   let args = List.filter (fun a -> a <> "--quick") args in
   with_stats := List.mem "--stats" args;
   let args = List.filter (fun a -> a <> "--stats") args in
+  let do_check = List.mem "--check" args in
+  let args = List.filter (fun a -> a <> "--check") args in
   let jobs = ref (Netgraph.Pool.default_jobs ()) in
+  let check_threshold = ref 0.5 in
   let rec take_out acc = function
     | "--out" :: dir :: rest ->
       out_dir := Some dir;
@@ -809,10 +841,20 @@ let () =
     | "--jobs" :: j :: rest ->
       jobs := max 1 (int_of_string j);
       take_out acc rest
+    | "--check-threshold" :: t :: rest ->
+      check_threshold := float_of_string t;
+      take_out acc rest
     | x :: rest -> take_out (x :: acc) rest
     | [] -> List.rev acc
   in
   let args = take_out [] args in
+  if do_check && quick then begin
+    prerr_endline
+      "bench: --check compares against the committed full-size \
+       BENCH_metrics.json; it cannot be combined with --quick";
+    exit 2
+  end;
+  let check = if do_check then Some !check_threshold else None in
   if !with_stats then Obs.set_enabled true;
   let cfg =
     if quick then
@@ -855,5 +897,5 @@ let () =
       extension_quasi_udg cfg;
       extension_lifetime cfg;
       extension_bounds cfg);
-  artifact "metrics" (fun () -> bench_metrics quick !jobs);
+  artifact "metrics" (fun () -> bench_metrics ?check quick !jobs);
   artifact "micro" micro

@@ -10,6 +10,7 @@
      broadcast  compare network-wide broadcast relay disciplines
      lifetime   simulate battery drain and clusterhead rotation
      experiment regenerate a table/figure from the paper
+     trace      audit protocol message complexity under the event tracer
 
    Deployments are deterministic given --seed; a CSV written by
    `generate` can be fed back to every other subcommand via --input. *)
@@ -49,6 +50,53 @@ let with_stats fmt_name f =
       let code = f () in
       Obs.report sink;
       code)
+
+let trace_file =
+  let doc =
+    "Record a structured event trace during the run (timing spans, counter \
+     deltas, protocol send/deliver events) and write it to $(docv) in \
+     Chrome trace-event JSON — loadable in chrome://tracing or Perfetto.  \
+     Implies the observability layer is on for the run."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Export a recorded trace as Chrome JSON, then validate the file by
+   parsing it back.  Returns 0, or 1 when validation fails. *)
+let export_trace file evs =
+  let oc = open_out file in
+  let fmt = Format.formatter_of_out_channel oc in
+  Obs.Trace.write_chrome fmt evs;
+  Format.pp_print_flush fmt ();
+  close_out oc;
+  let ic = open_in_bin file in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Obs.Trace.read_chrome contents with
+  | parsed when List.length parsed = List.length evs ->
+    Printf.eprintf "trace: wrote %d events to %s%s\n" (List.length evs) file
+      (let d = Obs.Trace.dropped () in
+       if d > 0 then Printf.sprintf " (%d oldest events dropped)" d else "");
+    0
+  | parsed ->
+    Printf.eprintf "trace: %s round-trip mismatch (%d written, %d parsed)\n"
+      file (List.length evs) (List.length parsed);
+    1
+  | exception Failure msg ->
+    Printf.eprintf "trace: %s failed to validate: %s\n" file msg;
+    1
+
+let with_trace trace_file f =
+  match trace_file with
+  | None -> f ()
+  | Some file ->
+    let was = Obs.enabled () in
+    Obs.set_enabled true;
+    Obs.Trace.start ~capacity:(1 lsl 20) ();
+    let code = f () in
+    Obs.Trace.stop ();
+    Obs.set_enabled was;
+    let vcode = export_trace file (Obs.Trace.events ()) in
+    if code <> 0 then code else vcode
 
 let seed =
   let doc = "Random seed for the deployment." in
@@ -127,8 +175,9 @@ let generate_cmd =
     let doc = "Write the deployment to $(docv) instead of stdout." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run seed n side radius connected output stats_fmt =
+  let run seed n side radius connected output stats_fmt trace =
     with_stats stats_fmt @@ fun () ->
+    with_trace trace @@ fun () ->
     let pts = deployment ~seed ~n ~side ~radius ~connected ~input:None in
     (match output with
     | Some file ->
@@ -142,13 +191,16 @@ let generate_cmd =
   let doc = "draw a random node deployment" in
   Cmd.v
     (Cmd.info "generate" ~doc)
-    Term.(const run $ seed $ nodes $ side $ radius $ connected $ output $ stats)
+    Term.(
+      const run $ seed $ nodes $ side $ radius $ connected $ output $ stats
+      $ trace_file)
 
 (* ---------------- build ---------------- *)
 
 let build_cmd =
-  let run seed n side radius input jobs stats_fmt =
+  let run seed n side radius input jobs stats_fmt trace =
     with_stats stats_fmt @@ fun () ->
+    with_trace trace @@ fun () ->
     let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
     let bb =
       Core.Backbone.run { Config.default with Config.radius; jobs } pts
@@ -182,13 +234,16 @@ let build_cmd =
   let doc = "construct all backbone structures and print statistics" in
   Cmd.v
     (Cmd.info "build" ~doc)
-    Term.(const run $ seed $ nodes $ side $ radius $ input $ jobs $ stats)
+    Term.(
+      const run $ seed $ nodes $ side $ radius $ input $ jobs $ stats
+      $ trace_file)
 
 (* ---------------- measure ---------------- *)
 
 let measure_cmd =
-  let run seed n side radius input jobs stats_fmt =
+  let run seed n side radius input jobs stats_fmt trace =
     with_stats stats_fmt @@ fun () ->
+    with_trace trace @@ fun () ->
     let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
     let bb =
       Core.Backbone.run { Config.default with Config.radius; jobs } pts
@@ -201,7 +256,9 @@ let measure_cmd =
   let doc = "measure Table-I quality metrics on one instance" in
   Cmd.v
     (Cmd.info "measure" ~doc)
-    Term.(const run $ seed $ nodes $ side $ radius $ input $ jobs $ stats)
+    Term.(
+      const run $ seed $ nodes $ side $ radius $ input $ jobs $ stats
+      $ trace_file)
 
 (* ---------------- route ---------------- *)
 
@@ -219,8 +276,9 @@ let route_cmd =
       & opt (enum [ ("greedy", `Greedy); ("gfg", `Gfg); ("hierarchical", `Hier) ]) `Hier
       & info [ "scheme" ] ~docv:"SCHEME" ~doc)
   in
-  let run seed n side radius input src dst scheme stats_fmt =
+  let run seed n side radius input src dst scheme stats_fmt trace =
     with_stats stats_fmt @@ fun () ->
+    with_trace trace @@ fun () ->
     let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
     let bb = Core.Backbone.run { Config.default with Config.radius } pts in
     let result =
@@ -257,13 +315,14 @@ let route_cmd =
     (Cmd.info "route" ~doc)
     Term.(
       const run $ seed $ nodes $ side $ radius $ input $ src $ dst $ scheme
-      $ stats)
+      $ stats $ trace_file)
 
 (* ---------------- protocol ---------------- *)
 
 let protocol_cmd =
-  let run seed n side radius input stats_fmt =
+  let run seed n side radius input stats_fmt trace =
     with_stats stats_fmt @@ fun () ->
+    with_trace trace @@ fun () ->
     let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
     let r = Core.Protocol.run pts ~radius in
     let phase name stats =
@@ -290,7 +349,7 @@ let protocol_cmd =
   let doc = "run the distributed construction and report message costs" in
   Cmd.v
     (Cmd.info "protocol" ~doc)
-    Term.(const run $ seed $ nodes $ side $ radius $ input $ stats)
+    Term.(const run $ seed $ nodes $ side $ radius $ input $ stats $ trace_file)
 
 (* ---------------- dump ---------------- *)
 
@@ -305,8 +364,9 @@ let dump_cmd =
     in
     Arg.(value & opt string "ldel(icds)" & info [ "structure" ] ~docv:"NAME" ~doc)
   in
-  let run seed n side radius input structure stats_fmt =
+  let run seed n side radius input structure stats_fmt trace =
     with_stats stats_fmt @@ fun () ->
+    with_trace trace @@ fun () ->
     let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
     let bb = Core.Backbone.run { Config.default with Config.radius } pts in
     let canonical s =
@@ -340,7 +400,9 @@ let dump_cmd =
   let doc = "emit a structure's edge list as CSV (u,v,x1,y1,x2,y2)" in
   Cmd.v
     (Cmd.info "dump" ~doc)
-    Term.(const run $ seed $ nodes $ side $ radius $ input $ structure $ stats)
+    Term.(
+      const run $ seed $ nodes $ side $ radius $ input $ structure $ stats
+      $ trace_file)
 
 (* ---------------- broadcast ---------------- *)
 
@@ -348,8 +410,9 @@ let broadcast_cmd =
   let source =
     Arg.(value & opt int 0 & info [ "source" ] ~docv:"NODE" ~doc:"Originating node.")
   in
-  let run seed n side radius input source stats_fmt =
+  let run seed n side radius input source stats_fmt trace =
     with_stats stats_fmt @@ fun () ->
+    with_trace trace @@ fun () ->
     let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
     let udg = Wireless.Udg.build pts ~radius in
     let cds = Core.Cds.of_udg udg in
@@ -367,7 +430,9 @@ let broadcast_cmd =
   let doc = "broadcast one packet network-wide and compare relay disciplines" in
   Cmd.v
     (Cmd.info "broadcast" ~doc)
-    Term.(const run $ seed $ nodes $ side $ radius $ input $ source $ stats)
+    Term.(
+      const run $ seed $ nodes $ side $ radius $ input $ source $ stats
+      $ trace_file)
 
 (* ---------------- lifetime ---------------- *)
 
@@ -381,8 +446,9 @@ let lifetime_cmd =
   let beta =
     Arg.(value & opt float 3. & info [ "beta" ] ~docv:"B" ~doc:"Path-loss exponent.")
   in
-  let run seed n side radius input epochs battery beta stats_fmt =
+  let run seed n side radius input epochs battery beta stats_fmt trace =
     with_stats stats_fmt @@ fun () ->
+    with_trace trace @@ fun () ->
     let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
     let sink = 0 in
     Printf.printf "%-18s %12s %7s %9s\n" "policy" "first death" "deaths"
@@ -409,7 +475,7 @@ let lifetime_cmd =
     (Cmd.info "lifetime" ~doc)
     Term.(
       const run $ seed $ nodes $ side $ radius $ input $ epochs $ battery
-      $ beta $ stats)
+      $ beta $ stats $ trace_file)
 
 (* ---------------- experiment ---------------- *)
 
@@ -421,8 +487,9 @@ let experiment_cmd =
   let instances =
     Arg.(value & opt int 3 & info [ "instances" ] ~docv:"K" ~doc:"Vertex sets per point.")
   in
-  let run which instances jobs stats_fmt =
+  let run which instances jobs stats_fmt trace =
     with_stats stats_fmt @@ fun () ->
+    with_trace trace @@ fun () ->
     let cfg = { Core.Experiments.default with instances; jobs } in
     match which with
     | "table1" ->
@@ -457,7 +524,179 @@ let experiment_cmd =
   let doc = "regenerate one of the paper's tables or figures" in
   Cmd.v
     (Cmd.info "experiment" ~doc)
-    Term.(const run $ which $ instances $ jobs $ stats)
+    Term.(const run $ which $ instances $ jobs $ stats $ trace_file)
+
+(* ---------------- trace ---------------- *)
+
+let trace_cmd =
+  let sizes_arg =
+    let doc =
+      "Comma-separated instance sizes for the message-complexity fit (at \
+       least 3 distinct values).  Default: n/4, n/2, n."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "sizes" ] ~docv:"N1,N2,.." ~doc)
+  in
+  let out =
+    let doc =
+      "Write the largest run's Chrome trace-event JSON to $(docv) \
+       (chrome://tracing / Perfetto)."
+    in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let folded =
+    let doc =
+      "Write the largest run's folded span stacks to $(docv) \
+       (flamegraph.pl input)."
+    in
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"FILE" ~doc)
+  in
+  let run seed n side radius sizes out folded =
+    let sizes =
+      match sizes with
+      | Some s ->
+        List.sort_uniq compare
+          (List.map
+             (fun x -> int_of_string (String.trim x))
+             (String.split_on_char ',' s))
+      | None -> List.sort_uniq compare [ max 20 (n / 4); max 20 (n / 2); n ]
+    in
+    if List.length sizes < 3 then begin
+      Printf.eprintf "trace: need at least 3 distinct sizes for the slope fit\n";
+      2
+    end
+    else begin
+      let was = Obs.enabled () in
+      Obs.set_enabled true;
+      (* One protocol run per size, each with a fresh trace.  Events are
+         harvested before the next [start] resets the ring buffers. *)
+      let runs =
+        List.map
+          (fun size ->
+            let rng =
+              Wireless.Rand.create (Int64.add seed (Int64.of_int size))
+            in
+            let pts, _ =
+              Wireless.Deploy.connected_uniform rng ~n:size ~side ~radius
+                ~max_attempts:5000
+            in
+            Obs.reset ();
+            Obs.Trace.start ~capacity:(1 lsl 21) ();
+            let r = Core.Protocol.run pts ~radius in
+            Obs.Trace.stop ();
+            (size, r, Obs.Trace.events (), Obs.Trace.dropped ()))
+          sizes
+      in
+      Obs.set_enabled was;
+      let size_l, r_l, evs_l, dropped_l = List.nth runs (List.length runs - 1) in
+      if dropped_l > 0 then
+        Printf.eprintf
+          "trace: warning: ring buffer overflowed, %d oldest events dropped \
+           (n=%d) — message totals below are partial\n"
+          dropped_l size_l;
+      (* per-phase, per-kind message audit for the largest instance *)
+      let audit = Obs.Trace.message_audit evs_l in
+      Printf.printf "message audit (n=%d, radius %g, seed %Ld):\n" size_l radius
+        seed;
+      Printf.printf "  %-20s %-20s %9s %11s %10s\n" "phase" "kind" "sends"
+        "deliveries" "sends/node";
+      List.iter
+        (fun (row : Obs.Trace.audit_row) ->
+          Printf.printf "  %-20s %-20s %9d %11d %10.2f\n" row.Obs.Trace.a_phase
+            row.Obs.Trace.a_kind row.Obs.Trace.a_sends
+            row.Obs.Trace.a_deliveries
+            (float_of_int row.Obs.Trace.a_sends /. float_of_int size_l))
+        audit;
+      (* phase totals, cross-checked against the engine's own counters *)
+      let phase_sends phase =
+        List.fold_left
+          (fun acc (row : Obs.Trace.audit_row) ->
+            if row.Obs.Trace.a_phase = phase then acc + row.Obs.Trace.a_sends
+            else acc)
+          0 audit
+      in
+      let engine_stats =
+        [
+          r_l.Core.Protocol.stats_cluster; r_l.Core.Protocol.stats_connector;
+          r_l.Core.Protocol.stats_status; r_l.Core.Protocol.stats_ldel;
+        ]
+      in
+      let audit_ok = ref true in
+      Printf.printf "phase totals (trace vs engine):\n";
+      List.iter2
+        (fun name st ->
+          let phase = "protocol/" ^ name in
+          let traced = phase_sends phase in
+          let engine = Distsim.Engine.total_sent st in
+          let ok = traced = engine || dropped_l > 0 in
+          if not ok then audit_ok := false;
+          Printf.printf "  %-20s %9d traced  %9d engine  %8.2f/node%s\n" phase
+            traced engine
+            (float_of_int engine /. float_of_int size_l)
+            (if traced = engine then "" else "  MISMATCH"))
+        Core.Protocol.phases engine_stats;
+      (* O(n) clustering claim: log-log slope of clustering messages vs n *)
+      let fit_points =
+        List.map
+          (fun (size, _, evs, _) ->
+            let cl =
+              List.fold_left
+                (fun acc (row : Obs.Trace.audit_row) ->
+                  if row.Obs.Trace.a_phase = "protocol/cluster" then
+                    acc + row.Obs.Trace.a_sends
+                  else acc)
+                0
+                (Obs.Trace.message_audit evs)
+            in
+            (size, cl))
+          runs
+      in
+      Printf.printf "clustering messages vs n:";
+      List.iter (fun (size, cl) -> Printf.printf "  %d:%d" size cl) fit_points;
+      print_newline ();
+      let slope =
+        Obs.Trace.fit_loglog_slope
+          (List.map
+             (fun (size, cl) -> (float_of_int size, float_of_int cl))
+             fit_points)
+      in
+      let slope_ok = slope >= 0.75 && slope <= 1.25 in
+      Printf.printf "O(n) clustering check: log-log slope %.3f -> %s\n" slope
+        (if slope_ok then "OK (linear)"
+         else "FAIL (expected within [0.75, 1.25])");
+      (* span profile of the largest run *)
+      Printf.printf "span profile (n=%d):\n" size_l;
+      Printf.printf "  %-30s %7s %11s %11s\n" "path" "calls" "total(s)"
+        "self(s)";
+      List.iter
+        (fun (row : Obs.Trace.profile_row) ->
+          Printf.printf "  %-30s %7d %11.6f %11.6f\n" row.Obs.Trace.p_path
+            row.Obs.Trace.p_calls row.Obs.Trace.p_total row.Obs.Trace.p_self)
+        (Obs.Trace.profile evs_l);
+      let out_code =
+        match out with None -> 0 | Some file -> export_trace file evs_l
+      in
+      (match folded with
+      | None -> ()
+      | Some file ->
+        let oc = open_out file in
+        let fmt = Format.formatter_of_out_channel oc in
+        Obs.Trace.write_folded fmt evs_l;
+        Format.pp_print_flush fmt ();
+        close_out oc;
+        Printf.eprintf "trace: wrote folded stacks to %s\n" file);
+      if (not slope_ok) || not !audit_ok then 1 else out_code
+    end
+  in
+  let doc =
+    "replay the distributed construction under the event tracer: audit \
+     per-phase per-kind message complexity against the engine's counters, \
+     fit the messages-vs-n slope to check the paper's O(n) clustering \
+     claim, and export Chrome/folded profiles"
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(const run $ seed $ nodes $ side $ radius $ sizes_arg $ out $ folded)
 
 (* ---------------- main ---------------- *)
 
@@ -469,5 +708,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; build_cmd; measure_cmd; route_cmd; protocol_cmd;
-            dump_cmd; broadcast_cmd; lifetime_cmd; experiment_cmd;
+            dump_cmd; broadcast_cmd; lifetime_cmd; experiment_cmd; trace_cmd;
           ]))

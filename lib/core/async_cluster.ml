@@ -41,7 +41,11 @@ let run ~delay udg =
           st);
     }
   in
-  let states, stats = AE.run ~delay udg proto in
+  let classify = function
+    | Decided true -> "IamDominator"
+    | Decided false -> "IamDominatee"
+  in
+  let states, stats = AE.run ~classify ~delay udg proto in
   let roles =
     Array.map
       (fun st ->

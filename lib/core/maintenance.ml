@@ -1,12 +1,27 @@
 module G = Netgraph.Graph
 module P = Geometry.Point
 
+let c_refreshes = Obs.counter "maintenance.refreshes"
+let c_rebuilds = Obs.counter "maintenance.rebuilds"
+let c_links_broken = Obs.counter "maintenance.links_broken"
+let c_role_changes = Obs.counter "maintenance.role_changes"
+let c_backbone_changes = Obs.counter "maintenance.backbone_changes"
+let c_edge_changes = Obs.counter "maintenance.edge_changes"
+
 type stats = {
   role_changes : int;
   backbone_changes : int;
   edge_changes : int;
   links_broken : int;
 }
+
+let flush_stats_to_obs s =
+  if !Obs.on then begin
+    Obs.add c_links_broken s.links_broken;
+    Obs.add c_role_changes s.role_changes;
+    Obs.add c_backbone_changes s.backbone_changes;
+    Obs.add c_edge_changes s.edge_changes
+  end
 
 let needs_refresh (prev : Backbone.t) positions =
   let broken = ref 0 in
@@ -43,6 +58,8 @@ let diff_stats (prev : Backbone.t) (next : Backbone.t) ~links_broken =
   }
 
 let refresh (prev : Backbone.t) positions =
+  Obs.span "maintenance.refresh" @@ fun () ->
+  Obs.incr c_refreshes;
   let links_broken = needs_refresh prev positions in
   (* incumbent dominators get priority class 0, everyone else 1; ties
      still break by id, so this remains a greedy MIS under a total
@@ -53,9 +70,15 @@ let refresh (prev : Backbone.t) positions =
   let next =
     Backbone.build ~priority:incumbent positions ~radius:prev.Backbone.radius
   in
-  (next, diff_stats prev next ~links_broken)
+  let stats = diff_stats prev next ~links_broken in
+  flush_stats_to_obs stats;
+  (next, stats)
 
 let rebuild (prev : Backbone.t) positions =
+  Obs.span "maintenance.rebuild" @@ fun () ->
+  Obs.incr c_rebuilds;
   let links_broken = needs_refresh prev positions in
   let next = Backbone.build positions ~radius:prev.Backbone.radius in
-  (next, diff_stats prev next ~links_broken)
+  let stats = diff_stats prev next ~links_broken in
+  flush_stats_to_obs stats;
+  (next, stats)

@@ -1,6 +1,11 @@
 module G = Netgraph.Graph
 module E = Distsim.Engine
 
+let c_packets = Obs.counter "packetsim.packets"
+let c_delivered = Obs.counter "packetsim.delivered"
+let d_tx = Obs.dist "packetsim.transmissions"
+let d_rounds = Obs.dist "packetsim.rounds"
+
 type result = {
   delivered : bool;
   path : int list;
@@ -80,8 +85,12 @@ let run_one g points ~src ~dst ~use_perimeter =
     }
   in
   let states, stats = E.run ~classify:(fun _ -> "Data") g proto in
+  Obs.incr c_packets;
+  Obs.observe d_tx (float_of_int (E.total_sent stats));
+  Obs.observe d_rounds (float_of_int stats.E.rounds);
   match states.(dst).ns_delivered with
   | Some path ->
+    Obs.incr c_delivered;
     {
       delivered = true;
       path;
@@ -102,6 +111,7 @@ let greedy g points ~src ~dst =
   run_one g points ~src ~dst ~use_perimeter:false
 
 let many g points ~pairs rng ~router =
+  Obs.span "packetsim.many" @@ fun () ->
   let n = G.node_count g in
   let delivered = ref 0 and tx = ref 0 and sent = ref 0 in
   while !sent < pairs do

@@ -665,12 +665,22 @@ let cds_stats r = E.merge r.stats_cluster r.stats_connector
 let icds_stats r = E.merge (cds_stats r) r.stats_status
 let ldel_stats r = E.merge (icds_stats r) r.stats_ldel
 
+(* the message-passing phases of [run], in execution order; these are
+   the span names under "protocol", so trace events recorded during
+   phase [p] carry the phase label "protocol/<p>" *)
+let phase_cluster = "cluster"
+let phase_connectors = "connectors"
+let phase_status = "status"
+let phase_ldel = "ldel"
+let phases = [ phase_cluster; phase_connectors; phase_status; phase_ldel ]
+
 let run points ~radius =
   Obs.span "protocol" @@ fun () ->
   let udg = Obs.span "udg" (fun () -> Wireless.Udg.build points ~radius) in
   let n = Array.length points in
   let cluster, stats_cluster =
-    Obs.span "cluster" (fun () -> E.run ~classify udg (cluster_protocol points))
+    Obs.span phase_cluster (fun () ->
+        E.run ~classify udg (cluster_protocol points))
   in
   let roles =
     Array.map
@@ -682,7 +692,7 @@ let run points ~radius =
       cluster
   in
   let conn, stats_connector =
-    Obs.span "connectors" (fun () ->
+    Obs.span phase_connectors (fun () ->
         E.run ~classify udg (connectors_protocol cluster))
   in
   let connector = Array.map (fun st -> st.c_is_connector) conn in
@@ -694,7 +704,8 @@ let run points ~radius =
     Array.init n (fun u -> roles.(u) = Mis.Dominator || connector.(u))
   in
   let status, stats_status =
-    Obs.span "status" (fun () -> E.run ~classify udg (status_protocol backbone))
+    Obs.span phase_status (fun () ->
+        E.run ~classify udg (status_protocol backbone))
   in
   let icds_edges =
     let acc = ref [] in
@@ -708,7 +719,7 @@ let run points ~radius =
     List.sort compare !acc
   in
   let ldel, stats_ldel =
-    Obs.span "ldel" (fun () ->
+    Obs.span phase_ldel (fun () ->
         E.run ~classify udg (ldel_protocol status cluster points ~radius))
   in
   let ldel_triangles =

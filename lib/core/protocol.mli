@@ -47,6 +47,12 @@ type msg =
 (** Message kind name, for per-kind statistics. *)
 val classify : msg -> string
 
+(** The message-passing phases of {!run} in execution order
+    ([["cluster"; "connectors"; "status"; "ldel"]]).  Each is also the
+    {!Obs.span} name under ["protocol"], so trace events recorded
+    during phase [p] carry the phase label ["protocol/" ^ p]. *)
+val phases : string list
+
 type result = {
   roles : Mis.role array;
   connector : bool array;

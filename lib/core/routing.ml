@@ -3,6 +3,31 @@ module P = Geometry.Point
 
 let max_steps g = (4 * G.edge_count g) + 16
 
+(* Per-scheme route/delivery counters and a shared hop distribution.
+   [hierarchical] drives [gfg] on the backbone, so a hierarchical
+   route also charges one gfg route — counters count invocations. *)
+let d_hops = Obs.dist "routing.path_hops"
+let c_gfg_steps = Obs.counter "routing.gfg.steps"
+
+let instrumented name =
+  let c_routes = Obs.counter ("routing." ^ name ^ ".routes")
+  and c_delivered = Obs.counter ("routing." ^ name ^ ".delivered") in
+  fun result ->
+    Obs.incr c_routes;
+    (match result with
+    | Some path ->
+      Obs.incr c_delivered;
+      Obs.observe d_hops (float_of_int (max 0 (List.length path - 1)))
+    | None -> ());
+    result
+
+let obs_greedy = instrumented "greedy"
+let obs_compass = instrumented "compass"
+let obs_mfr = instrumented "mfr"
+let obs_nfp = instrumented "nfp"
+let obs_gfg = instrumented "gfg"
+let obs_hierarchical = instrumented "hierarchical"
+
 let greedy g points ~src ~dst =
   let rec go path u steps =
     if u = dst then Some (List.rev (u :: path))
@@ -22,7 +47,7 @@ let greedy g points ~src ~dst =
       | Some (v, _) -> go (u :: path) v (steps - 1)
       | None -> None
   in
-  go [] src (max_steps g)
+  obs_greedy (go [] src (max_steps g))
 
 (* The three classic localized forwarding rules differ only in how
    they score a neighbor; [directional_route] factors the traversal
@@ -62,7 +87,7 @@ let compass g points ~src ~dst =
           | _ -> Some v)
         None (G.neighbors g u)
   in
-  directional_route g ~src ~dst ~choose
+  obs_compass (directional_route g ~src ~dst ~choose)
 
 let progress points u v dst =
   (* projection of the step u -> v onto the unit vector toward dst *)
@@ -85,7 +110,7 @@ let mfr g points ~src ~dst =
         None (G.neighbors g u)
       |> Option.map fst
   in
-  directional_route g ~src ~dst ~choose
+  obs_mfr (directional_route g ~src ~dst ~choose)
 
 let nfp g points ~src ~dst =
   let choose u =
@@ -102,7 +127,7 @@ let nfp g points ~src ~dst =
         None (G.neighbors g u)
       |> Option.map fst
   in
-  directional_route g ~src ~dst ~choose
+  obs_nfp (directional_route g ~src ~dst ~choose)
 
 (* Perimeter-mode machinery: neighbors ordered by angle let us apply
    the right-hand rule — after arriving at [v] over edge (v, prev),
@@ -178,6 +203,7 @@ let rec advance g points ~dst u st w =
     | None -> Forward (w, Perimeter ({ st with p_first = false }, u))
 
 let gfg_step g points ~dst u header =
+  Obs.incr c_gfg_steps;
   if u = dst then Deliver
   else
     let enter_perimeter () =
@@ -222,26 +248,29 @@ let gfg g points ~src ~dst =
       | Drop -> None
       | Forward (v, header') -> go (u :: path) v header' (steps - 1)
   in
-  if src = dst then Some [ src ] else go [] src Greedy (max_steps g)
+  obs_gfg
+    (if src = dst then Some [ src ] else go [] src Greedy (max_steps g))
 
 let hierarchical (bb : Backbone.t) ~src ~dst =
-  let udg = bb.Backbone.udg in
-  if src = dst then Some [ src ]
-  else if G.has_edge udg src dst then Some [ src; dst ]
-  else
-    let cds = bb.Backbone.cds in
-    let enter = Cds.dominator_of cds udg src in
-    let exit = Cds.dominator_of cds udg dst in
-    let backbone_path =
-      if enter = exit then Some [ enter ]
-      else gfg bb.Backbone.ldel_icds_g bb.Backbone.points ~src:enter ~dst:exit
-    in
-    match backbone_path with
-    | None -> None
-    | Some p ->
-      let p = if enter = src then p else src :: p in
-      let p = if exit = dst then p else p @ [ dst ] in
-      Some p
+  obs_hierarchical
+    (let udg = bb.Backbone.udg in
+     if src = dst then Some [ src ]
+     else if G.has_edge udg src dst then Some [ src; dst ]
+     else
+       let cds = bb.Backbone.cds in
+       let enter = Cds.dominator_of cds udg src in
+       let exit = Cds.dominator_of cds udg dst in
+       let backbone_path =
+         if enter = exit then Some [ enter ]
+         else
+           gfg bb.Backbone.ldel_icds_g bb.Backbone.points ~src:enter ~dst:exit
+       in
+       match backbone_path with
+       | None -> None
+       | Some p ->
+         let p = if enter = src then p else src :: p in
+         let p = if exit = dst then p else p @ [ dst ] in
+         Some p)
 
 type evaluation = {
   pairs : int;
@@ -251,6 +280,7 @@ type evaluation = {
 }
 
 let evaluate ~router ~base points ~pairs rng =
+  Obs.span "routing.evaluate" @@ fun () ->
   let n = G.node_count base in
   let delivered = ref 0 in
   let len_sum = ref 0. and hop_sum = ref 0. and measured = ref 0 in

@@ -1,6 +1,7 @@
 let c_runs = Obs.counter "distsim.async.runs"
 let c_sent = Obs.counter "distsim.async.sent"
 let c_deliveries = Obs.counter "distsim.async.deliveries"
+let d_sent = Obs.dist "distsim.async.sent_per_node"
 
 type 'msg delivery = { from : int; time : float; msg : 'msg }
 
@@ -21,6 +22,7 @@ type stats = {
   deliveries : int;
   sent : int array;
   finish_time : float;
+  by_kind : (string * int) list;
 }
 
 (* Event queue: a binary min-heap on (time, tiebreak).  The tiebreak
@@ -76,16 +78,23 @@ module Heap = struct
     end
 end
 
-let run ?(max_messages = 10_000_000) ~delay graph protocol =
+let run ?(max_messages = 10_000_000) ?(classify = fun _ -> "msg") ~delay graph
+    protocol =
   let n = Netgraph.Graph.node_count graph in
   let neighbors = Array.init n (Netgraph.Graph.neighbors graph) in
   let states = Array.init n (fun i -> protocol.init i neighbors.(i)) in
   let sent = Array.make n 0 in
+  let kinds = Hashtbl.create 8 in
   let queue = Heap.create () in
   let seq = ref 0 in
   let tiebreak = ref 0 in
   let transmit u now m =
     sent.(u) <- sent.(u) + 1;
+    let k = classify m in
+    Hashtbl.replace kinds k
+      (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k));
+    if !Obs.Trace.on then
+      Obs.Trace.send ~round:(-1) ~time:now ~kind:k ~src:u ~dst:(-1);
     List.iter
       (fun v ->
         let d = delay ~from:u ~dst:v ~seq:!seq in
@@ -112,13 +121,24 @@ let run ?(max_messages = 10_000_000) ~delay graph protocol =
       if !deliveries > max_messages then
         failwith "Async_engine.run: delivery bound exceeded";
       finish := t;
+      if !Obs.Trace.on then
+        Obs.Trace.deliver ~round:(-1) ~time:t ~kind:(classify d.msg)
+          ~src:d.from ~dst:v;
       states.(v) <- protocol.on_message (ctx v t) states.(v) d;
       loop ()
   in
   loop ();
+  let by_kind =
+    List.sort compare (Hashtbl.fold (fun k c acc -> (k, c) :: acc) kinds [])
+  in
   if !Obs.on then begin
     Obs.incr c_runs;
     Obs.add c_sent (Array.fold_left ( + ) 0 sent);
-    Obs.add c_deliveries !deliveries
+    Obs.add c_deliveries !deliveries;
+    Array.iter (fun s -> Obs.observe d_sent (float_of_int s)) sent;
+    List.iter
+      (fun (k, c) -> Obs.add (Obs.counter ("distsim.async.msg." ^ k)) c)
+      by_kind
   end;
-  (states, { deliveries = !deliveries; sent; finish_time = !finish })
+  (states,
+   { deliveries = !deliveries; sent; finish_time = !finish; by_kind })

@@ -35,6 +35,8 @@ type stats = {
   deliveries : int;  (** total point-to-point deliveries *)
   sent : int array;  (** transmissions per node *)
   finish_time : float;  (** time of the last delivery *)
+  by_kind : (string * int) list;
+      (** total transmissions per message kind, sorted by kind *)
 }
 
 (** [run ~delay ~max_messages graph protocol] drives the event loop to
@@ -42,11 +44,14 @@ type stats = {
     latency of the [seq]-th transmission overall from [from] to [dst];
     it must be [> 0].  [max_messages] (default [10_000_000]) bounds
     total deliveries — exceeding it signals a non-terminating
-    protocol.
+    protocol.  [classify] names each message's kind for the per-kind
+    stats, obs counters ([distsim.async.msg.<kind>]) and trace events
+    (default: every message is ["msg"]).
     @raise Failure when the delivery bound is exceeded.
     @raise Invalid_argument on a non-positive delay. *)
 val run :
   ?max_messages:int ->
+  ?classify:('msg -> string) ->
   delay:(from:int -> dst:int -> seq:int -> float) ->
   Netgraph.Graph.t ->
   ('state, 'msg) protocol ->

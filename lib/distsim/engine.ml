@@ -7,12 +7,14 @@
 let c_runs = Obs.counter "distsim.runs"
 let c_rounds = Obs.counter "distsim.rounds"
 let c_messages = Obs.counter "distsim.messages"
+let d_sent = Obs.dist "distsim.sent_per_node"
 
-let flush_stats_to_obs ~rounds ~total ~by_kind =
+let flush_stats_to_obs ~rounds ~sent ~by_kind =
   if !Obs.on then begin
     Obs.incr c_runs;
     Obs.add c_rounds rounds;
-    Obs.add c_messages total;
+    Obs.add c_messages (Array.fold_left ( + ) 0 sent);
+    Array.iter (fun s -> Obs.observe d_sent (float_of_int s)) sent;
     List.iter
       (fun (k, c) -> Obs.add (Obs.counter ("distsim.msg." ^ k)) c)
       by_kind
@@ -83,8 +85,12 @@ let run ?max_rounds ~classify graph protocol =
     let inboxes = Array.make n [] in
     List.iter
       (fun (s, m) ->
+        let k = if !Obs.Trace.on then classify m else "" in
         List.iter
-          (fun v -> inboxes.(v) <- { from = s; msg = m } :: inboxes.(v))
+          (fun v ->
+            inboxes.(v) <- { from = s; msg = m } :: inboxes.(v);
+            if !Obs.Trace.on then
+              Obs.Trace.deliver ~round:!rounds ~time:0. ~kind:k ~src:s ~dst:v)
           neighbors.(s))
       !in_flight;
     for i = 0 to n - 1 do
@@ -105,6 +111,8 @@ let run ?max_rounds ~classify graph protocol =
               let k = classify m in
               Hashtbl.replace kinds k
                 (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k));
+              if !Obs.Trace.on then
+                Obs.Trace.send ~round:!rounds ~time:0. ~kind:k ~src:u ~dst:(-1);
               in_flight := (u, m) :: !in_flight);
         }
       in
@@ -118,5 +126,5 @@ let run ?max_rounds ~classify graph protocol =
     List.sort compare (Hashtbl.fold (fun k c acc -> (k, c) :: acc) kinds [])
   in
   let stats = { rounds = !rounds; sent; by_kind } in
-  flush_stats_to_obs ~rounds:stats.rounds ~total:(total_sent stats) ~by_kind;
+  flush_stats_to_obs ~rounds:stats.rounds ~sent ~by_kind;
   (states, stats)

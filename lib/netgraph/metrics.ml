@@ -95,6 +95,7 @@ let fused ~one_hop_direct ~jobs ~want_len ~want_hop ~beta ~base points subs =
     let db_pow = farr want_pow and ds_pow = farr want_pow in
     let adj = Bytes.make (max 1 n) '\000' in
     fun s ->
+      if !Obs.Trace.on then Obs.Trace.span_begin "metrics.source";
       if want_len then Csr.dijkstra_into base_csr ~heap ~dist:db_len s;
       if want_hop then Csr.bfs_into base_csr ~dist:db_hop ~queue s;
       if want_pow then Csr.power_into base_csr ~heap ~dist:db_pow s;
@@ -194,7 +195,8 @@ let fused ~one_hop_direct ~jobs ~want_len ~want_hop ~beta ~base points subs =
         errors.(k).(s) <- !err
       done;
       if one_hop_direct then
-        Csr.iter_neighbors base_csr s (fun v -> Bytes.set adj v '\000')
+        Csr.iter_neighbors base_csr s (fun v -> Bytes.set adj v '\000');
+      if !Obs.Trace.on then Obs.Trace.span_end "metrics.source"
   in
   let jobs = max 1 (min jobs (max 1 n)) in
   Obs.span "metrics.stretch" (fun () ->

@@ -20,6 +20,7 @@ type shared = {
   mutable active : int;  (* workers still inside the current job *)
   mutable stop : bool;
   mutable failure : (int * exn) option;  (* smallest failing index *)
+  mutable trace_group : int;  (* Obs.Trace job group, -1 when not tracing *)
 }
 
 type t = { shared : shared; domains : unit Domain.t array }
@@ -34,14 +35,21 @@ let record_failure shared i exn =
   Mutex.unlock shared.mutex
 
 (* Claim and run indices until the job is drained.  Runs in workers
-   and in the caller; must not hold the mutex. *)
+   and in the caller; must not hold the mutex.  When tracing, each
+   claimed index is declared to Obs.Trace so the events it records
+   carry (group, task) and merge deterministically. *)
 let drain shared body =
+  let g = shared.trace_group in
   let continue = ref true in
   while !continue do
     let i = Atomic.fetch_and_add shared.next 1 in
     if i >= shared.total then continue := false
-    else try body i with exn -> record_failure shared i exn
-  done
+    else begin
+      if g >= 0 then Obs.Trace.set_context ~group:g ~task:i;
+      try body i with exn -> record_failure shared i exn
+    end
+  done;
+  if g >= 0 then Obs.Trace.set_context ~group:(-1) ~task:(-1)
 
 let worker shared =
   let last_gen = ref 0 in
@@ -83,6 +91,7 @@ let create ~jobs () =
       active = 0;
       stop = false;
       failure = None;
+      trace_group = -1;
     }
   in
   let domains =
@@ -98,8 +107,11 @@ let parallel_for t ~n mk_body =
     Obs.add c_tasks n;
     if !Obs.on then Obs.observe d_jobs (float_of_int (jobs t));
     let shared = t.shared in
+    let g = if !Obs.Trace.on then Obs.Trace.new_group () else -1 in
+    if g >= 0 then Obs.Trace.job_enter g;
     if Array.length t.domains = 0 then begin
       (* inline fast path: no locking, same claim/record protocol *)
+      shared.trace_group <- g;
       shared.total <- n;
       Atomic.set shared.next 0;
       shared.failure <- None;
@@ -107,6 +119,7 @@ let parallel_for t ~n mk_body =
     end
     else begin
       Mutex.lock shared.mutex;
+      shared.trace_group <- g;
       shared.mk_body <- mk_body;
       shared.total <- n;
       Atomic.set shared.next 0;
@@ -124,6 +137,7 @@ let parallel_for t ~n mk_body =
       done;
       Mutex.unlock shared.mutex
     end;
+    if g >= 0 then Obs.Trace.job_leave g;
     match shared.failure with
     | Some (_, exn) -> raise exn
     | None -> ()

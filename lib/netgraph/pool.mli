@@ -16,9 +16,13 @@
 
     The caller's domain participates in every job, so [create ~jobs:k]
     spawns [k - 1] worker domains and [jobs = 1] runs entirely inline.
-    Worker bodies must not touch {!Obs} (its registry is not
+    Worker bodies must not touch the {!Obs} registry (it is not
     domain-safe); the pool records its own obs counters and spans from
-    the calling domain only. *)
+    the calling domain only.  {!Obs.Trace} hooks are fine from worker
+    bodies — tracing is domain-local, and the pool brackets each job
+    with a trace group and declares the (group, task) context around
+    every claimed index, so merged traces are deterministic (see
+    DESIGN.md §7). *)
 
 type t
 

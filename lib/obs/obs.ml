@@ -2,12 +2,16 @@ let on = ref false
 let enabled () = !on
 let set_enabled b = on := b
 
+(* %.17g round-trips IEEE doubles exactly *)
+let g17 = Printf.sprintf "%.17g"
+
 type counter = { c_name : string; mutable c_value : int }
 
 type dist_cell = {
   d_name : string;
   mutable d_count : int;
   mutable d_sum : float;
+  mutable d_sumsq : float;
   mutable d_min : float;
   mutable d_max : float;
 }
@@ -26,6 +30,459 @@ let span_order : string list ref = ref []
 (* the '/'-joined path of currently open spans *)
 let span_path = ref ""
 
+module Trace = struct
+  let on = ref false
+  let enabled () = !on
+
+  type payload =
+    | Span_begin of string
+    | Span_end of string
+    | Count of { name : string; delta : int }
+    | Send of { round : int; time : float; kind : string; src : int; dst : int }
+    | Deliver of {
+        round : int;
+        time : float;
+        kind : string;
+        src : int;
+        dst : int;
+      }
+    | Job of { group : int; enter : bool }
+
+  type event = {
+    ts : float; (* microseconds since Trace.start *)
+    dom : int;
+    group : int;
+    task : int;
+    phase : string;
+    payload : payload;
+  }
+
+  let dummy =
+    { ts = 0.; dom = 0; group = -1; task = -1; phase = "";
+      payload = Span_begin "" }
+
+  (* One ring buffer per domain, reached through domain-local storage so
+     recording never takes a lock; the global list (mutex-protected,
+     touched only at buffer creation and export) lets the exporting
+     domain find everyone's events. *)
+  type buf = {
+    b_dom : int;
+    mutable b_events : event array;
+    mutable b_start : int;
+    mutable b_len : int;
+    mutable b_dropped : int;
+    mutable b_group : int;
+    mutable b_task : int;
+  }
+
+  let registry_mutex = Mutex.create ()
+  let all_bufs : buf list ref = ref []
+  let capacity = ref (1 lsl 16)
+  let t0 = ref 0.
+  let group_counter = Atomic.make 0
+
+  let fresh_buf () =
+    let b =
+      { b_dom = (Domain.self () :> int);
+        b_events = Array.make !capacity dummy;
+        b_start = 0; b_len = 0; b_dropped = 0; b_group = -1; b_task = -1 }
+    in
+    Mutex.lock registry_mutex;
+    all_bufs := b :: !all_bufs;
+    Mutex.unlock registry_mutex;
+    b
+
+  let key = Domain.DLS.new_key fresh_buf
+  let my_buf () = Domain.DLS.get key
+
+  let start ?capacity:(cap = 1 lsl 16) () =
+    Mutex.lock registry_mutex;
+    capacity := cap;
+    List.iter
+      (fun b ->
+        b.b_events <- Array.make cap dummy;
+        b.b_start <- 0;
+        b.b_len <- 0;
+        b.b_dropped <- 0;
+        b.b_group <- -1;
+        b.b_task <- -1)
+      !all_bufs;
+    Mutex.unlock registry_mutex;
+    Atomic.set group_counter 0;
+    t0 := Unix.gettimeofday ();
+    on := true
+
+  let stop () = on := false
+
+  let dropped () =
+    Mutex.lock registry_mutex;
+    let d = List.fold_left (fun a b -> a + b.b_dropped) 0 !all_bufs in
+    Mutex.unlock registry_mutex;
+    d
+
+  let now_us () = (Unix.gettimeofday () -. !t0) *. 1e6
+
+  let push b ev =
+    let cap = Array.length b.b_events in
+    if b.b_len = cap then begin
+      (* full: overwrite the oldest *)
+      b.b_events.(b.b_start) <- ev;
+      b.b_start <- (b.b_start + 1) mod cap;
+      b.b_dropped <- b.b_dropped + 1
+    end
+    else begin
+      b.b_events.((b.b_start + b.b_len) mod cap) <- ev;
+      b.b_len <- b.b_len + 1
+    end
+
+  (* The span-path phase label is only safe to read from the domain
+     that owns the span stack, i.e. outside pool tasks. *)
+  let current_phase b = if b.b_task >= 0 then "" else !span_path
+
+  let record b payload =
+    push b
+      { ts = now_us (); dom = b.b_dom; group = b.b_group; task = b.b_task;
+        phase = current_phase b; payload }
+
+  let span_begin name = if !on then record (my_buf ()) (Span_begin name)
+  let span_end name = if !on then record (my_buf ()) (Span_end name)
+
+  let count name delta =
+    if !on then begin
+      let b = my_buf () in
+      let coalesced =
+        b.b_len > 0
+        &&
+        let cap = Array.length b.b_events in
+        let i = (b.b_start + b.b_len - 1) mod cap in
+        let last = b.b_events.(i) in
+        match last.payload with
+        | Count c
+          when c.name = name && last.task = b.b_task
+               && last.phase = current_phase b ->
+          b.b_events.(i) <-
+            { last with payload = Count { name; delta = c.delta + delta } };
+          true
+        | _ -> false
+      in
+      if not coalesced then record b (Count { name; delta })
+    end
+
+  let send ~round ~time ~kind ~src ~dst =
+    if !on then record (my_buf ()) (Send { round; time; kind; src; dst })
+
+  let deliver ~round ~time ~kind ~src ~dst =
+    if !on then record (my_buf ()) (Deliver { round; time; kind; src; dst })
+
+  let new_group () = Atomic.fetch_and_add group_counter 1
+
+  let job_enter g =
+    if !on then record (my_buf ()) (Job { group = g; enter = true })
+
+  let job_leave g =
+    if !on then record (my_buf ()) (Job { group = g; enter = false })
+
+  let set_context ~group ~task =
+    let b = my_buf () in
+    b.b_group <- group;
+    b.b_task <- task
+
+  let buffer_events b =
+    let cap = Array.length b.b_events in
+    List.init b.b_len (fun i -> b.b_events.((b.b_start + i) mod cap))
+
+  (* Deterministic merge: the exporting domain's stream keeps recorded
+     order; every event recorded inside a pool job (group >= 0, from
+     any domain including the caller's) is pulled out, stable-sorted by
+     task index, and spliced back at that job's end marker.  Because a
+     task runs entirely on one domain and each domain claims strictly
+     increasing indices, within-task order is preserved and the merged
+     (task, phase, payload) sequence is independent of worker count and
+     scheduling. *)
+  let events () =
+    let me = (Domain.self () :> int) in
+    ignore (my_buf () : buf);
+    Mutex.lock registry_mutex;
+    let bufs = !all_bufs in
+    Mutex.unlock registry_mutex;
+    let mine, others = List.partition (fun b -> b.b_dom = me) bufs in
+    let grouped : (int, event list ref) Hashtbl.t = Hashtbl.create 16 in
+    let add_grouped ev =
+      match Hashtbl.find_opt grouped ev.group with
+      | Some r -> r := ev :: !r
+      | None -> Hashtbl.add grouped ev.group (ref [ ev ])
+    in
+    List.iter
+      (fun b ->
+        List.iter
+          (fun ev -> if ev.group >= 0 then add_grouped ev)
+          (buffer_events b))
+      others;
+    let main =
+      List.concat_map buffer_events mine
+      |> List.filter (fun ev ->
+             if ev.group >= 0 then begin
+               add_grouped ev;
+               false
+             end
+             else true)
+    in
+    let by_task evs =
+      List.stable_sort (fun a b -> compare a.task b.task) evs
+    in
+    let splice g =
+      match Hashtbl.find_opt grouped g with
+      | None -> []
+      | Some r ->
+        Hashtbl.remove grouped g;
+        by_task (List.rev !r)
+    in
+    let rewrite ev =
+      match ev.payload with
+      | Job { enter = true; _ } -> { ev with payload = Span_begin "pool.job" }
+      | Job { enter = false; _ } -> { ev with payload = Span_end "pool.job" }
+      | _ -> ev
+    in
+    let merged =
+      List.concat_map
+        (fun ev ->
+          match ev.payload with
+          | Job { group = g; enter = false } -> splice g @ [ rewrite ev ]
+          | _ -> [ rewrite ev ])
+        main
+    in
+    (* groups whose end marker was lost to the ring: append in group order *)
+    let leftovers =
+      Hashtbl.fold (fun g r acc -> (g, by_task (List.rev !r)) :: acc) grouped []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.concat_map snd
+    in
+    merged @ leftovers
+
+  (* Chrome trace-event format (Perfetto-loadable): one event object per
+     line so {!read_chrome} can parse the exact subset back with Scanf,
+     like Snapshot.of_json_lines. *)
+  let write_chrome fmt evs =
+    let open Format in
+    fprintf fmt "{\"traceEvents\":[";
+    let totals : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    let first = ref true in
+    let sep () =
+      if !first then begin
+        first := false;
+        fprintf fmt "@\n"
+      end
+      else fprintf fmt ",@\n"
+    in
+    let common ev =
+      Printf.sprintf "\"ts\":%s,\"pid\":0,\"tid\":%d" (g17 ev.ts) ev.dom
+    in
+    let instant ev dir ~round ~time ~kind ~src ~dst =
+      fprintf fmt
+        "{\"name\":%S,\"cat\":%S,\"ph\":\"i\",\"s\":\"t\",%s,\"args\":{\"dir\":%S,\"round\":%d,\"time\":%s,\"src\":%d,\"dst\":%d,\"group\":%d,\"task\":%d}}"
+        kind ev.phase (common ev) dir round (g17 time) src dst ev.group ev.task
+    in
+    let duration ev ph name =
+      fprintf fmt
+        "{\"name\":%S,\"cat\":%S,\"ph\":\"%s\",%s,\"args\":{\"group\":%d,\"task\":%d}}"
+        name ev.phase ph (common ev) ev.group ev.task
+    in
+    List.iter
+      (fun ev ->
+        sep ();
+        match ev.payload with
+        | Span_begin name -> duration ev "B" name
+        | Span_end name -> duration ev "E" name
+        | Job { enter = true; _ } -> duration ev "B" "pool.job"
+        | Job { enter = false; _ } -> duration ev "E" "pool.job"
+        | Count { name; delta } ->
+          let v =
+            delta + Option.value ~default:0 (Hashtbl.find_opt totals name)
+          in
+          Hashtbl.replace totals name v;
+          fprintf fmt
+            "{\"name\":%S,\"cat\":%S,\"ph\":\"C\",%s,\"args\":{\"value\":%d,\"delta\":%d,\"group\":%d,\"task\":%d}}"
+            name ev.phase (common ev) v delta ev.group ev.task
+        | Send { round; time; kind; src; dst } ->
+          instant ev "send" ~round ~time ~kind ~src ~dst
+        | Deliver { round; time; kind; src; dst } ->
+          instant ev "recv" ~round ~time ~kind ~src ~dst)
+      evs;
+    fprintf fmt "@\n]}@."
+
+  let read_chrome s =
+    let strip_comma l =
+      let n = String.length l in
+      if n > 0 && l.[n - 1] = ',' then String.sub l 0 (n - 1) else l
+    in
+    let try_duration line ph mk =
+      Scanf.sscanf line
+        "{\"name\":%S,\"cat\":%S,\"ph\":%S,\"ts\":%f,\"pid\":0,\"tid\":%d,\"args\":{\"group\":%d,\"task\":%d}}"
+        (fun name phase ph' ts dom group task ->
+          if ph' <> ph then failwith "ph";
+          { ts; dom; group; task; phase; payload = mk name })
+    in
+    let parse line =
+      let attempts =
+        [ (fun () -> try_duration line "B" (fun n -> Span_begin n));
+          (fun () -> try_duration line "E" (fun n -> Span_end n));
+          (fun () ->
+            Scanf.sscanf line
+              "{\"name\":%S,\"cat\":%S,\"ph\":\"C\",\"ts\":%f,\"pid\":0,\"tid\":%d,\"args\":{\"value\":%d,\"delta\":%d,\"group\":%d,\"task\":%d}}"
+              (fun name phase ts dom _value delta group task ->
+                { ts; dom; group; task; phase;
+                  payload = Count { name; delta } }));
+          (fun () ->
+            Scanf.sscanf line
+              "{\"name\":%S,\"cat\":%S,\"ph\":\"i\",\"s\":\"t\",\"ts\":%f,\"pid\":0,\"tid\":%d,\"args\":{\"dir\":%S,\"round\":%d,\"time\":%f,\"src\":%d,\"dst\":%d,\"group\":%d,\"task\":%d}}"
+              (fun kind phase ts dom dir round time src dst group task ->
+                let payload =
+                  match dir with
+                  | "send" -> Send { round; time; kind; src; dst }
+                  | "recv" -> Deliver { round; time; kind; src; dst }
+                  | _ -> failwith "dir"
+                in
+                { ts; dom; group; task; phase; payload }))
+        ]
+      in
+      let rec go = function
+        | [] -> failwith ("Obs.Trace.read_chrome: bad line: " ^ line)
+        | f :: rest -> (
+          try f () with
+          | Scanf.Scan_failure _ | End_of_file | Failure _ -> go rest)
+      in
+      go attempts
+    in
+    String.split_on_char '\n' s
+    |> List.filter_map (fun l ->
+           let l = strip_comma (String.trim l) in
+           if l = "" || l = "{\"traceEvents\":[" || l = "]}" then None
+           else Some (parse l))
+
+  type profile_row = {
+    p_path : string;
+    p_calls : int;
+    p_total : float;
+    p_self : float;
+  }
+
+  (* Walk span begin/end pairs per domain; self time is total minus the
+     time attributed to spans opened (on the same domain) inside.
+     Unmatched ends (their begin was overwritten in the ring) are
+     dropped. *)
+  let profile evs =
+    let rows : (string, profile_row) Hashtbl.t = Hashtbl.create 16 in
+    let order = ref [] in
+    let stacks : (int, (string * float * float ref) list ref) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let stack dom =
+      match Hashtbl.find_opt stacks dom with
+      | Some s -> s
+      | None ->
+        let s = ref [] in
+        Hashtbl.add stacks dom s;
+        s
+    in
+    List.iter
+      (fun ev ->
+        match ev.payload with
+        | Span_begin name ->
+          let s = stack ev.dom in
+          s := (name, ev.ts, ref 0.) :: !s
+        | Span_end name -> (
+          let s = stack ev.dom in
+          match !s with
+          | (n, t_begin, children) :: rest when n = name ->
+            s := rest;
+            let total_us = Float.max 0. (ev.ts -. t_begin) in
+            let self_us = Float.max 0. (total_us -. !children) in
+            (match rest with
+            | (_, _, pc) :: _ -> pc := !pc +. total_us
+            | [] -> ());
+            let row =
+              match Hashtbl.find_opt rows name with
+              | Some r -> r
+              | None ->
+                order := name :: !order;
+                { p_path = name; p_calls = 0; p_total = 0.; p_self = 0. }
+            in
+            Hashtbl.replace rows name
+              { row with
+                p_calls = row.p_calls + 1;
+                p_total = row.p_total +. (total_us /. 1e6);
+                p_self = row.p_self +. (self_us /. 1e6) }
+          | _ -> ())
+        | _ -> ())
+      evs;
+    List.rev_map (fun n -> Hashtbl.find rows n) !order
+
+  let write_folded fmt evs =
+    let semicolons p = String.map (fun c -> if c = '/' then ';' else c) p in
+    profile evs
+    |> List.sort (fun a b -> compare a.p_path b.p_path)
+    |> List.iter (fun r ->
+           Format.fprintf fmt "%s %.0f@." (semicolons r.p_path)
+             (r.p_self *. 1e6))
+
+  type audit_row = {
+    a_phase : string;
+    a_kind : string;
+    a_sends : int;
+    a_deliveries : int;
+  }
+
+  let message_audit evs =
+    let tbl : (string * string, int ref * int ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let phase_order = ref [] in
+    let cell phase kind =
+      match Hashtbl.find_opt tbl (phase, kind) with
+      | Some c -> c
+      | None ->
+        if not (List.mem phase !phase_order) then
+          phase_order := phase :: !phase_order;
+        let c = (ref 0, ref 0) in
+        Hashtbl.add tbl (phase, kind) c;
+        c
+    in
+    List.iter
+      (fun ev ->
+        match ev.payload with
+        | Send { kind; _ } -> Stdlib.incr (fst (cell ev.phase kind))
+        | Deliver { kind; _ } -> Stdlib.incr (snd (cell ev.phase kind))
+        | _ -> ())
+      evs;
+    List.rev !phase_order
+    |> List.concat_map (fun phase ->
+           Hashtbl.fold
+             (fun (p, k) (s, d) acc ->
+               if p = phase then
+                 { a_phase = p; a_kind = k; a_sends = !s; a_deliveries = !d }
+                 :: acc
+               else acc)
+             tbl []
+           |> List.sort (fun a b -> compare a.a_kind b.a_kind))
+
+  let fit_loglog_slope pts =
+    let pts = List.filter (fun (x, y) -> x > 0. && y > 0.) pts in
+    match pts with
+    | [] | [ _ ] -> nan
+    | _ ->
+      let n = float_of_int (List.length pts) in
+      let sx, sy, sxx, sxy =
+        List.fold_left
+          (fun (sx, sy, sxx, sxy) (x, y) ->
+            let lx = log x and ly = log y in
+            (sx +. lx, sy +. ly, sxx +. (lx *. lx), sxy +. (lx *. ly)))
+          (0., 0., 0., 0.) pts
+      in
+      let den = (n *. sxx) -. (sx *. sx) in
+      if Float.abs den < 1e-12 then nan
+      else ((n *. sxy) -. (sx *. sy)) /. den
+end
+
 let counter name =
   match Hashtbl.find_opt counters name with
   | Some c -> c
@@ -34,8 +491,18 @@ let counter name =
     Hashtbl.add counters name c;
     c
 
-let incr c = if !on then c.c_value <- c.c_value + 1
-let add c n = if !on then c.c_value <- c.c_value + n
+let incr c =
+  if !on then begin
+    c.c_value <- c.c_value + 1;
+    if !Trace.on then Trace.count c.c_name 1
+  end
+
+let add c n =
+  if !on then begin
+    c.c_value <- c.c_value + n;
+    if !Trace.on then Trace.count c.c_name n
+  end
+
 let value c = c.c_value
 
 let dist name =
@@ -43,7 +510,7 @@ let dist name =
   | Some d -> d
   | None ->
     let d =
-      { d_name = name; d_count = 0; d_sum = 0.; d_min = infinity;
+      { d_name = name; d_count = 0; d_sum = 0.; d_sumsq = 0.; d_min = infinity;
         d_max = neg_infinity }
     in
     Hashtbl.add dists name d;
@@ -53,6 +520,7 @@ let observe d v =
   if !on then begin
     d.d_count <- d.d_count + 1;
     d.d_sum <- d.d_sum +. v;
+    d.d_sumsq <- d.d_sumsq +. (v *. v);
     if v < d.d_min then d.d_min <- v;
     if v > d.d_max then d.d_max <- v
   end
@@ -71,13 +539,15 @@ let span name f =
         span_order := path :: !span_order;
         c
     in
+    if !Trace.on then Trace.span_begin path;
     span_path := path;
     let t0 = Unix.gettimeofday () in
     Fun.protect
       ~finally:(fun () ->
         cell.s_calls <- cell.s_calls + 1;
         cell.s_seconds <- cell.s_seconds +. (Unix.gettimeofday () -. t0);
-        span_path := parent)
+        span_path := parent;
+        if !Trace.on then Trace.span_end path)
       f
   end
 
@@ -87,6 +557,7 @@ let reset () =
     (fun _ d ->
       d.d_count <- 0;
       d.d_sum <- 0.;
+      d.d_sumsq <- 0.;
       d.d_min <- infinity;
       d.d_max <- neg_infinity)
     dists;
@@ -95,7 +566,14 @@ let reset () =
   span_path := ""
 
 module Snapshot = struct
-  type dist_stats = { count : int; sum : float; min : float; max : float }
+  type dist_stats = {
+    count : int;
+    sum : float;
+    sumsq : float;
+    min : float;
+    max : float;
+  }
+
   type span_stats = { path : string; calls : int; seconds : float }
 
   type t = {
@@ -103,6 +581,15 @@ module Snapshot = struct
     dists : (string * dist_stats) list;
     spans : span_stats list;
   }
+
+  let dist_mean d = if d.count = 0 then 0. else d.sum /. float_of_int d.count
+
+  let dist_stddev d =
+    if d.count = 0 then 0.
+    else
+      let n = float_of_int d.count in
+      let m = d.sum /. n in
+      sqrt (Float.max 0. ((d.sumsq /. n) -. (m *. m)))
 
   let capture () =
     {
@@ -116,8 +603,8 @@ module Snapshot = struct
                if d.d_count = 0 then acc
                else
                  ( k,
-                   { count = d.d_count; sum = d.d_sum; min = d.d_min;
-                     max = d.d_max } )
+                   { count = d.d_count; sum = d.d_sum; sumsq = d.d_sumsq;
+                     min = d.d_min; max = d.d_max } )
                  :: acc)
              dists []);
       spans =
@@ -141,9 +628,12 @@ module Snapshot = struct
       with Scanf.Scan_failure _ | End_of_file -> (
         try
           Scanf.sscanf line
-            "{\"kind\":\"dist\",\"name\":%S,\"count\":%d,\"sum\":%g,\"min\":%g,\"max\":%g}"
-            (fun name count sum min max ->
-              { acc with dists = (name, { count; sum; min; max }) :: acc.dists })
+            "{\"kind\":\"dist\",\"name\":%S,\"count\":%d,\"sum\":%g,\"sumsq\":%g,\"min\":%g,\"max\":%g}"
+            (fun name count sum sumsq min max ->
+              {
+                acc with
+                dists = (name, { count; sum; sumsq; min; max }) :: acc.dists;
+              })
         with Scanf.Scan_failure _ | End_of_file -> (
           try
             Scanf.sscanf line
@@ -165,19 +655,20 @@ module Snapshot = struct
   let of_csv s =
     let parse acc line =
       match String.split_on_char ',' line with
-      | [ "kind"; "name"; _; _; _; _ ] -> acc
-      | [ "counter"; name; v; _; _; _ ] ->
+      | [ "kind"; "name"; _; _; _; _; _ ] -> acc
+      | [ "counter"; name; v; _; _; _; _ ] ->
         { acc with counters = (name, int_of_string v) :: acc.counters }
-      | [ "dist"; name; count; sum; min; max ] ->
+      | [ "dist"; name; count; sum; sumsq; min; max ] ->
         {
           acc with
           dists =
             ( name,
               { count = int_of_string count; sum = float_of_string sum;
-                min = float_of_string min; max = float_of_string max } )
+                sumsq = float_of_string sumsq; min = float_of_string min;
+                max = float_of_string max } )
             :: acc.dists;
         }
-      | [ "span"; path; calls; seconds; _; _ ] ->
+      | [ "span"; path; calls; seconds; _; _; _ ] ->
         {
           acc with
           spans =
@@ -195,6 +686,48 @@ module Snapshot = struct
       dists = List.rev acc.dists;
       spans = List.rev acc.spans;
     }
+
+  (* Regression gate: counters and call/observation counts are
+     deterministic for a fixed configuration, so they must match
+     exactly; only span seconds are wall-clock noise and get the
+     threshold.  Metrics present in [current] but absent from
+     [reference] are ignored so new instrumentation does not invalidate
+     committed baselines. *)
+  let check_against ~threshold ~(reference : t) (current : t) =
+    let out = ref [] in
+    let say fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+    List.iter
+      (fun (name, v) ->
+        match List.assoc_opt name current.counters with
+        | None -> if v <> 0 then say "counter %s missing (reference %d)" name v
+        | Some v' ->
+          if v' <> v then
+            say "counter %s: %d differs from reference %d" name v' v)
+      reference.counters;
+    List.iter
+      (fun (name, (d : dist_stats)) ->
+        match List.assoc_opt name current.dists with
+        | None -> say "dist %s missing (reference count %d)" name d.count
+        | Some d' ->
+          if d'.count <> d.count then
+            say "dist %s: count %d differs from reference %d" name d'.count
+              d.count)
+      reference.dists;
+    List.iter
+      (fun (r : span_stats) ->
+        match
+          List.find_opt (fun (c : span_stats) -> c.path = r.path) current.spans
+        with
+        | None -> say "span %s missing (reference %d calls)" r.path r.calls
+        | Some c ->
+          if c.calls <> r.calls then
+            say "span %s: %d calls differ from reference %d" r.path c.calls
+              r.calls;
+          if c.seconds > r.seconds *. (1. +. threshold) then
+            say "span %s: %.4fs exceeds reference %.4fs by more than %.0f%%"
+              r.path c.seconds r.seconds (100. *. threshold))
+      reference.spans;
+    List.rev !out
 end
 
 type sink = Snapshot.t -> unit
@@ -226,17 +759,15 @@ let pretty fmt (s : Snapshot.t) =
       s.spans
   end;
   if s.dists <> [] then begin
-    fprintf fmt "dists:%41s %9s %9s %9s@." "count" "avg" "min" "max";
+    fprintf fmt "dists:%41s %9s %9s %9s %9s@." "count" "avg" "stddev" "min"
+      "max";
     List.iter
-      (fun (name, { Snapshot.count; sum; min; max }) ->
-        fprintf fmt "  %-40s %5d %9.2f %9.2f %9.2f@." name count
-          (sum /. float_of_int count)
-          min max)
+      (fun (name, d) ->
+        fprintf fmt "  %-40s %5d %9.2f %9.2f %9.2f %9.2f@." name
+          d.Snapshot.count (Snapshot.dist_mean d) (Snapshot.dist_stddev d)
+          d.Snapshot.min d.Snapshot.max)
       s.dists
   end
-
-(* %.17g round-trips IEEE doubles exactly *)
-let g17 = Printf.sprintf "%.17g"
 
 let json fmt (s : Snapshot.t) =
   let open Format in
@@ -245,10 +776,10 @@ let json fmt (s : Snapshot.t) =
       fprintf fmt "{\"kind\":\"counter\",\"name\":%S,\"value\":%d}@." name v)
     s.counters;
   List.iter
-    (fun (name, { Snapshot.count; sum; min; max }) ->
+    (fun (name, { Snapshot.count; sum; sumsq; min; max }) ->
       fprintf fmt
-        "{\"kind\":\"dist\",\"name\":%S,\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s}@."
-        name count (g17 sum) (g17 min) (g17 max))
+        "{\"kind\":\"dist\",\"name\":%S,\"count\":%d,\"sum\":%s,\"sumsq\":%s,\"min\":%s,\"max\":%s}@."
+        name count (g17 sum) (g17 sumsq) (g17 min) (g17 max))
     s.dists;
   List.iter
     (fun { Snapshot.path; calls; seconds } ->
@@ -258,18 +789,18 @@ let json fmt (s : Snapshot.t) =
 
 let csv fmt (s : Snapshot.t) =
   let open Format in
-  fprintf fmt "kind,name,a,b,c,d@.";
+  fprintf fmt "kind,name,a,b,c,d,e@.";
   List.iter
-    (fun (name, v) -> fprintf fmt "counter,%s,%d,,,@." name v)
+    (fun (name, v) -> fprintf fmt "counter,%s,%d,,,,@." name v)
     s.counters;
   List.iter
-    (fun (name, { Snapshot.count; sum; min; max }) ->
-      fprintf fmt "dist,%s,%d,%s,%s,%s@." name count (g17 sum) (g17 min)
-        (g17 max))
+    (fun (name, { Snapshot.count; sum; sumsq; min; max }) ->
+      fprintf fmt "dist,%s,%d,%s,%s,%s,%s@." name count (g17 sum) (g17 sumsq)
+        (g17 min) (g17 max))
     s.dists;
   List.iter
     (fun { Snapshot.path; calls; seconds } ->
-      fprintf fmt "span,%s,%d,%s,,@." path calls (g17 seconds))
+      fprintf fmt "span,%s,%d,%s,,,@." path calls (g17 seconds))
     s.spans
 
 let named_sink fmt = function

@@ -13,7 +13,12 @@
     Handles are created once, at module initialization time
     ([let c = Obs.counter "delaunay.insertions"]), and bumped in hot
     loops.  [counter]/[dist] are idempotent per name, so two modules
-    naming the same metric share one cell. *)
+    naming the same metric share one cell.
+
+    {!Trace} adds a second, independent switch for structured event
+    tracing: per-domain ring buffers of typed events with a
+    deterministic merge, a Chrome trace-event exporter, a folded-stacks
+    profile and protocol message audits (see DESIGN.md §7). *)
 
 (** {1 Switch} *)
 
@@ -48,9 +53,10 @@ val value : counter -> int
 
 (** {1 Distributions}
 
-    Count / sum / min / max of an observed stream of values — enough
-    for average sizes (grid query degrees, cavity sizes) without
-    storing samples. *)
+    Count / sum / sum-of-squares / min / max of an observed stream of
+    values — enough for average sizes and their spread (grid query
+    degrees, cavity sizes, per-node message counts) without storing
+    samples. *)
 
 type dist
 
@@ -63,14 +69,156 @@ val observe : dist -> float -> unit
     path [parent/.../name] formed by the spans currently open on the
     (thread-unsafe, global) span stack.  Re-entering the same path
     accumulates: a snapshot reports calls and total seconds per path.
-    When disabled it is exactly [f ()]. *)
+    When disabled it is exactly [f ()].  When {!Trace} is armed, entry
+    and exit additionally record [Span_begin]/[Span_end] events. *)
 
 val span : string -> (unit -> 'a) -> 'a
+
+(** {1 Structured event tracing}
+
+    A second switch, {!Trace.on}, arms recording of typed events into
+    per-domain ring buffers.  Every hook is a single load-and-branch
+    when disarmed.  Recording is lock-free (each domain owns its
+    buffer, reached through [Domain.DLS]); when a ring fills, the
+    oldest events are overwritten and counted in {!Trace.dropped}.
+
+    {!Trace.events} merges all buffers deterministically: events
+    recorded inside a {!Netgraph.Pool} job are stable-sorted by task
+    index and spliced at the job's end marker, so the merged
+    [(task, phase, payload)] sequence is bit-identical for any [--jobs]
+    (timestamps and domain ids are the only scheduling-dependent
+    fields). *)
+
+module Trace : sig
+  (** The trace switch; independent of {!Obs.on} so counters can stay
+      cheap while events record, and vice versa.  Hot paths guard
+      compound event construction with [if !Obs.Trace.on then ...]. *)
+  val on : bool ref
+
+  val enabled : unit -> bool
+
+  (** [start ?capacity ()] clears all ring buffers, resizes them to
+      [capacity] events (default [65536]; new per-domain buffers also
+      use the latest capacity) and arms recording.  Must not be called
+      while worker domains are recording. *)
+  val start : ?capacity:int -> unit -> unit
+
+  (** Disarm recording; buffered events stay available to {!events}. *)
+  val stop : unit -> unit
+
+  (** Events overwritten across all ring buffers since {!start}. *)
+  val dropped : unit -> int
+
+  type payload =
+    | Span_begin of string  (** full span path, from {!Obs.span} *)
+    | Span_end of string
+    | Count of { name : string; delta : int }
+        (** counter increment; consecutive same-name deltas coalesce *)
+    | Send of { round : int; time : float; kind : string; src : int; dst : int }
+        (** protocol transmission; [round = -1] for async engines,
+            [dst = -1] for local broadcast *)
+    | Deliver of {
+        round : int;
+        time : float;
+        kind : string;
+        src : int;
+        dst : int;
+      }
+    | Job of { group : int; enter : bool }
+        (** pool job bracket, internal — rewritten to
+            [Span_begin/Span_end "pool.job"] by {!events} *)
+
+  type event = {
+    ts : float;  (** microseconds since {!start} *)
+    dom : int;  (** recording domain id *)
+    group : int;  (** pool job id, [-1] outside jobs *)
+    task : int;  (** pool work-item index, [-1] outside jobs *)
+    phase : string;
+        (** the {!Obs.span} path open at record time; [""] inside pool
+            tasks, where the caller's span stack cannot be read *)
+    payload : payload;
+  }
+
+  (** {2 Recording hooks} *)
+
+  val span_begin : string -> unit
+  val span_end : string -> unit
+  val count : string -> int -> unit
+
+  val send : round:int -> time:float -> kind:string -> src:int -> dst:int -> unit
+  val deliver :
+    round:int -> time:float -> kind:string -> src:int -> dst:int -> unit
+
+  (** {2 Pool integration}
+
+      Used by {!Netgraph.Pool}: the caller allocates a group id and
+      brackets the job; each participating domain declares the task it
+      is about to run so its events carry [(group, task)]. *)
+
+  val new_group : unit -> int
+  val job_enter : int -> unit
+  val job_leave : int -> unit
+  val set_context : group:int -> task:int -> unit
+
+  (** {2 Export} *)
+
+  (** Deterministic merge of all per-domain buffers (see module
+      comment).  Call from the domain that ran the traced code. *)
+  val events : unit -> event list
+
+  (** Chrome trace-event JSON ([chrome://tracing], Perfetto).  One
+      event object per line; the exact subset emitted here parses back
+      with {!read_chrome}. *)
+  val write_chrome : Format.formatter -> event list -> unit
+
+  (** Parse {!write_chrome} output.  Round-trips exactly (floats are
+      printed with 17 significant digits).
+      @raise Failure on malformed input. *)
+  val read_chrome : string -> event list
+
+  (** Folded stacks, one [path;to;span self-µs] line per span path,
+      sorted — pipe into [flamegraph.pl]. *)
+  val write_folded : Format.formatter -> event list -> unit
+
+  type profile_row = {
+    p_path : string;
+    p_calls : int;
+    p_total : float;  (** seconds, including children *)
+    p_self : float;  (** seconds, excluding children *)
+  }
+
+  (** Aggregate span begin/end pairs (per domain) into calls /
+      total / self time per span path, in first-seen order. *)
+  val profile : event list -> profile_row list
+
+  type audit_row = {
+    a_phase : string;
+    a_kind : string;
+    a_sends : int;
+    a_deliveries : int;
+  }
+
+  (** Message-complexity table: sends and deliveries grouped by
+      (recording phase, message kind); phases in first-seen order,
+      kinds sorted within a phase. *)
+  val message_audit : event list -> audit_row list
+
+  (** Least-squares slope of [log y] against [log x] — the empirical
+      growth exponent; [nan] on fewer than two usable points. *)
+  val fit_loglog_slope : (float * float) list -> float
+end
 
 (** {1 Snapshots and sinks} *)
 
 module Snapshot : sig
-  type dist_stats = { count : int; sum : float; min : float; max : float }
+  type dist_stats = {
+    count : int;
+    sum : float;
+    sumsq : float;
+    min : float;
+    max : float;
+  }
+
   type span_stats = { path : string; calls : int; seconds : float }
 
   type t = {
@@ -78,6 +226,11 @@ module Snapshot : sig
     dists : (string * dist_stats) list;  (** sorted by name; count > 0 *)
     spans : span_stats list;  (** first-entered order (execution order) *)
   }
+
+  val dist_mean : dist_stats -> float
+
+  (** Population standard deviation, from count/sum/sumsq. *)
+  val dist_stddev : dist_stats -> float
 
   (** Capture the registry's current state.  Counters are reported
       even when zero; distributions only once observed. *)
@@ -91,6 +244,16 @@ module Snapshot : sig
   (** Parse the output of the {!val-csv} sink.
       @raise Failure on malformed input. *)
   val of_csv : string -> t
+
+  (** [check_against ~threshold ~reference current] compares a fresh
+      snapshot against a committed baseline and returns violations
+      (empty = pass).  Counters, distribution observation counts and
+      span call counts are deterministic for a fixed configuration and
+      must match exactly; span seconds may exceed the reference by at
+      most [threshold] (e.g. [0.5] = +50%).  Metrics present only in
+      [current] are ignored, so adding instrumentation does not break
+      existing baselines. *)
+  val check_against : threshold:float -> reference:t -> t -> string list
 end
 
 (** A sink consumes one snapshot; the destination (file, formatter,
@@ -100,7 +263,7 @@ end
 type sink = Snapshot.t -> unit
 
 (** Human-readable table: counters, span tree (indented by nesting),
-    distributions. *)
+    distributions (count/avg/stddev/min/max). *)
 val pretty : Format.formatter -> sink
 
 (** JSON-lines: one [{"kind":...}] object per metric.  Floats are
@@ -108,7 +271,7 @@ val pretty : Format.formatter -> sink
     {!Snapshot.of_json_lines}. *)
 val json : Format.formatter -> sink
 
-(** CSV with header [kind,name,a,b,c,d]; round-trips through
+(** CSV with header [kind,name,a,b,c,d,e]; round-trips through
     {!Snapshot.of_csv}. *)
 val csv : Format.formatter -> sink
 
