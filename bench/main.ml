@@ -747,12 +747,29 @@ let bench_metrics ?check quick jobs =
     let contents = really_input_string ic (in_channel_length ic) in
     close_in ic;
     let reference = Obs.Snapshot.of_json_lines contents in
-    (match Obs.Snapshot.check_against ~threshold ~reference snap with
+    (match Obs.Snapshot.compare_against ~threshold ~reference snap with
     | [] ->
       pf "  [check ok: within +%.0f%% of %s]@." (100. *. threshold) file
-    | violations ->
-      pf "  [check FAILED against %s]@." file;
-      List.iter (fun v -> pf "    %s@." v) violations;
+    | mismatches ->
+      pf "  [check FAILED against %s: %d mismatches, span threshold +%.0f%%]@."
+        file (List.length mismatches) (100. *. threshold);
+      pf "    %-12s %-44s %14s %14s %10s@." "kind" "key" "expected" "actual"
+        "delta";
+      List.iter
+        (fun (m : Obs.Snapshot.mismatch) ->
+          let delta =
+            if Float.is_nan m.Obs.Snapshot.m_actual then "missing"
+            else begin
+              let d = m.Obs.Snapshot.m_actual -. m.Obs.Snapshot.m_expected in
+              if m.Obs.Snapshot.m_expected <> 0. then
+                Printf.sprintf "%+.1f%%" (100. *. d /. m.Obs.Snapshot.m_expected)
+              else Printf.sprintf "%+g" d
+            end
+          in
+          pf "    %-12s %-44s %14g %14g %10s@." m.Obs.Snapshot.m_kind
+            m.Obs.Snapshot.m_name m.Obs.Snapshot.m_expected
+            m.Obs.Snapshot.m_actual delta)
+        mismatches;
       Obs.set_enabled was;
       exit 1)
   | None ->

@@ -11,6 +11,7 @@
      lifetime   simulate battery drain and clusterhead rotation
      experiment regenerate a table/figure from the paper
      trace      audit protocol message complexity under the event tracer
+     monitor    re-check the paper's invariants every round under mobility
 
    Deployments are deterministic given --seed; a CSV written by
    `generate` can be fed back to every other subcommand via --input. *)
@@ -698,6 +699,263 @@ let trace_cmd =
     (Cmd.info "trace" ~doc)
     Term.(const run $ seed $ nodes $ side $ radius $ sizes_arg $ out $ folded)
 
+(* ---------------- monitor ---------------- *)
+
+let monitor_cmd =
+  let rounds_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "rounds" ] ~docv:"K" ~doc:"Mobility rounds to simulate.")
+  in
+  let min_speed =
+    Arg.(
+      value & opt float 1.
+      & info [ "min-speed" ] ~docv:"V" ~doc:"Minimum waypoint speed per round.")
+  in
+  let max_speed =
+    Arg.(
+      value & opt float 3.
+      & info [ "max-speed" ] ~docv:"V" ~doc:"Maximum waypoint speed per round.")
+  in
+  let policy =
+    let doc =
+      "Maintenance policy after each round: $(b,refresh) (incumbent \
+       dominators keep priority) or $(b,rebuild) (from scratch)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("refresh", `Refresh); ("rebuild", `Rebuild) ]) `Refresh
+      & info [ "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let refresh_when =
+    let doc =
+      "When to run maintenance: $(b,every) round, or only when a backbone \
+       link $(b,broke).  With $(b,broke), rounds between repairs check the \
+       stale backbone against the moved nodes — expect planarity and \
+       stretch alerts; that is the point."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("every", `Every); ("broke", `Broke) ]) `Every
+      & info [ "refresh-when" ] ~docv:"WHEN" ~doc)
+  in
+  let stretch_sources =
+    Arg.(
+      value & opt int 8
+      & info [ "stretch-sources" ] ~docv:"K"
+          ~doc:"Sampled sources per round for the stretch probes.")
+  in
+  let traffic =
+    Arg.(
+      value & opt int 4
+      & info [ "traffic" ] ~docv:"K"
+          ~doc:
+            "Greedy-route $(docv) random packets per round through the \
+             packet simulator, so the per-round message and delivery-ratio \
+             probes observe live engine traffic.  0 disables.")
+  in
+  let limit name probe =
+    Arg.(
+      value & opt (some float) None
+      & info [ name ] ~docv:"X"
+          ~doc:(Printf.sprintf "Override the $(b,%s) alert limit." probe))
+  in
+  let len_limit = limit "len-limit" "len_stretch_max" in
+  let hop_limit = limit "hop-limit" "hop_stretch_max" in
+  let degree_limit = limit "degree-limit" "deg_max" in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Export the telemetry time-series as JSON-lines to $(docv) (one \
+             object per probe per round); the file is re-parsed and the \
+             command fails on a round-trip mismatch.")
+  in
+  let csv_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Export the telemetry time-series as a CSV matrix to $(docv).")
+  in
+  (* write + re-parse, like export_trace: the exporter validates its
+     own output *)
+  let export_jsonl file tel =
+    let oc = open_out file in
+    let fmt = Format.formatter_of_out_channel oc in
+    Obs.Telemetry.write_jsonl fmt tel;
+    Format.pp_print_flush fmt ();
+    close_out oc;
+    let ic = open_in_bin file in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let written = List.length (Obs.Telemetry.rounds tel) in
+    match Obs.Telemetry.read_jsonl contents with
+    | rows when List.length rows = written ->
+      Printf.eprintf "monitor: wrote %d rounds to %s\n" written file;
+      0
+    | rows ->
+      Printf.eprintf
+        "monitor: %s round-trip mismatch (%d rounds written, %d parsed)\n"
+        file written (List.length rows);
+      1
+    | exception Failure msg ->
+      Printf.eprintf "monitor: %s failed to validate: %s\n" file msg;
+      1
+  in
+  let run seed n side radius input rounds min_speed max_speed policy
+      refresh_when stretch_sources traffic len_limit hop_limit degree_limit
+      out csv_out jobs stats_fmt trace =
+    with_stats stats_fmt @@ fun () ->
+    with_trace trace @@ fun () ->
+    let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
+    let was = Obs.enabled () in
+    Obs.set_enabled true;
+    Obs.set_gc_sampling true;
+    let bb =
+      ref (Core.Backbone.run { Config.default with Config.radius; jobs } pts)
+    in
+    let model =
+      Wireless.Mobility.random_waypoint
+        (Wireless.Rand.create (Int64.add seed 1L))
+        ~side ~min_speed ~max_speed ~init:pts
+    in
+    let th = Core.Monitor.default_thresholds in
+    let th =
+      {
+        th with
+        Core.Monitor.max_len_stretch =
+          Option.value len_limit ~default:th.Core.Monitor.max_len_stretch;
+        max_hop_stretch =
+          Option.value hop_limit ~default:th.Core.Monitor.max_hop_stretch;
+        max_degree =
+          Option.value degree_limit ~default:th.Core.Monitor.max_degree;
+      }
+    in
+    let mon =
+      Core.Monitor.create ~thresholds:th ~stretch_sources ~seed ~jobs ()
+    in
+    let traffic_rng = Wireless.Rand.create (Int64.add seed 2L) in
+    let tel = Core.Monitor.telemetry mon in
+    let lastv name =
+      match Obs.Telemetry.last tel name with Some v -> v | None -> nan
+    in
+    Printf.printf
+      "monitor: n=%d radius=%g rounds=%d policy=%s seed=%Ld\n" n radius rounds
+      (match policy with `Refresh -> "refresh" | `Rebuild -> "rebuild")
+      seed;
+    Printf.printf "%5s %6s %6s %5s %5s %5s %4s %6s %6s %8s  %s\n" "round"
+      "broken" "roleΔ" "cross" "xcomp" "gaps" "deg" "len" "hop" "msgs"
+      "status";
+    for r = 1 to rounds do
+      Wireless.Mobility.step model;
+      let positions = Array.copy (Wireless.Mobility.positions model) in
+      let broken = Core.Maintenance.needs_refresh !bb positions in
+      let maintained =
+        if refresh_when = `Every || broken > 0 then begin
+          let next, st =
+            match policy with
+            | `Refresh -> Core.Maintenance.refresh !bb positions
+            | `Rebuild -> Core.Maintenance.rebuild !bb positions
+          in
+          bb := next;
+          Some st
+        end
+        else None
+      in
+      let traffic_extra =
+        if traffic <= 0 || n < 2 then []
+        else begin
+          let delivered, pairs, _ =
+            Core.Packetsim.many !bb.Core.Backbone.udg
+              !bb.Core.Backbone.points ~pairs:traffic traffic_rng
+              ~router:`Greedy
+          in
+          [ ("delivery_ratio", float_of_int delivered /. float_of_int pairs) ]
+        end
+      in
+      let extra =
+        ("links_broken", float_of_int broken)
+        ::
+        (match maintained with
+        | Some st ->
+          [
+            ("role_changes", float_of_int st.Core.Maintenance.role_changes);
+            ("edge_changes", float_of_int st.Core.Maintenance.edge_changes);
+          ]
+        | None -> [])
+        @ traffic_extra
+      in
+      let vs = Core.Monitor.observe mon ~round:r ~extra !bb in
+      let status =
+        match vs with
+        | [] -> "ok"
+        | vs ->
+          "VIOLATION("
+          ^ String.concat ","
+              (List.map (fun v -> v.Core.Monitor.v_probe) vs)
+          ^ ")"
+      in
+      Printf.printf "%5d %6d %6.0f %5.0f %5.0f %5.0f %4.0f %6.2f %6.2f %8.0f  %s\n"
+        r broken (lastv "role_changes") (lastv "crossings")
+        (lastv "extra_components") (lastv "domination_gaps") (lastv "deg_max")
+        (lastv "len_stretch_max") (lastv "hop_stretch_max") (lastv "messages")
+        status
+    done;
+    Obs.set_gc_sampling false;
+    Printf.printf "probe summary (%d rounds):\n" rounds;
+    List.iter
+      (fun name ->
+        let series = List.map snd (Obs.Telemetry.series tel name) in
+        match Obs.Telemetry.sketch tel name with
+        | None -> ()
+        | Some sk ->
+          Printf.printf "  %-18s last=%10.2f p50=%10.2f p90=%10.2f max=%10.2f  %s\n"
+            name (lastv name)
+            (Obs.Sketch.quantile sk 0.5)
+            (Obs.Sketch.quantile sk 0.9)
+            (Obs.Sketch.max_value sk)
+            (Obs.Telemetry.sparkline series))
+      (Obs.Telemetry.names tel);
+    List.iter
+      (fun (v : Core.Monitor.violation) ->
+        Printf.printf "VIOLATION round %d: %s = %g exceeds limit %g%s\n"
+          v.Core.Monitor.v_round v.Core.Monitor.v_probe v.Core.Monitor.v_value
+          v.Core.Monitor.v_limit
+          (if v.Core.Monitor.v_node >= 0 then
+             Printf.sprintf " (node %d)" v.Core.Monitor.v_node
+           else ""))
+      (Core.Monitor.violations mon);
+    let out_code =
+      match out with None -> 0 | Some file -> export_jsonl file tel
+    in
+    (match csv_out with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      let fmt = Format.formatter_of_out_channel oc in
+      Obs.Telemetry.write_csv fmt tel;
+      Format.pp_print_flush fmt ();
+      close_out oc;
+      Printf.eprintf "monitor: wrote CSV matrix to %s\n" file);
+    Obs.set_enabled was;
+    if not (Core.Monitor.healthy mon) then 1 else out_code
+  in
+  let doc =
+    "run a random-waypoint mobility scenario under the invariant health \
+     monitor: maintain the backbone each round, re-check the paper's \
+     guarantees (planarity, connectivity, domination, the ICDS degree \
+     bound, sampled length/hop stretch), print a per-round health table \
+     with sparkline summaries, and exit non-zero on any violation"
+  in
+  Cmd.v
+    (Cmd.info "monitor" ~doc)
+    Term.(
+      const run $ seed $ nodes $ side $ radius $ input $ rounds_arg
+      $ min_speed $ max_speed $ policy $ refresh_when $ stretch_sources
+      $ traffic $ len_limit $ hop_limit $ degree_limit $ out $ csv_out
+      $ jobs $ stats $ trace_file)
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -709,4 +967,5 @@ let () =
           [
             generate_cmd; build_cmd; measure_cmd; route_cmd; protocol_cmd;
             dump_cmd; broadcast_cmd; lifetime_cmd; experiment_cmd; trace_cmd;
+            monitor_cmd;
           ]))

@@ -7,6 +7,9 @@ let c_links_broken = Obs.counter "maintenance.links_broken"
 let c_role_changes = Obs.counter "maintenance.role_changes"
 let c_backbone_changes = Obs.counter "maintenance.backbone_changes"
 let c_edge_changes = Obs.counter "maintenance.edge_changes"
+let g_backbone_nodes = Obs.gauge "maintenance.backbone_nodes"
+let g_backbone_edges = Obs.gauge "maintenance.backbone_edges"
+let g_last_broken = Obs.gauge "maintenance.last_links_broken"
 
 type stats = {
   role_changes : int;
@@ -20,7 +23,17 @@ let flush_stats_to_obs s =
     Obs.add c_links_broken s.links_broken;
     Obs.add c_role_changes s.role_changes;
     Obs.add c_backbone_changes s.backbone_changes;
-    Obs.add c_edge_changes s.edge_changes
+    Obs.add c_edge_changes s.edge_changes;
+    Obs.set_gauge g_last_broken (float_of_int s.links_broken)
+  end
+
+let flush_gauges (next : Backbone.t) =
+  if !Obs.on then begin
+    let nodes = ref 0 in
+    Array.iter (fun b -> if b then incr nodes) next.Backbone.cds.Cds.backbone;
+    Obs.set_gauge g_backbone_nodes (float_of_int !nodes);
+    Obs.set_gauge g_backbone_edges
+      (float_of_int (G.edge_count next.Backbone.ldel_icds'))
   end
 
 let needs_refresh (prev : Backbone.t) positions =
@@ -72,6 +85,7 @@ let refresh (prev : Backbone.t) positions =
   in
   let stats = diff_stats prev next ~links_broken in
   flush_stats_to_obs stats;
+  flush_gauges next;
   (next, stats)
 
 let rebuild (prev : Backbone.t) positions =
@@ -81,4 +95,5 @@ let rebuild (prev : Backbone.t) positions =
   let next = Backbone.build positions ~radius:prev.Backbone.radius in
   let stats = diff_stats prev next ~links_broken in
   flush_stats_to_obs stats;
+  flush_gauges next;
   (next, stats)

@@ -1,0 +1,102 @@
+(** Invariant health monitoring for the live backbone.
+
+    The paper's value proposition is a set of structural guarantees —
+    geometric planarity of the routing structure, per-component
+    connectivity, the ICDS degree bound (Lemma 8), CDS domination, and
+    constant length/hop stretch (Lemmas 5–6) — all proved for a static
+    deployment.  Under {!Mobility} + {!Maintenance} the backbone
+    evolves for hundreds of rounds; this module re-checks those
+    guarantees every round, as probes recorded into an
+    {!Obs.Telemetry} time-series, and raises typed alerts when one is
+    violated.
+
+    Each {!observe} call evaluates the invariant probes below against
+    a {!Backbone.t}, records every value under the given round,
+    compares against the configured {!thresholds}, and for each
+    violated probe appends a {!violation} and fires
+    {!Obs.Trace.alert} (when tracing is armed) so failures correlate
+    with the protocol event stream.
+
+    Invariant probes (value vs. limit):
+    - [crossings] — properly crossing edge pairs in the planar
+      backbone [PLDel(ICDS)] (limit 0: Lemma 4 planarity);
+    - [extra_components] — components of the routing structure
+      [ICDS'+LDel] beyond those of the UDG (limit 0: the spanner must
+      not disconnect anything the radio graph connects);
+    - [domination_gaps] — dominatees with no adjacent dominator
+      (limit 0: MIS domination);
+    - [cds_extra_parts] — connected parts of the CDS restricted to
+      backbone nodes beyond one per UDG component (limit 0: CDS
+      connectivity);
+    - [deg_max] — maximum ICDS degree (limit {!Bounds.icds_degree});
+    - [len_stretch_max], [hop_stretch_max] — sampled stretch of the
+      routing structure over the UDG via
+      {!Netgraph.Metrics.sampled_stretch}; a disconnection surfaces
+      as [infinity], which violates any finite limit.
+
+    Runtime gauges (recorded, never gated): [backbone_nodes],
+    [backbone_edges], [messages] (per-round delta of the distsim
+    engines' sent counters), [gc_heap_words], [gc_minor_words]. *)
+
+type thresholds = {
+  max_crossings : float;
+  max_extra_components : float;
+  max_domination_gaps : float;
+  max_cds_extra_parts : float;
+  max_degree : float;
+  max_len_stretch : float;
+  max_hop_stretch : float;
+}
+
+(** Zero tolerance on the structural invariants;
+    [max_degree = Bounds.icds_degree]; pragmatic operational limits on
+    the sampled stretch factors (the lemmas' worst-case constants,
+    loose by the paper's own admission, would never fire). *)
+val default_thresholds : thresholds
+
+type violation = {
+  v_round : int;
+  v_probe : string;
+  v_value : float;
+  v_limit : float;
+  v_node : int;  (** witness node, [-1] when none is implicated *)
+}
+
+type t
+
+(** [create ()] builds a monitor.  [stretch_sources] (default 8) is
+    the number of sampled sources per round for the stretch probes;
+    they are drawn afresh each round from [seed] (default [0L])
+    combined with the round number, so a run is reproducible.  [jobs]
+    (default 1) parallelizes the stretch probe. *)
+val create :
+  ?thresholds:thresholds ->
+  ?stretch_sources:int ->
+  ?seed:int64 ->
+  ?jobs:int ->
+  unit ->
+  t
+
+(** [observe t ~round bb] evaluates every probe against [bb], records
+    them under [round], and returns the violations of this round (also
+    appended to {!violations}).  [extra] values (e.g. maintenance
+    deltas) are recorded into the telemetry under the same round,
+    ungated. *)
+val observe :
+  t -> round:int -> ?extra:(string * float) list -> Backbone.t ->
+  violation list
+
+(** The recorded time-series: every invariant probe and gauge, one
+    value per observed round. *)
+val telemetry : t -> Obs.Telemetry.t
+
+(** All violations so far, in round order. *)
+val violations : t -> violation list
+
+(** No violations so far. *)
+val healthy : t -> bool
+
+(** The probe names {!observe} gates, with their configured limits. *)
+val invariants : t -> (string * float) list
+
+val thresholds : t -> thresholds

@@ -5,6 +5,7 @@ let c_packets = Obs.counter "packetsim.packets"
 let c_delivered = Obs.counter "packetsim.delivered"
 let d_tx = Obs.dist "packetsim.transmissions"
 let d_rounds = Obs.dist "packetsim.rounds"
+let g_delivery_ratio = Obs.gauge "packetsim.delivery_ratio"
 
 type result = {
   delivered : bool;
@@ -129,6 +130,9 @@ let many g points ~pairs rng ~router =
       end
     end
   done;
+  if !Obs.on && pairs > 0 then
+    Obs.set_gauge g_delivery_ratio
+      (float_of_int !delivered /. float_of_int pairs);
   ( !delivered,
     pairs,
     if !delivered = 0 then 0. else float_of_int !tx /. float_of_int !delivered

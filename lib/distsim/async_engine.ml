@@ -2,6 +2,7 @@ let c_runs = Obs.counter "distsim.async.runs"
 let c_sent = Obs.counter "distsim.async.sent"
 let c_deliveries = Obs.counter "distsim.async.deliveries"
 let d_sent = Obs.dist "distsim.async.sent_per_node"
+let g_finish = Obs.gauge "distsim.async.finish_time"
 
 type 'msg delivery = { from : int; time : float; msg : 'msg }
 
@@ -135,6 +136,7 @@ let run ?(max_messages = 10_000_000) ?(classify = fun _ -> "msg") ~delay graph
     Obs.incr c_runs;
     Obs.add c_sent (Array.fold_left ( + ) 0 sent);
     Obs.add c_deliveries !deliveries;
+    Obs.set_gauge g_finish !finish;
     Array.iter (fun s -> Obs.observe d_sent (float_of_int s)) sent;
     List.iter
       (fun (k, c) -> Obs.add (Obs.counter ("distsim.async.msg." ^ k)) c)

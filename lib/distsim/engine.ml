@@ -8,6 +8,8 @@ let c_runs = Obs.counter "distsim.runs"
 let c_rounds = Obs.counter "distsim.rounds"
 let c_messages = Obs.counter "distsim.messages"
 let d_sent = Obs.dist "distsim.sent_per_node"
+let d_round_messages = Obs.dist "distsim.round_messages"
+let g_last_round_messages = Obs.gauge "distsim.last_round_messages"
 
 let flush_stats_to_obs ~rounds ~sent ~by_kind =
   if !Obs.on then begin
@@ -119,6 +121,11 @@ let run ?max_rounds ~classify graph protocol =
       states.(u) <- protocol.on_round ctx states.(u) inboxes.(u)
     done;
     in_flight := List.rev !in_flight;
+    if !Obs.on then begin
+      let m = List.length !in_flight in
+      Obs.observe d_round_messages (float_of_int m);
+      Obs.set_gauge g_last_round_messages (float_of_int m)
+    end;
     incr rounds;
     if not !sent_this_round then quiescent := true
   done;

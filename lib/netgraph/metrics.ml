@@ -271,6 +271,114 @@ let power_stretch ?(one_hop_direct = true) ?(jobs = 1) ~base ~sub points ~beta
   | [ (_, { c_power = Some p; _ }) ] -> p
   | _ -> assert false
 
+(* Per-round health probe: stretch over a handful of sampled sources
+   (each against every reachable target) instead of all pairs, so a
+   monitor can afford it every round.  Same CSR + pool machinery and
+   the same deterministic source-order reduction as [fused]; raises
+   like [fused] when the substructure disconnects a base-connected
+   pair. *)
+let sampled_stretch ?(one_hop_direct = true) ?(jobs = 1) ~sources ~base ~sub
+    points =
+  let n = Graph.node_count base in
+  if Graph.node_count sub <> n then
+    invalid_arg "Metrics.sampled_stretch: node count mismatch";
+  let ns = Array.length sources in
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= n then
+        invalid_arg "Metrics.sampled_stretch: source out of range")
+    sources;
+  let base_csr = Csr.of_graph ~points base in
+  let sub_csr = Csr.of_graph ~points sub in
+  let len_sum = Array.make ns 0. and len_mx = Array.make ns 0. in
+  let len_cnt = Array.make ns 0 in
+  let hop_sum = Array.make ns 0. and hop_mx = Array.make ns 0. in
+  let hop_cnt = Array.make ns 0 in
+  let errors = Array.make ns (-1) in
+  let mk_body () =
+    let heap = Heap.create ~capacity:1024 () in
+    let queue = Array.make (max 1 n) 0 in
+    let db_len = Array.make n infinity and ds_len = Array.make n infinity in
+    let db_hop = Array.make n max_int and ds_hop = Array.make n max_int in
+    let adj = Bytes.make (max 1 n) '\000' in
+    fun i ->
+      let s = sources.(i) in
+      Csr.dijkstra_into base_csr ~heap ~dist:db_len s;
+      Csr.bfs_into base_csr ~dist:db_hop ~queue s;
+      Csr.dijkstra_into sub_csr ~heap ~dist:ds_len s;
+      Csr.bfs_into sub_csr ~dist:ds_hop ~queue s;
+      if one_hop_direct then
+        Csr.iter_neighbors base_csr s (fun v -> Bytes.set adj v '\001');
+      let lsum = ref 0. and lmx = ref 0. and lcnt = ref 0 in
+      let hsum = ref 0. and hmx = ref 0. and hcnt = ref 0 in
+      let err = ref (-1) in
+      for t = 0 to n - 1 do
+        if t <> s then
+          if one_hop_direct && Bytes.get adj t = '\001' then begin
+            lsum := !lsum +. 1.;
+            if !lmx < 1. then lmx := 1.;
+            incr lcnt;
+            hsum := !hsum +. 1.;
+            if !hmx < 1. then hmx := 1.;
+            incr hcnt
+          end
+          else if db_len.(t) <> infinity then begin
+            if ds_len.(t) = infinity then begin
+              if !err < 0 then err := t
+            end
+            else begin
+              if db_len.(t) > 0. then begin
+                let r = ds_len.(t) /. db_len.(t) in
+                lsum := !lsum +. r;
+                if r > !lmx then lmx := r;
+                incr lcnt
+              end;
+              if db_hop.(t) > 0 then begin
+                let r = float_of_int ds_hop.(t) /. float_of_int db_hop.(t) in
+                hsum := !hsum +. r;
+                if r > !hmx then hmx := r;
+                incr hcnt
+              end
+            end
+          end
+      done;
+      if one_hop_direct then
+        Csr.iter_neighbors base_csr s (fun v -> Bytes.set adj v '\000');
+      len_sum.(i) <- !lsum;
+      len_mx.(i) <- !lmx;
+      len_cnt.(i) <- !lcnt;
+      hop_sum.(i) <- !hsum;
+      hop_mx.(i) <- !hmx;
+      hop_cnt.(i) <- !hcnt;
+      errors.(i) <- !err
+  in
+  let jobs = max 1 (min jobs (max 1 ns)) in
+  Obs.span "metrics.sampled_stretch" (fun () ->
+      Pool.with_pool ~jobs (fun pool -> Pool.parallel_for pool ~n:ns mk_body));
+  Obs.add c_sources ns;
+  Obs.add c_sssp (ns * 2 * 2);
+  Array.iteri
+    (fun i t ->
+      if t >= 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Metrics.sampled_stretch: pair (%d, %d) connected in base but \
+              not in subgraph"
+             sources.(i) t))
+    errors;
+  let reduce sum mx cnt =
+    let s = ref 0. and m = ref 0. and c = ref 0 in
+    for i = 0 to ns - 1 do
+      s := !s +. sum.(i);
+      if mx.(i) > !m then m := mx.(i);
+      c := !c + cnt.(i)
+    done;
+    if !c = 0 then (1., 1.) else (!s /. float_of_int !c, !m)
+  in
+  let len_avg, len_max = reduce len_sum len_mx len_cnt in
+  let hop_avg, hop_max = reduce hop_sum hop_mx hop_cnt in
+  { len_avg; len_max; hop_avg; hop_max }
+
 let pair_stretch ~base ~sub points s t =
   let db = Traversal.dijkstra base points s in
   let ds = Traversal.dijkstra sub points s in

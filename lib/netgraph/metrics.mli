@@ -89,6 +89,22 @@ val combined_stretch :
   (string * Graph.t) list ->
   (string * combined) list
 
+(** [sampled_stretch ~sources ~base ~sub points] is length/hop stretch
+    restricted to the given source nodes, each measured against every
+    node reachable from it in [base] — the per-round health probe used
+    by [Core.Monitor], costing [4 |sources|] SSSPs instead of the
+    all-pairs engine's [4 n].  Semantics ([one_hop_direct], the
+    deterministic source-order reduction, bit-identical results for
+    any [jobs]) match {!stretch_factors}.
+
+    @raise Invalid_argument on node-count mismatch, a source index out
+    of range, or a base-connected pair disconnected in [sub]. *)
+val sampled_stretch :
+  ?one_hop_direct:bool ->
+  ?jobs:int ->
+  sources:int array ->
+  base:Graph.t -> sub:Graph.t -> Geometry.Point.t array -> stretch
+
 (** Stretch of a single pair: [(length ratio, hop ratio)], or [None]
     when the pair is disconnected in either graph. *)
 val pair_stretch :

@@ -8,6 +8,7 @@
 let c_for = Obs.counter "pool.parallel_for"
 let c_tasks = Obs.counter "pool.tasks"
 let d_jobs = Obs.dist "pool.jobs"
+let g_util = Obs.gauge "pool.utilization"
 
 type shared = {
   mutex : Mutex.t;
@@ -105,7 +106,12 @@ let parallel_for t ~n mk_body =
   if n > 0 then begin
     Obs.incr c_for;
     Obs.add c_tasks n;
-    if !Obs.on then Obs.observe d_jobs (float_of_int (jobs t));
+    if !Obs.on then begin
+      Obs.observe d_jobs (float_of_int (jobs t));
+      (* worker domains in use as a fraction of what the host offers *)
+      Obs.set_gauge g_util
+        (float_of_int (jobs t) /. float_of_int (max 1 (default_jobs ())))
+    end;
     let shared = t.shared in
     let g = if !Obs.Trace.on then Obs.Trace.new_group () else -1 in
     if g >= 0 then Obs.Trace.job_enter g;

@@ -20,9 +20,12 @@ type dist = dist_cell
 
 type span_cell = { mutable s_calls : int; mutable s_seconds : float }
 
+type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
+
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 let dists : (string, dist_cell) Hashtbl.t = Hashtbl.create 16
 let spans : (string, span_cell) Hashtbl.t = Hashtbl.create 16
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
 
 (* span paths in first-entered order, reversed *)
 let span_order : string list ref = ref []
@@ -47,6 +50,13 @@ module Trace = struct
         dst : int;
       }
     | Job of { group : int; enter : bool }
+    | Alert of {
+        round : int;
+        probe : string;
+        value : float;
+        limit : float;
+        node : int;
+      }
 
   type event = {
     ts : float; (* microseconds since Trace.start *)
@@ -173,6 +183,9 @@ module Trace = struct
 
   let deliver ~round ~time ~kind ~src ~dst =
     if !on then record (my_buf ()) (Deliver { round; time; kind; src; dst })
+
+  let alert ~round ~probe ~value ~limit ~node =
+    if !on then record (my_buf ()) (Alert { round; probe; value; limit; node })
 
   let new_group () = Atomic.fetch_and_add group_counter 1
 
@@ -306,7 +319,12 @@ module Trace = struct
         | Send { round; time; kind; src; dst } ->
           instant ev "send" ~round ~time ~kind ~src ~dst
         | Deliver { round; time; kind; src; dst } ->
-          instant ev "recv" ~round ~time ~kind ~src ~dst)
+          instant ev "recv" ~round ~time ~kind ~src ~dst
+        | Alert { round; probe; value; limit; node } ->
+          fprintf fmt
+            "{\"name\":%S,\"cat\":%S,\"ph\":\"i\",\"s\":\"t\",%s,\"args\":{\"dir\":\"alert\",\"round\":%d,\"value\":%s,\"limit\":%s,\"node\":%d,\"group\":%d,\"task\":%d}}"
+            probe ev.phase (common ev) round (g17 value) (g17 limit) node
+            ev.group ev.task)
       evs;
     fprintf fmt "@\n]}@."
 
@@ -342,7 +360,13 @@ module Trace = struct
                   | "recv" -> Deliver { round; time; kind; src; dst }
                   | _ -> failwith "dir"
                 in
-                { ts; dom; group; task; phase; payload }))
+                { ts; dom; group; task; phase; payload }));
+          (fun () ->
+            Scanf.sscanf line
+              "{\"name\":%S,\"cat\":%S,\"ph\":\"i\",\"s\":\"t\",\"ts\":%f,\"pid\":0,\"tid\":%d,\"args\":{\"dir\":\"alert\",\"round\":%d,\"value\":%f,\"limit\":%f,\"node\":%d,\"group\":%d,\"task\":%d}}"
+              (fun probe phase ts dom round value limit node group task ->
+                { ts; dom; group; task; phase;
+                  payload = Alert { round; probe; value; limit; node } }))
         ]
       in
       let rec go = function
@@ -525,6 +549,44 @@ let observe d v =
     if v > d.d_max then d.d_max <- v
   end
 
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; g_value = nan; g_set = false } in
+    Hashtbl.add gauges name g;
+    g
+
+let set_gauge g v =
+  if !on then begin
+    g.g_value <- v;
+    g.g_set <- true
+  end
+
+let gauge_value g = g.g_value
+
+(* GC sampling is its own switch, like Trace: a single load-and-branch
+   at each span boundary when armed, nothing at all when not. *)
+let gc_gauges = ref false
+let gc_sampling () = !gc_gauges
+let set_gc_sampling b = gc_gauges := b
+
+let g_gc_minor = gauge "gc.minor_words"
+let g_gc_major = gauge "gc.major_words"
+let g_gc_heap = gauge "gc.heap_words"
+let g_gc_minor_n = gauge "gc.minor_collections"
+let g_gc_major_n = gauge "gc.major_collections"
+let g_gc_compact = gauge "gc.compactions"
+
+let sample_gc () =
+  let s = Gc.quick_stat () in
+  set_gauge g_gc_minor s.Gc.minor_words;
+  set_gauge g_gc_major s.Gc.major_words;
+  set_gauge g_gc_heap (float_of_int s.Gc.heap_words);
+  set_gauge g_gc_minor_n (float_of_int s.Gc.minor_collections);
+  set_gauge g_gc_major_n (float_of_int s.Gc.major_collections);
+  set_gauge g_gc_compact (float_of_int s.Gc.compactions)
+
 let span name f =
   if not !on then f ()
   else begin
@@ -540,6 +602,7 @@ let span name f =
         c
     in
     if !Trace.on then Trace.span_begin path;
+    if !gc_gauges then sample_gc ();
     span_path := path;
     let t0 = Unix.gettimeofday () in
     Fun.protect
@@ -547,6 +610,7 @@ let span name f =
         cell.s_calls <- cell.s_calls + 1;
         cell.s_seconds <- cell.s_seconds +. (Unix.gettimeofday () -. t0);
         span_path := parent;
+        if !gc_gauges then sample_gc ();
         if !Trace.on then Trace.span_end path)
       f
   end
@@ -561,9 +625,389 @@ let reset () =
       d.d_min <- infinity;
       d.d_max <- neg_infinity)
     dists;
+  Hashtbl.iter
+    (fun _ g ->
+      g.g_value <- nan;
+      g.g_set <- false)
+    gauges;
   Hashtbl.reset spans;
   span_order := [];
   span_path := ""
+
+(* The P-squared streaming quantile estimator (Jain & Chlamtac, CACM
+   1985), extended variant: for target quantiles q_1 < ... < q_m it
+   keeps 2m+3 markers at probabilities 0, q_1/2, q_1, (q_1+q_2)/2,
+   ..., q_m, (1+q_m)/2, 1.  Each observation shifts markers by at most
+   one position, adjusting heights with a piecewise-parabolic fit
+   (falling back to linear when the parabola would break height
+   ordering), so heights stay sorted and quantile estimates are
+   monotone in q.  Until the stream is as long as the marker count the
+   raw samples are kept and answers are exact. *)
+module Sketch = struct
+  type t = {
+    targets : float list;
+    probs : float array; (* marker probabilities, increasing, 0 and 1 incl. *)
+    heights : float array; (* marker heights q_i *)
+    pos : float array; (* actual marker positions n_i (1-based) *)
+    mutable count : int;
+    buffer : float array; (* first observations, exact mode *)
+  }
+
+  let create ?(quantiles = [ 0.5; 0.9; 0.99 ]) () =
+    if quantiles = [] then invalid_arg "Obs.Sketch.create: no quantiles";
+    List.iter
+      (fun q ->
+        if not (q > 0. && q < 1.) then
+          invalid_arg "Obs.Sketch.create: quantile outside (0, 1)")
+      quantiles;
+    let qs = List.sort_uniq compare quantiles in
+    let m = List.length qs in
+    let probs = Array.make ((2 * m) + 3) 0. in
+    List.iteri (fun i q -> probs.((2 * i) + 2) <- q) qs;
+    probs.((2 * m) + 2) <- 1.;
+    (* midpoints between consecutive principal markers *)
+    for i = 0 to m do
+      probs.((2 * i) + 1) <- (probs.(2 * i) +. probs.((2 * i) + 2)) /. 2.
+    done;
+    let k = Array.length probs in
+    {
+      targets = qs;
+      probs;
+      heights = Array.make k 0.;
+      pos = Array.make k 0.;
+      count = 0;
+      buffer = Array.make k 0.;
+    }
+
+  let targets t = t.targets
+  let count t = t.count
+
+  let reset t =
+    t.count <- 0
+
+  let markers t = Array.length t.probs
+
+  (* leave exact mode: sort the buffer into the initial marker heights *)
+  let init_markers t =
+    let k = markers t in
+    Array.sort compare t.buffer;
+    Array.blit t.buffer 0 t.heights 0 k;
+    for i = 0 to k - 1 do
+      t.pos.(i) <- float_of_int (i + 1)
+    done
+
+  let parabolic t i s =
+    let q = t.heights and n = t.pos in
+    q.(i)
+    +. s
+       /. (n.(i + 1) -. n.(i - 1))
+       *. (((n.(i) -. n.(i - 1) +. s) *. (q.(i + 1) -. q.(i))
+            /. (n.(i + 1) -. n.(i)))
+          +. ((n.(i + 1) -. n.(i) -. s) *. (q.(i) -. q.(i - 1))
+             /. (n.(i) -. n.(i - 1))))
+
+  let linear t i s =
+    let q = t.heights and n = t.pos in
+    let j = i + int_of_float s in
+    q.(i) +. (s *. (q.(j) -. q.(i)) /. (n.(j) -. n.(i)))
+
+  let observe t x =
+    let k = markers t in
+    if t.count < k then begin
+      t.buffer.(t.count) <- x;
+      t.count <- t.count + 1;
+      if t.count = k then init_markers t
+    end
+    else begin
+      t.count <- t.count + 1;
+      let q = t.heights and n = t.pos in
+      (* locate the cell and stretch the extremes *)
+      let cell =
+        if x < q.(0) then begin
+          q.(0) <- x;
+          0
+        end
+        else if x >= q.(k - 1) then begin
+          q.(k - 1) <- x;
+          k - 2
+        end
+        else begin
+          let j = ref 0 in
+          while not (x >= q.(!j) && x < q.(!j + 1)) do
+            Stdlib.incr j
+          done;
+          !j
+        end
+      in
+      for i = cell + 1 to k - 1 do
+        n.(i) <- n.(i) +. 1.
+      done;
+      (* adjust interior markers toward their desired positions *)
+      for i = 1 to k - 2 do
+        let desired = 1. +. (float_of_int (t.count - 1) *. t.probs.(i)) in
+        let d = desired -. n.(i) in
+        if
+          (d >= 1. && n.(i + 1) -. n.(i) > 1.)
+          || (d <= -1. && n.(i - 1) -. n.(i) < -1.)
+        then begin
+          let s = if d >= 0. then 1. else -1. in
+          let h = parabolic t i s in
+          if q.(i - 1) < h && h < q.(i + 1) then q.(i) <- h
+          else q.(i) <- linear t i s;
+          n.(i) <- n.(i) +. s
+        end
+      done
+    end
+
+  (* piecewise-linear interpolation over (probability, height) points;
+     in exact mode the sorted sample at rank q*(n-1) with linear
+     interpolation between neighbours *)
+  let quantile t q =
+    if t.count = 0 then nan
+    else begin
+      let q = Float.min 1. (Float.max 0. q) in
+      let interp xs ys m =
+        (* xs increasing (weakly); find the bracketing pair *)
+        if q <= xs.(0) then ys.(0)
+        else if q >= xs.(m - 1) then ys.(m - 1)
+        else begin
+          let i = ref 0 in
+          while xs.(!i + 1) < q do
+            Stdlib.incr i
+          done;
+          let x0 = xs.(!i) and x1 = xs.(!i + 1) in
+          if x1 -. x0 <= 0. then ys.(!i + 1)
+          else
+            let w = (q -. x0) /. (x1 -. x0) in
+            ys.(!i) +. (w *. (ys.(!i + 1) -. ys.(!i)))
+        end
+      in
+      if t.count < markers t then begin
+        let m = t.count in
+        let sorted = Array.sub t.buffer 0 m in
+        Array.sort compare sorted;
+        if m = 1 then sorted.(0)
+        else begin
+          let xs =
+            Array.init m (fun i -> float_of_int i /. float_of_int (m - 1))
+          in
+          interp xs sorted m
+        end
+      end
+      else begin
+        let k = markers t in
+        let denom = float_of_int (t.count - 1) in
+        let xs =
+          Array.init k (fun i ->
+              if denom <= 0. then t.probs.(i) else (t.pos.(i) -. 1.) /. denom)
+        in
+        interp xs t.heights k
+      end
+    end
+
+  let min_value t =
+    if t.count = 0 then nan
+    else if t.count < markers t then
+      Array.fold_left Float.min infinity (Array.sub t.buffer 0 t.count)
+    else t.heights.(0)
+
+  let max_value t =
+    if t.count = 0 then nan
+    else if t.count < markers t then
+      Array.fold_left Float.max neg_infinity (Array.sub t.buffer 0 t.count)
+    else t.heights.(markers t - 1)
+
+  (* replay a sketch's contents into [into]: raw samples while in exact
+     mode, otherwise each marker height weighted by the count mass
+     between it and its predecessor, so counts add exactly *)
+  let replay_into into t =
+    if t.count < markers t then
+      for i = 0 to t.count - 1 do
+        observe into t.buffer.(i)
+      done
+    else begin
+      let k = markers t in
+      let prev = ref 0. in
+      for i = 0 to k - 1 do
+        let w =
+          if i = k - 1 then t.count - int_of_float !prev
+          else
+            let here = Float.round t.pos.(i) in
+            let w = int_of_float (here -. !prev) in
+            prev := here;
+            w
+        in
+        for _ = 1 to max 0 w do
+          observe into t.heights.(i)
+        done
+      done
+    end
+
+  let merge a b =
+    let t = create ~quantiles:a.targets () in
+    replay_into t a;
+    replay_into t b;
+    t
+end
+
+(* Round-clock telemetry: named probes recorded per round, with one
+   Sketch per probe summarizing the full run.  Pull probes registered
+   with [register] are sampled by [sample]; anything can also push
+   values directly with [record]. *)
+module Telemetry = struct
+  type cell = {
+    t_name : string;
+    mutable t_fn : (unit -> float) option;
+    mutable t_values : (int * float) list; (* reversed *)
+    t_sketch : Sketch.t;
+  }
+
+  type t = {
+    tbl : (string, cell) Hashtbl.t;
+    mutable order : string list; (* registration order, reversed *)
+    mutable t_rounds : int list; (* reversed *)
+  }
+
+  let create () = { tbl = Hashtbl.create 16; order = []; t_rounds = [] }
+
+  let cell t name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some c -> c
+    | None ->
+      let c =
+        { t_name = name; t_fn = None; t_values = [];
+          t_sketch = Sketch.create () }
+      in
+      Hashtbl.add t.tbl name c;
+      t.order <- name :: t.order;
+      c
+
+  let register t name fn = (cell t name).t_fn <- Some fn
+
+  let note_round t round =
+    match t.t_rounds with
+    | r :: _ when r = round -> ()
+    | _ -> t.t_rounds <- round :: t.t_rounds
+
+  let record t ~round name v =
+    note_round t round;
+    let c = cell t name in
+    c.t_values <- (round, v) :: c.t_values;
+    Sketch.observe c.t_sketch v
+
+  let sample t ~round =
+    note_round t round;
+    List.iter
+      (fun name ->
+        let c = Hashtbl.find t.tbl name in
+        match c.t_fn with
+        | Some fn -> record t ~round name (fn ())
+        | None -> ())
+      (List.rev t.order)
+
+  let rounds t = List.rev t.t_rounds
+  let names t = List.sort compare (List.rev t.order)
+
+  let series t name =
+    match Hashtbl.find_opt t.tbl name with
+    | None -> []
+    | Some c -> List.rev c.t_values
+
+  let last t name =
+    match Hashtbl.find_opt t.tbl name with
+    | None | Some { t_values = []; _ } -> None
+    | Some { t_values = (_, v) :: _; _ } -> Some v
+
+  let sketch t name =
+    Option.map (fun c -> c.t_sketch) (Hashtbl.find_opt t.tbl name)
+
+  let reset t =
+    Hashtbl.reset t.tbl;
+    t.order <- [];
+    t.t_rounds <- []
+
+  (* rows in round order, names sorted within a round *)
+  let rows t =
+    let ns = names t in
+    List.map
+      (fun round ->
+        ( round,
+          List.filter_map
+            (fun name ->
+              List.assoc_opt round (series t name)
+              |> Option.map (fun v -> (name, v)))
+            ns ))
+      (rounds t)
+
+  let write_jsonl fmt t =
+    List.iter
+      (fun (round, cells) ->
+        List.iter
+          (fun (name, v) ->
+            Format.fprintf fmt
+              "{\"kind\":\"telemetry\",\"round\":%d,\"name\":%S,\"value\":%s}@."
+              round name (g17 v))
+          cells)
+      (rows t)
+
+  let read_jsonl s =
+    let parse line =
+      try
+        Scanf.sscanf line
+          "{\"kind\":\"telemetry\",\"round\":%d,\"name\":%S,\"value\":%f}"
+          (fun round name v -> (round, name, v))
+      with Scanf.Scan_failure _ | End_of_file | Failure _ ->
+        failwith ("Obs.Telemetry.read_jsonl: bad line: " ^ line)
+    in
+    String.split_on_char '\n' s
+    |> List.filter_map (fun l ->
+           let l = String.trim l in
+           if l = "" then None else Some (parse l))
+    |> List.fold_left
+         (fun acc (round, name, v) ->
+           match acc with
+           | (r, cells) :: rest when r = round ->
+             (r, (name, v) :: cells) :: rest
+           | _ -> (round, [ (name, v) ]) :: acc)
+         []
+    |> List.rev_map (fun (r, cells) -> (r, List.rev cells))
+
+  let write_csv fmt t =
+    let ns = names t in
+    Format.fprintf fmt "round%s@."
+      (String.concat "" (List.map (fun n -> "," ^ n) ns));
+    List.iter
+      (fun (round, cells) ->
+        Format.fprintf fmt "%d%s@." round
+          (String.concat ""
+             (List.map
+                (fun n ->
+                  match List.assoc_opt n cells with
+                  | Some v -> "," ^ g17 v
+                  | None -> ",")
+                ns)))
+      (rows t)
+
+  let spark_bars =
+    [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+       "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+  let sparkline vs =
+    match List.filter (fun v -> not (Float.is_nan v)) vs with
+    | [] -> ""
+    | vs ->
+      let lo = List.fold_left Float.min infinity vs in
+      let hi = List.fold_left Float.max neg_infinity vs in
+      let pick v =
+        if hi -. lo <= 0. || Float.is_nan v then spark_bars.(3)
+        else
+          let i =
+            int_of_float (Float.round ((v -. lo) /. (hi -. lo) *. 7.))
+          in
+          spark_bars.(max 0 (min 7 i))
+      in
+      String.concat "" (List.map pick vs)
+end
 
 module Snapshot = struct
   type dist_stats = {
@@ -580,6 +1024,7 @@ module Snapshot = struct
     counters : (string * int) list;
     dists : (string * dist_stats) list;
     spans : span_stats list;
+    gauges : (string * float) list;
   }
 
   let dist_mean d = if d.count = 0 then 0. else d.sum /. float_of_int d.count
@@ -608,11 +1053,21 @@ module Snapshot = struct
                  :: acc)
              dists []);
       spans =
+        (* sorted by path, not execution order, so every sink and
+           check_against diff is stable across runs and --jobs; '/'
+           sorts before any path character we use, so parents still
+           precede their children *)
         List.rev_map
           (fun path ->
             let c = Hashtbl.find spans path in
             { path; calls = c.s_calls; seconds = c.s_seconds })
-          !span_order;
+          !span_order
+        |> List.sort (fun a b -> compare a.path b.path);
+      gauges =
+        List.sort compare
+          (Hashtbl.fold
+             (fun k g acc -> if g.g_set then (k, g.g_value) :: acc else acc)
+             gauges []);
     }
 
   let lines s =
@@ -640,16 +1095,23 @@ module Snapshot = struct
               "{\"kind\":\"span\",\"name\":%S,\"calls\":%d,\"seconds\":%g}"
               (fun path calls seconds ->
                 { acc with spans = { path; calls; seconds } :: acc.spans })
-          with Scanf.Scan_failure _ | End_of_file ->
-            failwith ("Obs.Snapshot.of_json_lines: bad line: " ^ line)))
+          with Scanf.Scan_failure _ | End_of_file -> (
+            try
+              Scanf.sscanf line "{\"kind\":\"gauge\",\"name\":%S,\"value\":%g}"
+                (fun name v -> { acc with gauges = (name, v) :: acc.gauges })
+            with Scanf.Scan_failure _ | End_of_file ->
+              failwith ("Obs.Snapshot.of_json_lines: bad line: " ^ line))))
     in
     let acc =
-      List.fold_left parse { counters = []; dists = []; spans = [] } (lines s)
+      List.fold_left parse
+        { counters = []; dists = []; spans = []; gauges = [] }
+        (lines s)
     in
     {
       counters = List.rev acc.counters;
       dists = List.rev acc.dists;
       spans = List.rev acc.spans;
+      gauges = List.rev acc.gauges;
     }
 
   let of_csv s =
@@ -676,58 +1138,106 @@ module Snapshot = struct
               seconds = float_of_string seconds }
             :: acc.spans;
         }
+      | [ "gauge"; name; v; _; _; _; _ ] ->
+        { acc with gauges = (name, float_of_string v) :: acc.gauges }
       | _ -> failwith ("Obs.Snapshot.of_csv: bad line: " ^ line)
     in
     let acc =
-      List.fold_left parse { counters = []; dists = []; spans = [] } (lines s)
+      List.fold_left parse
+        { counters = []; dists = []; spans = []; gauges = [] }
+        (lines s)
     in
     {
       counters = List.rev acc.counters;
       dists = List.rev acc.dists;
       spans = List.rev acc.spans;
+      gauges = List.rev acc.gauges;
     }
+
+  type mismatch = {
+    m_kind : string;
+    m_name : string;
+    m_expected : float;
+    m_actual : float; (* nan when missing from current *)
+  }
 
   (* Regression gate: counters and call/observation counts are
      deterministic for a fixed configuration, so they must match
      exactly; only span seconds are wall-clock noise and get the
      threshold.  Metrics present in [current] but absent from
      [reference] are ignored so new instrumentation does not invalidate
-     committed baselines. *)
-  let check_against ~threshold ~(reference : t) (current : t) =
+     committed baselines, and gauges are skipped entirely
+     (instantaneous samples are not reproducible). *)
+  let compare_against ~threshold ~(reference : t) (current : t) =
     let out = ref [] in
-    let say fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+    let say m_kind m_name m_expected m_actual =
+      out := { m_kind; m_name; m_expected; m_actual } :: !out
+    in
     List.iter
       (fun (name, v) ->
         match List.assoc_opt name current.counters with
-        | None -> if v <> 0 then say "counter %s missing (reference %d)" name v
+        | None -> if v <> 0 then say "counter" name (float_of_int v) nan
         | Some v' ->
           if v' <> v then
-            say "counter %s: %d differs from reference %d" name v' v)
+            say "counter" name (float_of_int v) (float_of_int v'))
       reference.counters;
     List.iter
       (fun (name, (d : dist_stats)) ->
         match List.assoc_opt name current.dists with
-        | None -> say "dist %s missing (reference count %d)" name d.count
+        | None -> say "dist.count" name (float_of_int d.count) nan
         | Some d' ->
           if d'.count <> d.count then
-            say "dist %s: count %d differs from reference %d" name d'.count
-              d.count)
+            say "dist.count" name (float_of_int d.count)
+              (float_of_int d'.count))
       reference.dists;
     List.iter
       (fun (r : span_stats) ->
         match
           List.find_opt (fun (c : span_stats) -> c.path = r.path) current.spans
         with
-        | None -> say "span %s missing (reference %d calls)" r.path r.calls
+        | None -> say "span.calls" r.path (float_of_int r.calls) nan
         | Some c ->
           if c.calls <> r.calls then
-            say "span %s: %d calls differ from reference %d" r.path c.calls
-              r.calls;
+            say "span.calls" r.path (float_of_int r.calls)
+              (float_of_int c.calls);
           if c.seconds > r.seconds *. (1. +. threshold) then
-            say "span %s: %.4fs exceeds reference %.4fs by more than %.0f%%"
-              r.path c.seconds r.seconds (100. *. threshold))
+            say "span.seconds" r.path r.seconds c.seconds)
       reference.spans;
     List.rev !out
+
+  let check_against ~threshold ~(reference : t) (current : t) =
+    compare_against ~threshold ~reference current
+    |> List.map (fun m ->
+           let missing = Float.is_nan m.m_actual in
+           match m.m_kind with
+           | "counter" ->
+             if missing then
+               Printf.sprintf "counter %s missing (reference %d)" m.m_name
+                 (int_of_float m.m_expected)
+             else
+               Printf.sprintf "counter %s: %d differs from reference %d"
+                 m.m_name (int_of_float m.m_actual)
+                 (int_of_float m.m_expected)
+           | "dist.count" ->
+             if missing then
+               Printf.sprintf "dist %s missing (reference count %d)" m.m_name
+                 (int_of_float m.m_expected)
+             else
+               Printf.sprintf "dist %s: count %d differs from reference %d"
+                 m.m_name (int_of_float m.m_actual)
+                 (int_of_float m.m_expected)
+           | "span.calls" ->
+             if missing then
+               Printf.sprintf "span %s missing (reference %d calls)" m.m_name
+                 (int_of_float m.m_expected)
+             else
+               Printf.sprintf "span %s: %d calls differ from reference %d"
+                 m.m_name (int_of_float m.m_actual)
+                 (int_of_float m.m_expected)
+           | _ ->
+             Printf.sprintf
+               "span %s: %.4fs exceeds reference %.4fs by more than %.0f%%"
+               m.m_name m.m_actual m.m_expected (100. *. threshold))
 end
 
 type sink = Snapshot.t -> unit
@@ -767,6 +1277,12 @@ let pretty fmt (s : Snapshot.t) =
           d.Snapshot.count (Snapshot.dist_mean d) (Snapshot.dist_stddev d)
           d.Snapshot.min d.Snapshot.max)
       s.dists
+  end;
+  if s.gauges <> [] then begin
+    fprintf fmt "gauges:@.";
+    List.iter
+      (fun (name, v) -> fprintf fmt "  %-40s %12g@." name v)
+      s.gauges
   end
 
 let json fmt (s : Snapshot.t) =
@@ -785,7 +1301,11 @@ let json fmt (s : Snapshot.t) =
     (fun { Snapshot.path; calls; seconds } ->
       fprintf fmt "{\"kind\":\"span\",\"name\":%S,\"calls\":%d,\"seconds\":%s}@."
         path calls (g17 seconds))
-    s.spans
+    s.spans;
+  List.iter
+    (fun (name, v) ->
+      fprintf fmt "{\"kind\":\"gauge\",\"name\":%S,\"value\":%s}@." name (g17 v))
+    s.gauges
 
 let csv fmt (s : Snapshot.t) =
   let open Format in
@@ -801,7 +1321,10 @@ let csv fmt (s : Snapshot.t) =
   List.iter
     (fun { Snapshot.path; calls; seconds } ->
       fprintf fmt "span,%s,%d,%s,,,@." path calls (g17 seconds))
-    s.spans
+    s.spans;
+  List.iter
+    (fun (name, v) -> fprintf fmt "gauge,%s,%s,,,,@." name (g17 v))
+    s.gauges
 
 let named_sink fmt = function
   | "pretty" -> Some (pretty fmt)

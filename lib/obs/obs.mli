@@ -30,8 +30,8 @@ val on : bool ref
 val enabled : unit -> bool
 val set_enabled : bool -> unit
 
-(** [reset ()] zeroes every counter, distribution and span while
-    keeping all registered handles valid. *)
+(** [reset ()] zeroes every counter, distribution, span and gauge
+    while keeping all registered handles valid. *)
 val reset : unit -> unit
 
 (** {1 Counters} *)
@@ -62,6 +62,40 @@ type dist
 
 val dist : string -> dist
 val observe : dist -> float -> unit
+
+(** {1 Gauges}
+
+    Instantaneous values — the current level of something (heap words,
+    backbone size, pool utilization) — sampled rather than accumulated.
+    [set_gauge] overwrites the previous sample; a snapshot reports the
+    latest sample only, and only for gauges that have been set since
+    the last {!reset}.  Like counters, handles are idempotent per name
+    and writes are no-ops while disabled.  Because gauge samples are
+    not reproducible across runs they are excluded from
+    {!Snapshot.check_against}. *)
+
+type gauge
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+
+(** Latest sample (reads even when disabled); [nan] before the first
+    [set_gauge]. *)
+val gauge_value : gauge -> float
+
+(** {1 Runtime (GC) gauges}
+
+    A second single load-and-branch switch, like {!Trace.on}: when
+    armed, every {!span} boundary (entry and exit) samples
+    [Gc.quick_stat] into the gauges [gc.minor_words],
+    [gc.major_words], [gc.heap_words], [gc.minor_collections],
+    [gc.major_collections] and [gc.compactions], so any instrumented
+    stage bounds its allocation behaviour without touching hot
+    paths. *)
+
+val gc_gauges : bool ref
+val gc_sampling : unit -> bool
+val set_gc_sampling : bool -> unit
 
 (** {1 Spans}
 
@@ -127,6 +161,17 @@ module Trace : sig
     | Job of { group : int; enter : bool }
         (** pool job bracket, internal — rewritten to
             [Span_begin/Span_end "pool.job"] by {!events} *)
+    | Alert of {
+        round : int;
+        probe : string;
+        value : float;
+        limit : float;
+        node : int;
+      }
+        (** health-monitor invariant violation: [probe] exceeded
+            [limit] with [value] at [round]; [node] is a witness
+            (e.g. the max-degree node, an endpoint of a crossing) or
+            [-1] when no single node is implicated *)
 
   type event = {
     ts : float;  (** microseconds since {!start} *)
@@ -148,6 +193,12 @@ module Trace : sig
   val send : round:int -> time:float -> kind:string -> src:int -> dst:int -> unit
   val deliver :
     round:int -> time:float -> kind:string -> src:int -> dst:int -> unit
+
+  (** Record an invariant violation (see {!constructor-Alert});
+      exported to Chrome JSON as an instant event with
+      [dir = "alert"]. *)
+  val alert :
+    round:int -> probe:string -> value:float -> limit:float -> node:int -> unit
 
   (** {2 Pool integration}
 
@@ -208,6 +259,122 @@ module Trace : sig
   val fit_loglog_slope : (float * float) list -> float
 end
 
+(** {1 Quantile sketches}
+
+    The P² streaming estimator (Jain & Chlamtac, CACM 1985), extended
+    to a set of target quantiles: [2m + 3] markers track the empirical
+    CDF so medians and tail quantiles of a long stream are available
+    without retaining samples.  Until the stream is as long as the
+    marker count the raw samples are kept and answers are exact.
+    Marker heights are kept ordered, so {!Sketch.quantile} is monotone
+    in [q]; for smooth distributions estimates land within a couple of
+    percent of the exact quantile (tested against exact computations
+    in [test_sketch]).  A sketch is a plain value with no global
+    switch — {!Telemetry} feeds one per probe. *)
+
+module Sketch : sig
+  type t
+
+  (** [create ?quantiles ()] tracks the given target quantiles, each
+      strictly between 0 and 1 (default [[0.5; 0.9; 0.99]]).
+      @raise Invalid_argument on an empty or out-of-range list. *)
+  val create : ?quantiles:float list -> unit -> t
+
+  val observe : t -> float -> unit
+
+  (** Observations so far. *)
+  val count : t -> int
+
+  (** [quantile t q] estimates the [q]-quantile ([q] clamped to
+      [[0, 1]]) by interpolating the marker CDF; exact while the
+      sketch still holds all samples.  [nan] when empty. *)
+  val quantile : t -> float -> float
+
+  (** Exact minimum observed; [nan] when empty. *)
+  val min_value : t -> float
+
+  (** Exact maximum observed; [nan] when empty. *)
+  val max_value : t -> float
+
+  (** Tracked target quantiles, increasing, duplicates removed. *)
+  val targets : t -> float list
+
+  (** [merge a b] is a fresh sketch over [a]'s targets summarizing
+      both inputs: each input's marker staircase is replayed with its
+      observation weight, so counts add exactly while quantile
+      estimates remain approximations. *)
+  val merge : t -> t -> t
+
+  (** Forget every observation, keeping the targets. *)
+  val reset : t -> unit
+end
+
+(** {1 Telemetry time-series}
+
+    A round-clock recorder, the third observability pillar next to the
+    cumulative registry (counters/dists/spans) and the event {!Trace}:
+    named probes are sampled once per round into an in-memory
+    time-series, one {!Sketch} per probe summarizing the whole run.
+    Pull probes registered with {!Telemetry.register} are sampled by
+    {!Telemetry.sample}; computed values can be pushed directly with
+    {!Telemetry.record}.  Series export as JSON-lines or CSV and
+    render as terminal sparklines (the [spanner_cli monitor] health
+    table).  A recorder is a plain value — no global switch. *)
+
+module Telemetry : sig
+  type t
+
+  val create : unit -> t
+
+  (** [register t name f] makes [f] a pull probe: every {!sample} tick
+      records [f ()] under [name].  Re-registering replaces the
+      function and keeps the recorded history. *)
+  val register : t -> string -> (unit -> float) -> unit
+
+  (** [record t ~round name v] pushes one value directly. *)
+  val record : t -> round:int -> string -> float -> unit
+
+  (** [sample t ~round] ticks the round clock: every registered pull
+      probe is sampled once, in registration order. *)
+  val sample : t -> round:int -> unit
+
+  (** Rounds seen, in recording order. *)
+  val rounds : t -> int list
+
+  (** Probe names, sorted. *)
+  val names : t -> string list
+
+  (** [series t name] is the recorded [(round, value)] list in
+      recording order; [[]] for unknown probes. *)
+  val series : t -> string -> (int * float) list
+
+  (** Most recently recorded value of a probe. *)
+  val last : t -> string -> float option
+
+  (** Quantile summary over everything recorded under a name. *)
+  val sketch : t -> string -> Sketch.t option
+
+  val reset : t -> unit
+
+  (** One [{"kind":"telemetry","round":..,"name":..,"value":..}]
+      object per recorded value — rounds in recording order, names
+      sorted within a round, floats with 17 significant digits so
+      {!read_jsonl} round-trips exactly. *)
+  val write_jsonl : Format.formatter -> t -> unit
+
+  (** Parse {!write_jsonl} output into [(round, (name, value) list)]
+      rows. @raise Failure on malformed input. *)
+  val read_jsonl : string -> (int * (string * float) list) list
+
+  (** CSV matrix: header [round,<name>,...] (names sorted), one row
+      per round, empty cells where a probe has no value that round. *)
+  val write_csv : Format.formatter -> t -> unit
+
+  (** Eight-level Unicode sparkline of a series, min–max scaled
+      (NaNs dropped); [""] for the empty series. *)
+  val sparkline : float list -> string
+end
+
 (** {1 Snapshots and sinks} *)
 
 module Snapshot : sig
@@ -224,7 +391,9 @@ module Snapshot : sig
   type t = {
     counters : (string * int) list;  (** sorted by name *)
     dists : (string * dist_stats) list;  (** sorted by name; count > 0 *)
-    spans : span_stats list;  (** first-entered order (execution order) *)
+    spans : span_stats list;  (** sorted by path *)
+    gauges : (string * float) list;
+        (** sorted by name; only gauges set since the last reset *)
   }
 
   val dist_mean : dist_stats -> float
@@ -254,6 +423,20 @@ module Snapshot : sig
       [current] are ignored, so adding instrumentation does not break
       existing baselines. *)
   val check_against : threshold:float -> reference:t -> t -> string list
+
+  type mismatch = {
+    m_kind : string;
+        (** ["counter"], ["dist.count"], ["span.calls"] or
+            ["span.seconds"] *)
+    m_name : string;
+    m_expected : float;
+    m_actual : float;  (** [nan] when missing from the current snapshot *)
+  }
+
+  (** Structured form of {!check_against} — same comparisons, one
+      mismatch record per violated key, in reference order.  Gauges
+      are skipped (instantaneous samples are not reproducible). *)
+  val compare_against : threshold:float -> reference:t -> t -> mismatch list
 end
 
 (** A sink consumes one snapshot; the destination (file, formatter,

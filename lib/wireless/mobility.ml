@@ -2,8 +2,15 @@ module P = Geometry.Point
 
 type t = { pos : P.t array; advance : unit -> unit }
 
+let c_steps = Obs.counter "mobility.steps"
+let c_waypoints = Obs.counter "mobility.waypoints"
+let d_displacement = Obs.dist "mobility.displacement"
+
 let positions t = t.pos
-let step t = t.advance ()
+
+let step t =
+  Obs.incr c_steps;
+  t.advance ()
 
 let step_many t k =
   for _ = 1 to k do
@@ -30,9 +37,11 @@ let random_waypoint rng ~side ~min_speed ~max_speed ~init =
       if d <= speed.(i) then begin
         pos.(i) <- w;
         waypoint.(i) <- fresh_waypoint ();
-        speed.(i) <- fresh_speed ()
+        speed.(i) <- fresh_speed ();
+        Obs.incr c_waypoints
       end
-      else pos.(i) <- P.add p (P.scale (speed.(i) /. d) (P.sub w p))
+      else pos.(i) <- P.add p (P.scale (speed.(i) /. d) (P.sub w p));
+      if !Obs.on then Obs.observe d_displacement (P.dist p pos.(i))
     done
   in
   { pos; advance }
@@ -65,8 +74,10 @@ let gauss_markov rng ~side ~alpha ~mean_speed ~init =
       in
       let x, vx = reflect 0. side p.P.x v'.P.x in
       let y, vy = reflect 0. side p.P.y v'.P.y in
+      let p0 = pos.(i) in
       pos.(i) <- P.make (clamp side x) (clamp side y);
-      vel.(i) <- P.make vx vy
+      vel.(i) <- P.make vx vy;
+      if !Obs.on then Obs.observe d_displacement (P.dist p0 pos.(i))
     done
   in
   { pos; advance }
@@ -78,7 +89,8 @@ let partial rng ~side ~mobile ~speed ~init =
   let inner = random_waypoint rng ~side ~min_speed:speed ~max_speed:speed ~init in
   let pos = Array.copy init in
   let advance () =
-    step inner;
+    (* not [step]: one model step counts once *)
+    inner.advance ();
     let updated = positions inner in
     for i = 0 to n - 1 do
       if moving.(i) then pos.(i) <- updated.(i)

@@ -79,7 +79,42 @@ let test_span_unwinds_on_exception () =
   let snap = Obs.Snapshot.capture () in
   let paths = List.map (fun s -> s.Obs.Snapshot.path) snap.Obs.Snapshot.spans in
   Alcotest.(check (list string))
-    "stack popped despite the raise" [ "boom"; "after" ] paths
+    "stack popped despite the raise (snapshot sorts by path)"
+    [ "after"; "boom" ] paths
+
+let test_gauge_basics () =
+  let g = Obs.gauge "test.gauge" in
+  Obs.set_gauge g 3.5;
+  check "disabled set is a no-op" true (Float.is_nan (Obs.gauge_value g));
+  Obs.set_enabled true;
+  Obs.set_gauge g 3.5;
+  Obs.set_gauge g 4.5;
+  Alcotest.(check (float 0.)) "last write wins" 4.5 (Obs.gauge_value g);
+  check "same name, same cell" true (Obs.gauge "test.gauge" == g);
+  let snap = Obs.Snapshot.capture () in
+  check "set gauges snapshot" true
+    (List.mem_assoc "test.gauge" snap.Obs.Snapshot.gauges);
+  check "unset gauges do not" true
+    (ignore (Obs.gauge "test.gauge.unset");
+     not
+       (List.mem_assoc "test.gauge.unset"
+          (Obs.Snapshot.capture ()).Obs.Snapshot.gauges));
+  Obs.reset ();
+  check "reset clears the value" true (Float.is_nan (Obs.gauge_value g));
+  check "reset clears the snapshot" true
+    ((Obs.Snapshot.capture ()).Obs.Snapshot.gauges = [])
+
+let test_gc_gauges () =
+  Obs.set_enabled true;
+  Obs.set_gc_sampling true;
+  Fun.protect ~finally:(fun () -> Obs.set_gc_sampling false) @@ fun () ->
+  Obs.span "work" (fun () -> ignore (Array.init 10_000 (fun i -> [ i ])));
+  let snap = Obs.Snapshot.capture () in
+  let v name = List.assoc_opt name snap.Obs.Snapshot.gauges in
+  check "heap words sampled" true
+    (match v "gc.heap_words" with Some x -> x > 0. | None -> false);
+  check "minor words sampled" true
+    (match v "gc.minor_words" with Some x -> x > 0. | None -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Determinism for a fixed seed                                        *)
@@ -153,6 +188,7 @@ let populated_snapshot () =
   Obs.observe d 1.5;
   Obs.observe d 0.25;
   Obs.span "rt" (fun () -> Obs.span "leg" (fun () -> ()));
+  Obs.set_gauge (Obs.gauge "rt.gauge") 2.75;
   ignore (Core.Backbone.build (deployment 2002L 30 60.) ~radius:60.);
   Obs.set_enabled false;
   Obs.Snapshot.capture ()
@@ -184,7 +220,8 @@ let test_pretty_mentions_everything () =
   in
   List.iter
     (fun needle -> check ("pretty mentions " ^ needle) true (mentions needle))
-    [ "rt.counter"; "12345"; "rt.dist"; "leg"; "predicates.orient2d" ]
+    [ "rt.counter"; "12345"; "rt.dist"; "leg"; "rt.gauge";
+      "predicates.orient2d" ]
 
 let test_named_sinks () =
   check "pretty known" true
@@ -229,6 +266,8 @@ let suites =
         Alcotest.test_case "span nesting" `Quick (isolated test_span_nesting);
         Alcotest.test_case "span unwinds on exception" `Quick
           (isolated test_span_unwinds_on_exception);
+        Alcotest.test_case "gauge basics" `Quick (isolated test_gauge_basics);
+        Alcotest.test_case "gc gauges" `Quick (isolated test_gc_gauges);
         Alcotest.test_case "backbone counters deterministic" `Quick
           (isolated test_backbone_counters_deterministic);
         Alcotest.test_case "protocol message counters deterministic" `Quick

@@ -1,0 +1,219 @@
+(* The P² streaming quantile sketch, checked against exact quantiles
+   computed from the full sorted stream: accuracy on uniform, skewed
+   and adversarial inputs, exactness below the marker count, merge and
+   reset semantics, and the monotone-in-q property. *)
+
+let check = Alcotest.(check bool)
+
+(* exact quantile of a sample, same interpolation convention as the
+   sketch: linear over positions 0..n-1 *)
+let exact xs q =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then nan
+  else if n = 1 then a.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let i = int_of_float (floor pos) in
+    if i >= n - 1 then a.(n - 1)
+    else a.(i) +. ((pos -. float_of_int i) *. (a.(i + 1) -. a.(i)))
+  end
+
+let feed sk xs = List.iter (Obs.Sketch.observe sk) xs
+
+(* relative error against the sample's spread, so a 2% tolerance means
+   "within 2% of the data range" regardless of scale or offset *)
+let spread xs =
+  List.fold_left max neg_infinity xs -. List.fold_left min infinity xs
+
+let assert_close ?(qs = [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99 ]) ~tol ~what
+    xs sk =
+  let sp = spread xs in
+  List.iter
+    (fun q ->
+      let est = Obs.Sketch.quantile sk q and ex = exact xs q in
+      let err = abs_float (est -. ex) /. sp in
+      if err > tol then
+        Alcotest.failf "%s: q=%.2f est=%g exact=%g err=%.4f > %.4f" what q
+          est ex err tol)
+    qs
+
+let quantiles = [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99 ]
+
+let stream_of rng n f = List.init n (fun _ -> f rng)
+
+let test_uniform_10k () =
+  let rng = Wireless.Rand.create 42L in
+  let xs = stream_of rng 10_000 (fun r -> Wireless.Rand.float r 1000.) in
+  let sk = Obs.Sketch.create ~quantiles () in
+  feed sk xs;
+  Alcotest.(check int) "count" 10_000 (Obs.Sketch.count sk);
+  assert_close ~tol:0.02 ~what:"uniform" xs sk
+
+let test_skewed_10k () =
+  (* exponential-ish tail: squaring a uniform pushes mass to 0 *)
+  let rng = Wireless.Rand.create 7L in
+  let xs =
+    stream_of rng 10_000 (fun r ->
+        let u = Wireless.Rand.float r 1. in
+        u *. u *. u *. 1000.)
+  in
+  let sk = Obs.Sketch.create ~quantiles () in
+  feed sk xs;
+  assert_close ~tol:0.02 ~what:"skewed" xs sk
+
+let test_adversarial_sorted () =
+  (* sorted input is the classic P² stressor *)
+  let xs = List.init 10_000 float_of_int in
+  let sk = Obs.Sketch.create ~quantiles () in
+  feed sk xs;
+  assert_close ~tol:0.02 ~what:"sorted" xs sk;
+  let sk' = Obs.Sketch.create ~quantiles () in
+  feed sk' (List.rev xs);
+  assert_close ~tol:0.02 ~what:"reverse-sorted" xs sk'
+
+let test_adversarial_bimodal () =
+  (* two far-apart clusters with nothing in between; quantiles landing
+     inside a cluster must still be tight, while the median — which
+     falls in the empty gap, where any marker scheme can only
+     interpolate — just has to stay between the clusters *)
+  let rng = Wireless.Rand.create 11L in
+  let xs =
+    stream_of rng 10_000 (fun r ->
+        let base = if Wireless.Rand.int r 2 = 0 then 0. else 10_000. in
+        base +. Wireless.Rand.float r 10.)
+  in
+  let sk = Obs.Sketch.create ~quantiles () in
+  feed sk xs;
+  assert_close ~tol:0.02 ~what:"bimodal"
+    ~qs:[ 0.1; 0.25; 0.75; 0.9; 0.95; 0.99 ]
+    xs sk;
+  List.iter
+    (fun q ->
+      let v = Obs.Sketch.quantile sk q in
+      if not (v >= 0. && v <= 10_010.) then
+        Alcotest.failf "near-gap q=%.2f escaped the data range: %g" q v)
+    [ 0.4; 0.5; 0.6 ]
+
+let test_tiny_n_exact () =
+  let sk = Obs.Sketch.create ~quantiles:[ 0.5 ] () in
+  check "empty is nan" true (Float.is_nan (Obs.Sketch.quantile sk 0.5));
+  check "empty min is nan" true (Float.is_nan (Obs.Sketch.min_value sk));
+  Obs.Sketch.observe sk 3.;
+  Alcotest.(check (float 0.)) "one sample" 3. (Obs.Sketch.quantile sk 0.5);
+  Obs.Sketch.observe sk 1.;
+  Obs.Sketch.observe sk 2.;
+  (* below the marker count the sketch holds everything: exact *)
+  Alcotest.(check (float 1e-9)) "tiny median exact" 2.
+    (Obs.Sketch.quantile sk 0.5);
+  Alcotest.(check (float 1e-9)) "tiny q0 exact" 1. (Obs.Sketch.quantile sk 0.);
+  Alcotest.(check (float 1e-9)) "tiny q1 exact" 3. (Obs.Sketch.quantile sk 1.);
+  Alcotest.(check (float 0.)) "min" 1. (Obs.Sketch.min_value sk);
+  Alcotest.(check (float 0.)) "max" 3. (Obs.Sketch.max_value sk)
+
+let test_extremes_exact () =
+  let rng = Wireless.Rand.create 99L in
+  let xs = stream_of rng 5_000 (fun r -> Wireless.Rand.float r 1. -. 0.5) in
+  let sk = Obs.Sketch.create () in
+  feed sk xs;
+  let mn = List.fold_left min infinity xs
+  and mx = List.fold_left max neg_infinity xs in
+  Alcotest.(check (float 0.)) "min exact" mn (Obs.Sketch.min_value sk);
+  Alcotest.(check (float 0.)) "max exact" mx (Obs.Sketch.max_value sk);
+  Alcotest.(check (float 0.)) "q0 is min" mn (Obs.Sketch.quantile sk 0.);
+  Alcotest.(check (float 0.)) "q1 is max" mx (Obs.Sketch.quantile sk 1.)
+
+let test_merge () =
+  let rng = Wireless.Rand.create 5L in
+  let xs = stream_of rng 4_000 (fun r -> Wireless.Rand.float r 100.)
+  and ys = stream_of rng 6_000 (fun r -> 50. +. Wireless.Rand.float r 100.) in
+  let a = Obs.Sketch.create ~quantiles () in
+  let b = Obs.Sketch.create ~quantiles () in
+  feed a xs;
+  feed b ys;
+  let m = Obs.Sketch.merge a b in
+  Alcotest.(check int) "counts add exactly" 10_000 (Obs.Sketch.count m);
+  check "inputs untouched" true
+    (Obs.Sketch.count a = 4_000 && Obs.Sketch.count b = 6_000);
+  (* a merge of summaries is lossier than one pass; allow 5% *)
+  assert_close ~tol:0.05 ~what:"merge" (xs @ ys) m
+
+let test_merge_tiny () =
+  let a = Obs.Sketch.create ~quantiles:[ 0.5 ] () in
+  let b = Obs.Sketch.create ~quantiles:[ 0.5 ] () in
+  feed a [ 1.; 2. ];
+  feed b [ 3. ];
+  let m = Obs.Sketch.merge a b in
+  Alcotest.(check int) "tiny counts add" 3 (Obs.Sketch.count m);
+  Alcotest.(check (float 1e-9)) "tiny merge exact" 2.
+    (Obs.Sketch.quantile m 0.5)
+
+let test_reset () =
+  let sk = Obs.Sketch.create ~quantiles:[ 0.25; 0.75 ] () in
+  feed sk (List.init 1000 float_of_int);
+  Obs.Sketch.reset sk;
+  Alcotest.(check int) "count zeroed" 0 (Obs.Sketch.count sk);
+  check "quantile nan after reset" true
+    (Float.is_nan (Obs.Sketch.quantile sk 0.5));
+  Alcotest.(check (list (float 0.))) "targets kept" [ 0.25; 0.75 ]
+    (Obs.Sketch.targets sk);
+  feed sk [ 5.; 6.; 7. ];
+  Alcotest.(check (float 1e-9)) "usable after reset" 6.
+    (Obs.Sketch.quantile sk 0.5)
+
+let test_create_validation () =
+  check "empty quantiles rejected" true
+    (try
+       ignore (Obs.Sketch.create ~quantiles:[] ());
+       false
+     with Invalid_argument _ -> true);
+  check "q=0 rejected" true
+    (try
+       ignore (Obs.Sketch.create ~quantiles:[ 0. ] ());
+       false
+     with Invalid_argument _ -> true);
+  check "q=1 rejected" true
+    (try
+       ignore (Obs.Sketch.create ~quantiles:[ 1. ] ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check (list (float 0.)))
+    "targets sorted, deduplicated" [ 0.5; 0.9 ]
+    (Obs.Sketch.targets (Obs.Sketch.create ~quantiles:[ 0.9; 0.5; 0.9 ] ()))
+
+(* property: for any stream, the quantile function is monotone in q
+   and stays within [min, max] *)
+let prop_monotone =
+  QCheck.Test.make ~count:100 ~name:"sketch quantile monotone in q"
+    QCheck.(list_of_size (Gen.int_range 1 400) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let sk = Obs.Sketch.create ~quantiles:[ 0.5; 0.9 ] () in
+      feed sk xs;
+      let qs = List.init 21 (fun i -> float_of_int i /. 20.) in
+      let vs = List.map (Obs.Sketch.quantile sk) qs in
+      let mn = Obs.Sketch.min_value sk and mx = Obs.Sketch.max_value sk in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
+        | _ -> true
+      in
+      mono vs && List.for_all (fun v -> v >= mn -. 1e-9 && v <= mx +. 1e-9) vs)
+
+let suites =
+  [
+    ( "sketch",
+      [
+        Alcotest.test_case "uniform 10k within 2%" `Quick test_uniform_10k;
+        Alcotest.test_case "skewed 10k within 2%" `Quick test_skewed_10k;
+        Alcotest.test_case "sorted streams within 2%" `Quick
+          test_adversarial_sorted;
+        Alcotest.test_case "bimodal within 2%" `Quick test_adversarial_bimodal;
+        Alcotest.test_case "tiny n is exact" `Quick test_tiny_n_exact;
+        Alcotest.test_case "extremes exact" `Quick test_extremes_exact;
+        Alcotest.test_case "merge" `Quick test_merge;
+        Alcotest.test_case "merge tiny" `Quick test_merge_tiny;
+        Alcotest.test_case "reset" `Quick test_reset;
+        Alcotest.test_case "create validation" `Quick test_create_validation;
+        QCheck_alcotest.to_alcotest prop_monotone;
+      ] );
+  ]
