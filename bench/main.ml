@@ -695,7 +695,7 @@ let bench_metrics ?check quick jobs =
                   s.Netgraph.Metrics.hop_max,
                   p_avg,
                   p_max )
-              | _ -> assert false)
+              | _ -> assert false (* fused returns one cell per sub *))
         in
         let f1 = fused 1 in
         let fj = if jobs > 1 then fused jobs else f1 in

@@ -21,6 +21,10 @@ let elect g candidates =
 
 let ordered_edge u v = (min u v, max u v)
 
+let cmp_pair (a1, b1) (a2, b2) =
+  let c = Int.compare a1 a2 in
+  if c <> 0 then c else Int.compare b1 b2
+
 (* Algorithm 1, centralized rendition.  Every election uses only
    information a candidate hears from its 1-hop neighbors, so the
    distributed protocol in [Protocol] reproduces the result
@@ -55,7 +59,7 @@ let find g roles =
         doms)
     dominatees;
   let two_hop_pairs = ref [] in
-  Hashtbl.iter
+  G.sorted_tbl_iter cmp_pair
     (fun (u, v) cands ->
       two_hop_pairs := (u, v) :: !two_hop_pairs;
       List.iter
@@ -93,7 +97,7 @@ let find g roles =
   (* Steps 7-8: dominatees of v that hear an elected first connector
      are candidate SECOND connectors for (u, v); local minima win. *)
   let three_hop_pairs = ref [] in
-  Hashtbl.iter
+  G.sorted_tbl_iter cmp_pair
     (fun (u, v) cands ->
       three_hop_pairs := (u, v) :: !three_hop_pairs;
       let first = elect g cands in
@@ -201,7 +205,7 @@ let find_alzoubi g roles =
                   Hashtbl.replace targets v ())
               (Mis.two_hop_dominators g roles w))
         (G.neighbors g u);
-      Hashtbl.iter
+      G.sorted_tbl_iter Int.compare
         (fun v () ->
           let w =
             pick

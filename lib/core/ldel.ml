@@ -12,7 +12,9 @@ type t = {
 
 let norm3 (a, b, c) =
   let l = List.sort compare [ a; b; c ] in
-  match l with [ x; y; z ] -> (x, y, z) | _ -> assert false
+  match l with
+  | [ x; y; z ] -> (x, y, z)
+  | _ -> assert false (* sort preserves the three elements *)
 
 (* What one node computes in Algorithm 2 from purely local data: the
    Delaunay triangulation of itself plus its 1-hop neighbors, filtered
@@ -86,7 +88,7 @@ let triangles_intersect points (a1, b1, c1) (a2, b2, c2) =
   let edge_of l =
     match l with
     | [ x; y; z ] -> [ (x, y); (y, z); (z, x) ]
-    | _ -> assert false
+    | _ -> assert false (* only ever applied to 3-element triangle lists *)
   in
   let seg (u, v) = Geometry.Segment.make points.(u) points.(v) in
   let crossing =

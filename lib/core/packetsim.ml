@@ -30,7 +30,9 @@ type node_state = {
 }
 
 let run_one g points ~src ~dst ~use_perimeter =
-  let step u header =
+  (* forwarding decisions read the destination off the packet itself,
+     as a radio would; [run_one]'s [dst] only originates and collects *)
+  let step ~dst u header =
     match header with
     | Routing.Greedy when not use_perimeter -> begin
       (* plain greedy discipline: never enter perimeter mode *)
@@ -63,7 +65,7 @@ let run_one g points ~src ~dst ~use_perimeter =
           let handle (pkt : packet) =
             if pkt.next_hop = me && pkt.ttl > 0 then begin
               let trace = me :: pkt.trace in
-              match step me pkt.header with
+              match step ~dst:pkt.dst me pkt.header with
               | Routing.Deliver -> st.ns_delivered <- Some (List.rev trace)
               | Routing.Drop -> ()
               | Routing.Forward (v, header') ->

@@ -143,7 +143,7 @@ type conn_state = {
   mutable c_heard_try : IntSet.t KeyMap.t;
   mutable c_heard_first : int list KeyMap.t;
   mutable c_second_claimed : PairSet.t;
-  mutable c_dom_two_hop : (int, IntSet.t) Hashtbl.t;
+  c_dom_two_hop : (int, IntSet.t) Hashtbl.t;
       (* dominator -> its announced two-hop dominator set *)
   mutable c_edges : (int * int) list;
 }
@@ -321,15 +321,14 @@ let status_protocol (backbone : bool array) =
 
 type ldel_state = {
   l_backbone : bool;
-  l_pos : P.t;
   l_bb_nbrs : (int * P.t) list;  (* ICDS neighbors with positions *)
   l_local_tris : TriSet.t;  (* incident triangles of Del(N1(me)) *)
   l_gabriel : (int * int) list;  (* incident Gabriel edges of ICDS *)
   mutable l_responded : TriSet.t;  (* proposals answered (or sent) *)
-  mutable l_endorsements : (int * int * int, IntSet.t) Hashtbl.t;
+  l_endorsements : (int * int * int, IntSet.t) Hashtbl.t;
   mutable l_accepted : TriSet.t;  (* incident accepted triangles *)
   mutable l_known : TriSet.t;  (* triangles heard in gossip *)
-  mutable l_remaining_of : (int, TriSet.t) Hashtbl.t;
+  l_remaining_of : (int, TriSet.t) Hashtbl.t;
   mutable l_my_remaining : TriSet.t;
   mutable l_kept : TriSet.t;
 }
@@ -380,7 +379,6 @@ let ldel_protocol (status : status_state array)
     in
     {
       l_backbone = backbone;
-      l_pos = points.(me);
       l_bb_nbrs = bb_nbrs;
       l_local_tris = local_tris;
       l_gabriel = gabriel;
@@ -517,7 +515,7 @@ type ldel2_state = {
   mutable l2_local_tris : TriSet.t;
   l2_gabriel : (int * int) list;
   mutable l2_responded : TriSet.t;
-  mutable l2_endorsements : (int * int * int, IntSet.t) Hashtbl.t;
+  l2_endorsements : (int * int * int, IntSet.t) Hashtbl.t;
   mutable l2_accepted : TriSet.t;
 }
 
@@ -688,7 +686,7 @@ let run points ~radius =
         match st.status with
         | `Dominator -> Mis.Dominator
         | `Dominatee -> Mis.Dominatee
-        | `White -> assert false)
+        | `White -> assert false (* the clustering fixpoint colors every node *))
       cluster
   in
   let conn, stats_connector =
@@ -784,7 +782,7 @@ let run_ldel2 points ~radius =
         match st.status with
         | `Dominator -> Mis.Dominator
         | `Dominatee -> Mis.Dominatee
-        | `White -> assert false)
+        | `White -> assert false (* the clustering fixpoint colors every node *))
       cluster
   in
   let backbone =

@@ -15,16 +15,29 @@ let c_insertions = Obs.counter "delaunay.insertions"
 let c_cavity = Obs.counter "delaunay.cavity_triangles"
 let d_cavity = Obs.dist "delaunay.cavity_size"
 
+(* explicit int comparators: triangle ids never go through polymorphic
+   compare, so the hot set operations stay monomorphic *)
+let cmp_int_pair (a1, b1) (a2, b2) =
+  let c = Int.compare a1 a2 in
+  if c <> 0 then c else Int.compare b1 b2
+
+let cmp_tri (a1, b1, c1) (a2, b2, c2) =
+  let c = Int.compare a1 a2 in
+  if c <> 0 then c
+  else
+    let c = Int.compare b1 b2 in
+    if c <> 0 then c else Int.compare c1 c2
+
 module TriSet = Set.Make (struct
   type t = int * int * int
 
-  let compare = compare
+  let compare = cmp_tri
 end)
 
 type t = {
   pts : P.t array;
   mutable alive : TriSet.t;
-  mutable collinear_path : (int * int) list option;
+  collinear_path : (int * int) list option;
       (* Delaunay graph of degenerate (collinear / tiny) inputs *)
 }
 
@@ -81,6 +94,7 @@ let insert t pi =
         List.iter (fun e -> Hashtbl.replace edge_set e ()) (directed_edges tri))
       bad;
     let boundary =
+      (* lint: disable D002 boundary edges are re-inserted into TriSet, a set — order cannot leak *)
       Hashtbl.fold
         (fun (u, v) () acc ->
           if Hashtbl.mem edge_set (v, u) then acc else (u, v) :: acc)
@@ -139,7 +153,7 @@ let triangulate pts =
       match Pred.orient2d pts.(i) pts.(j) pts.(k) with
       | Pred.Ccw -> (i, j, k)
       | Pred.Cw -> (i, k, j)
-      | Pred.Collinear -> assert false
+      | Pred.Collinear -> assert false (* find_seed skips collinear triples *)
     in
     let t = { pts; alive = TriSet.empty; collinear_path = None } in
     t.alive <- TriSet.add (normalize (i, j, k)) t.alive;
@@ -158,7 +172,7 @@ let real_triangles t =
     (fun (a, b, c) acc -> if c = ghost then acc else (a, b, c) :: acc)
     t.alive []
 
-let triangles t = List.sort compare (real_triangles t)
+let triangles t = List.sort cmp_tri (real_triangles t)
 
 let has_triangle t i j k =
   let candidates =
@@ -177,7 +191,7 @@ let edges t =
           (fun (u, v) -> Hashtbl.replace set (min u v, max u v) ())
           [ (a, b); (b, c); (c, a) ])
       (real_triangles t);
-    List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) set [])
+    List.sort cmp_int_pair (Hashtbl.fold (fun e () acc -> e :: acc) set [])
 
 let hull t =
   match t.collinear_path with
@@ -195,6 +209,7 @@ let hull t =
     TriSet.iter
       (fun (a, b, c) -> if c = ghost then Hashtbl.replace next a b)
       t.alive;
+    (* lint: disable D002 commutative min-fold: any visit order yields the same minimum *)
     (match Hashtbl.fold (fun a _ acc -> min a acc) next max_int with
     | start when start = max_int -> []
     | start ->

@@ -84,7 +84,7 @@ let expansion_sign e =
     | [] -> acc
     | h :: t -> last_nonzero (if h <> 0. then h else acc) t
   in
-  compare (last_nonzero 0. e) 0.
+  Float.compare (last_nonzero 0. e) 0.
 
 (* exact difference as a (at most two-component) expansion *)
 let diff_expansion x y =

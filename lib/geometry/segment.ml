@@ -27,7 +27,7 @@ let intersection_point s1 s2 =
     let r = Point.sub s1.b s1.a in
     let s = Point.sub s2.b s2.a in
     let denom = Point.cross r s in
-    if denom = 0. then None
+    if Float.equal denom 0. then None
     else
       let t = Point.cross (Point.sub s2.a s1.a) s /. denom in
       Some (Point.add s1.a (Point.scale t r))
@@ -35,7 +35,7 @@ let intersection_point s1 s2 =
 let dist_to_point s p =
   let v = Point.sub s.b s.a in
   let len2 = Point.norm2 v in
-  if len2 = 0. then Point.dist s.a p
+  if Float.equal len2 0. then Point.dist s.a p
   else
     let t = Point.dot (Point.sub p s.a) v /. len2 in
     let t = Float.max 0. (Float.min 1. t) in

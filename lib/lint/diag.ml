@@ -1,0 +1,74 @@
+(* Typed lint findings plus the two sinks every other layer of the
+   repo already uses for reports: a pretty formatter and kind-tagged
+   JSON lines that round-trip through a Scanf reader (the same
+   convention as Obs.Snapshot's json sink / of_json_lines). *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;  (* repo-relative, '/'-separated *)
+  line : int;
+  col : int;
+  message : string;
+  excerpt : string;  (* the offending source line, trimmed *)
+}
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let severity_of_string = function
+  | "error" -> Error
+  | "warning" -> Warning
+  | s -> invalid_arg ("Diag.severity_of_string: " ^ s)
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let equal a b = compare a b = 0 && a.severity = b.severity
+  && String.equal a.message b.message
+  && String.equal a.excerpt b.excerpt
+
+let pp fmt d =
+  Format.fprintf fmt "@[<v 2>%s:%d:%d: [%s] %s: %s" d.file d.line d.col d.rule
+    (severity_to_string d.severity)
+    d.message;
+  if d.excerpt <> "" then Format.fprintf fmt "@,| %s" d.excerpt;
+  Format.fprintf fmt "@]"
+
+let to_json_line d =
+  Printf.sprintf
+    "{\"kind\":\"finding\",\"rule\":%S,\"severity\":%S,\"file\":%S,\"line\":%d,\"col\":%d,\"message\":%S,\"excerpt\":%S}"
+    d.rule
+    (severity_to_string d.severity)
+    d.file d.line d.col d.message d.excerpt
+
+let of_json_line line =
+  try
+    Scanf.sscanf line
+      "{\"kind\":\"finding\",\"rule\":%S,\"severity\":%S,\"file\":%S,\"line\":%d,\"col\":%d,\"message\":%S,\"excerpt\":%S}"
+      (fun rule sev file line col message excerpt ->
+        Some
+          {
+            rule;
+            severity = severity_of_string sev;
+            file;
+            line;
+            col;
+            message;
+            excerpt;
+          })
+  with Scanf.Scan_failure _ | End_of_file | Invalid_argument _ -> None
+
+let read_json_lines s =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun l ->
+         let l = String.trim l in
+         if l = "" then None else of_json_line l)

@@ -1,0 +1,43 @@
+(** A typed lint finding and its two sinks: a pretty formatter and
+    kind-tagged JSON lines in the same convention as Obs's json sink
+    ([{"kind":...}] objects, one per line, read back losslessly with a
+    Scanf parser). *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;       (** e.g. ["D001"] *)
+  severity : severity;
+  file : string;       (** repo-relative, '/'-separated *)
+  line : int;          (** 1-based *)
+  col : int;           (** 1-based *)
+  message : string;
+  excerpt : string;    (** offending source line, trimmed; may be [""] *)
+}
+
+val severity_to_string : severity -> string
+
+(** Inverse of {!severity_to_string}; raises [Invalid_argument] on
+    unknown names. *)
+val severity_of_string : string -> severity
+
+(** Position order: file, line, col, rule. *)
+val compare : t -> t -> int
+
+(** Structural equality over every field (used by round-trip tests). *)
+val equal : t -> t -> bool
+
+(** [file:line:col: [RULE] severity: message] with the excerpt on a
+    second line. *)
+val pp : Format.formatter -> t -> unit
+
+(** One JSON object, no trailing newline. *)
+val to_json_line : t -> string
+
+(** Parse one {!to_json_line} output; [None] for lines of another kind
+    (e.g. the summary object) or malformed input. *)
+val of_json_line : string -> t option
+
+(** Parse a whole [--json] report, skipping blank and non-finding
+    lines. *)
+val read_json_lines : string -> t list

@@ -1,0 +1,40 @@
+(** Walking, per-file linting, suppression and baseline plumbing.
+
+    The tree walk covers [lib], [bin], [bench], [examples] and [test]
+    under a root, skipping [_build], [fixtures] and dot-directories;
+    directory entries are visited in sorted order so reports are
+    bit-identical across machines. *)
+
+type result = {
+  findings : Diag.t list;  (** unsuppressed, after the baseline; sorted *)
+  grandfathered : (Diag.t * string) list;
+      (** baselined findings with the baseline entry's reason *)
+  suppressed : int;  (** silenced by inline [(* lint: disable ... *)] *)
+  files : int;  (** .ml files scanned *)
+  unused_baseline : Baseline.entry list;
+      (** stale entries whose budget was not fully consumed *)
+}
+
+(** Repo-relative paths ('/'-separated) of the .ml files under [root]. *)
+val scan_files : string -> string list
+
+(** [lint_source ~path contents] lints one compilation unit with the
+    given rules (default: the whole catalog), applying inline
+    suppressions.  [has_mli] (default [true]) feeds H001; [path] is
+    the repo-relative path used for rule scoping.  Returns sorted
+    findings and the count of inline-suppressed ones. *)
+val lint_source :
+  ?rules:Rules.rule list ->
+  ?has_mli:bool ->
+  path:string ->
+  string ->
+  Diag.t list * int
+
+(** [lint_file ~root path] — {!lint_source} on a file on disk;
+    [has_mli] is derived from the sibling [.mli]'s existence. *)
+val lint_file :
+  ?rules:Rules.rule list -> root:string -> string -> Diag.t list * int
+
+(** Lint the whole tree under [root] and net off [baseline]. *)
+val run :
+  ?rules:Rules.rule list -> ?baseline:Baseline.entry list -> string -> result

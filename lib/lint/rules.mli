@@ -1,0 +1,37 @@
+(** The rule catalog: project invariants checked at the token level.
+
+    Families (see DESIGN.md §9 for the rationale per rule):
+    - determinism: D001 no [Stdlib.Random]; D002 no order-leaking
+      [Hashtbl.iter]/[fold]; D003 no wall clocks outside lib/obs and
+      bench.
+    - float-robustness: F001 no polymorphic [compare]/[min]/[max] on
+      floats in lib/geometry, lib/netgraph, lib/delaunay; F002 no
+      exact float-literal equality outside predicates.ml.
+    - multicore-safety: M001 no module-toplevel mutable state in
+      libraries reachable from [Netgraph.Pool] workers, unless
+      [Atomic]/[Domain.DLS]-based or annotated
+      [(* lint: domain-local reason *)].
+    - hygiene: H001 every lib module has an .mli; H002 no
+      [Obj.magic]; H003 no bare [assert false] / empty [failwith]. *)
+
+type ctx = {
+  path : string;  (** repo-relative, '/'-separated *)
+  code : Tokenizer.token array;  (** comments stripped *)
+  comments : Tokenizer.token list;
+  lines : string array;  (** source lines, for excerpts *)
+  has_mli : bool;  (** a sibling .mli exists (H001) *)
+}
+
+type rule = {
+  id : string;  (** e.g. ["D001"] *)
+  family : string;
+  severity : Diag.severity;
+  title : string;
+  doc : string;  (** rationale, reused by [--list-rules] and the docs *)
+  check : ctx -> Diag.t list;
+}
+
+(** All rules, in catalog order (stable, id-sorted). *)
+val all : rule list
+
+val find : string -> rule option

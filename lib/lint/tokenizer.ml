@@ -1,0 +1,317 @@
+(* A comment- and string-aware lexer for the subset of OCaml the lint
+   rules care about.  It is not a full lexer: it only needs to place
+   identifiers, literals, operators and comments at the right
+   line/column, never to parse.  Dotted access paths are merged into a
+   single token ([Stdlib.Random.self_init], [h.keys]) so rules can
+   match on path components without reassembling them. *)
+
+type kind =
+  | Ident
+  | Int_lit
+  | Float_lit
+  | String_lit
+  | Char_lit
+  | Op
+  | Comment
+
+type token = { kind : kind; text : string; line : int; col : int }
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* maximal-munch set for symbolic operators; '.' is handled separately
+   because it glues access paths and float literals *)
+let is_op_char c =
+  match c with
+  | '!' | '$' | '%' | '&' | '*' | '+' | '-' | '/' | ':' | '<' | '=' | '>'
+  | '?' | '@' | '^' | '|' | '~' | '#' ->
+    true
+  | _ -> false
+
+type cursor = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of the current line's first byte *)
+}
+
+let peek cur k =
+  let i = cur.pos + k in
+  if i < String.length cur.src then Some cur.src.[i] else None
+
+let advance cur =
+  (if cur.pos < String.length cur.src then
+     match cur.src.[cur.pos] with
+     | '\n' ->
+       cur.line <- cur.line + 1;
+       cur.bol <- cur.pos + 1
+     | _ -> ());
+  cur.pos <- cur.pos + 1
+
+let col_of cur start = start - cur.bol + 1
+
+(* Skip a double-quoted string body; [cur.pos] is on the opening
+   quote.  Returns the contents (without quotes). *)
+let scan_string cur =
+  let buf = Buffer.create 16 in
+  advance cur;
+  let continue = ref true in
+  while !continue do
+    match peek cur 0 with
+    | None -> continue := false (* unterminated: tolerate, lint goes on *)
+    | Some '"' ->
+      advance cur;
+      continue := false
+    | Some '\\' ->
+      Buffer.add_char buf '\\';
+      advance cur;
+      (match peek cur 0 with
+      | Some c ->
+        Buffer.add_char buf c;
+        advance cur
+      | None -> continue := false)
+    | Some c ->
+      Buffer.add_char buf c;
+      advance cur
+  done;
+  Buffer.contents buf
+
+(* Quoted string literal [{id|...|id}]; [cur.pos] is on '{' and the
+   caller verified the shape.  Returns the contents. *)
+let scan_quoted_string cur =
+  let start = cur.pos in
+  advance cur (* '{' *);
+  let id = Buffer.create 4 in
+  let continue = ref true in
+  while !continue do
+    match peek cur 0 with
+    | Some c when (c >= 'a' && c <= 'z') || c = '_' ->
+      Buffer.add_char id c;
+      advance cur
+    | _ -> continue := false
+  done;
+  advance cur (* '|' *);
+  let id = Buffer.contents id in
+  let closing = "|" ^ id ^ "}" in
+  let buf = Buffer.create 16 in
+  let n = String.length cur.src in
+  let fin = ref false in
+  while not !fin do
+    if cur.pos >= n then fin := true
+    else if
+      cur.pos + String.length closing <= n
+      && String.sub cur.src cur.pos (String.length closing) = closing
+    then begin
+      for _ = 1 to String.length closing do
+        advance cur
+      done;
+      fin := true
+    end
+    else begin
+      Buffer.add_char buf cur.src.[cur.pos];
+      advance cur
+    end
+  done;
+  ignore start;
+  Buffer.contents buf
+
+(* [cur.pos] is on '(' of "(*".  Comments nest; string literals inside
+   a comment are honoured (their "*)" does not close the comment). *)
+let scan_comment cur =
+  let start = cur.pos in
+  advance cur;
+  advance cur;
+  let depth = ref 1 in
+  while !depth > 0 && cur.pos < String.length cur.src do
+    match (peek cur 0, peek cur 1) with
+    | Some '(', Some '*' ->
+      incr depth;
+      advance cur;
+      advance cur
+    | Some '*', Some ')' ->
+      decr depth;
+      advance cur;
+      advance cur
+    | Some '"', _ ->
+      ignore (scan_string cur)
+    | _ ->
+      advance cur
+  done;
+  String.sub cur.src start (cur.pos - start)
+
+(* Char literal starting at a single quote, or None if the quote is a
+   type-variable tick.  Shapes: 'c', '\n', '\\', '\'', '\xHH', '\123',
+   '\uXXXX' (approximated: backslash followed by up to 6 non-quote
+   chars then a quote). *)
+let try_char_lit cur =
+  match peek cur 1 with
+  | Some '\\' ->
+    (* the char right after the backslash is part of the escape even
+       when it is a quote ('\''); scan for the closing quote after it *)
+    let rec find k =
+      if k > 8 then None
+      else
+        match peek cur k with
+        | Some '\'' -> Some (k + 1)
+        | Some _ -> find (k + 1)
+        | None -> None
+    in
+    find 3
+  | Some _ when peek cur 2 = Some '\'' -> Some 3
+  | _ -> None
+
+let scan_number cur =
+  let start = cur.pos in
+  let is_float = ref false in
+  (match (peek cur 0, peek cur 1) with
+  | Some '0', Some ('x' | 'X' | 'o' | 'O' | 'b' | 'B') ->
+    advance cur;
+    advance cur;
+    let continue = ref true in
+    while !continue do
+      match peek cur 0 with
+      | Some c when is_ident_char c -> advance cur
+      | _ -> continue := false
+    done
+  | _ ->
+    let digits () =
+      let continue = ref true in
+      while !continue do
+        match peek cur 0 with
+        | Some c when is_digit c || c = '_' -> advance cur
+        | _ -> continue := false
+      done
+    in
+    digits ();
+    (match (peek cur 0, peek cur 1) with
+    | Some '.', next ->
+      (* "1.5", "1." — but not "1..": leave further dots alone *)
+      (match next with
+      | Some c when is_digit c || c <> '.' ->
+        is_float := true;
+        advance cur;
+        digits ()
+      | None ->
+        is_float := true;
+        advance cur
+      | _ -> ())
+    | _ -> ());
+    (match peek cur 0 with
+    | Some ('e' | 'E') ->
+      let k =
+        match peek cur 1 with Some ('+' | '-') -> 2 | _ -> 1
+      in
+      (match peek cur k with
+      | Some c when is_digit c ->
+        is_float := true;
+        advance cur;
+        (match peek cur 0 with
+        | Some ('+' | '-') -> advance cur
+        | _ -> ());
+        digits ()
+      | _ -> ())
+    | _ -> ());
+    (* int literal suffixes *)
+    if not !is_float then
+      match peek cur 0 with
+      | Some ('l' | 'L' | 'n') -> advance cur
+      | _ -> ());
+  let text = String.sub cur.src start (cur.pos - start) in
+  (text, if !is_float then Float_lit else Int_lit)
+
+let scan_ident cur =
+  let start = cur.pos in
+  let word () =
+    let continue = ref true in
+    while !continue do
+      match peek cur 0 with
+      | Some c when is_ident_char c -> advance cur
+      | _ -> continue := false
+    done
+  in
+  word ();
+  (* merge dotted paths: ident ('.' ident)*, stopping before ".(",
+     ".[", ".{" and float-ish forms *)
+  let continue = ref true in
+  while !continue do
+    match (peek cur 0, peek cur 1) with
+    | Some '.', Some c when is_ident_start c ->
+      advance cur;
+      word ()
+    | _ -> continue := false
+  done;
+  String.sub cur.src start (cur.pos - start)
+
+let tokenize src =
+  let cur = { src; pos = 0; line = 1; bol = 0 } in
+  let out = ref [] in
+  let emit kind text line col = out := { kind; text; line; col } :: !out in
+  let n = String.length src in
+  while cur.pos < n do
+    let c = src.[cur.pos] in
+    let line = cur.line and col = col_of cur cur.pos in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance cur
+    else if c = '(' && peek cur 1 = Some '*' then
+      emit Comment (scan_comment cur) line col
+    else if c = '"' then emit String_lit (scan_string cur) line col
+    else if c = '{' then begin
+      (* quoted string {id|...|id} ? *)
+      let rec probe k =
+        match peek cur k with
+        | Some ch when (ch >= 'a' && ch <= 'z') || ch = '_' -> probe (k + 1)
+        | Some '|' -> true
+        | _ -> false
+      in
+      if probe 1 then emit String_lit (scan_quoted_string cur) line col
+      else begin
+        emit Op "{" line col;
+        advance cur
+      end
+    end
+    else if c = '\'' then begin
+      match try_char_lit cur with
+      | Some len ->
+        let text = String.sub src cur.pos len in
+        for _ = 1 to len do
+          advance cur
+        done;
+        emit Char_lit text line col
+      | None ->
+        emit Op "'" line col;
+        advance cur
+    end
+    else if is_digit c then begin
+      let text, kind = scan_number cur in
+      emit kind text line col
+    end
+    else if is_ident_start c then emit Ident (scan_ident cur) line col
+    else if is_op_char c then begin
+      let start = cur.pos in
+      let continue = ref true in
+      while !continue do
+        match peek cur 0 with
+        | Some ch when is_op_char ch -> advance cur
+        | _ -> continue := false
+      done;
+      emit Op (String.sub src start (cur.pos - start)) line col
+    end
+    else begin
+      emit Op (String.make 1 c) line col;
+      advance cur
+    end
+  done;
+  List.rev !out
+
+let path_components text = String.split_on_char '.' text
+
+let has_component token name =
+  List.mem name (path_components token.text)
+
+let last_component token =
+  match List.rev (path_components token.text) with
+  | last :: _ -> last
+  | [] -> token.text

@@ -1,0 +1,32 @@
+(** A comment- and string-aware lexer for the subset of OCaml the lint
+    rules need: identifiers (with dotted access paths merged into one
+    token), literals, operators and comments, each carrying its
+    1-based line and column.  It never parses — rules work directly on
+    the token stream. *)
+
+type kind =
+  | Ident      (** possibly dotted: [Stdlib.Random.self_init], [h.keys] *)
+  | Int_lit
+  | Float_lit
+  | String_lit (** contents only, quotes stripped *)
+  | Char_lit
+  | Op         (** symbolic operator or single punctuation character *)
+  | Comment    (** full text including the [(* *)] delimiters *)
+
+type token = { kind : kind; text : string; line : int; col : int }
+
+(** [tokenize src] lexes a whole compilation unit.  Comments nest,
+    strings inside comments are honoured, [{id|...|id}] quoted strings
+    and char literals (including ['\'']) are recognised; a lone tick
+    (type variable) comes out as an [Op].  Unterminated constructs are
+    tolerated — the lexer never raises. *)
+val tokenize : string -> token list
+
+(** ["Stdlib.Random.int"] -> [["Stdlib"; "Random"; "int"]] *)
+val path_components : string -> string list
+
+(** [has_component tok "Random"] — membership in the dotted path. *)
+val has_component : token -> string -> bool
+
+(** Last path component: ["Hashtbl.iter"] -> ["iter"]. *)
+val last_component : token -> string

@@ -82,3 +82,25 @@ val induced : t -> (int -> bool) -> t
 val equal : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Deterministic hash-table iteration}
+
+    [Hashtbl.iter]/[fold] visit bindings in hash order, which varies
+    with insertion history; anywhere that order can reach an output or
+    a metric must go through these wrappers instead (lint rule D002).
+    Bindings are materialized and sorted by key with the explicit
+    comparator before visiting; with [Hashtbl.replace]-maintained
+    tables the result is a deterministic one-pass iteration. *)
+
+val sorted_tbl_bindings :
+  ('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+
+val sorted_tbl_iter :
+  ('k -> 'k -> int) -> ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+
+val sorted_tbl_fold :
+  ('k -> 'k -> int) ->
+  ('k -> 'v -> 'a -> 'a) ->
+  ('k, 'v) Hashtbl.t ->
+  'a ->
+  'a

@@ -31,7 +31,7 @@ let push h key value =
   let continue = ref true in
   while !continue && !i > 0 do
     let p = (!i - 1) / 2 in
-    if h.keys.(p) > key then begin
+    if Float.compare h.keys.(p) key > 0 then begin
       h.keys.(!i) <- h.keys.(p);
       h.vals.(!i) <- h.vals.(p);
       i := p
@@ -60,11 +60,11 @@ let remove_min h =
     while !continue do
       let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
       let smallest = ref !i and skey = ref key in
-      if l < h.size && h.keys.(l) < !skey then begin
+      if l < h.size && Float.compare h.keys.(l) !skey < 0 then begin
         smallest := l;
         skey := h.keys.(l)
       end;
-      if r < h.size && h.keys.(r) < !skey then smallest := r;
+      if r < h.size && Float.compare h.keys.(r) !skey < 0 then smallest := r;
       if !smallest <> !i then begin
         h.keys.(!i) <- h.keys.(!smallest);
         h.vals.(!i) <- h.vals.(!smallest);

@@ -259,7 +259,7 @@ let stretch_factors ?(one_hop_direct = true) ?(jobs = 1) ~base ~sub points =
       [ ("", sub) ]
   with
   | [ (_, c) ] -> c.c_stretch
-  | _ -> assert false
+  | _ -> assert false (* fused returns one cell per requested sub *)
 
 let power_stretch ?(one_hop_direct = true) ?(jobs = 1) ~base ~sub points ~beta
     =
@@ -269,7 +269,7 @@ let power_stretch ?(one_hop_direct = true) ?(jobs = 1) ~base ~sub points ~beta
       [ ("", sub) ]
   with
   | [ (_, { c_power = Some p; _ }) ] -> p
-  | _ -> assert false
+  | _ -> assert false (* beta:(Some _) forces a power cell per sub *)
 
 (* Per-round health probe: stretch over a handful of sampled sources
    (each against every reachable target) instead of all pairs, so a
@@ -384,7 +384,7 @@ let pair_stretch ~base ~sub points s t =
   let ds = Traversal.dijkstra sub points s in
   let hb = Traversal.bfs base s in
   let hs = Traversal.bfs sub s in
-  if db.(t) = infinity || ds.(t) = infinity || db.(t) = 0. then None
+  if db.(t) = infinity || ds.(t) = infinity || Float.equal db.(t) 0. then None
   else
     Some
       ( ds.(t) /. db.(t),

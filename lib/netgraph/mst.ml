@@ -1,5 +1,15 @@
 (* Kruskal with path-compressing union-find. *)
 
+(* explicit (weight, u, v) comparator: Float.compare on the weight
+   keeps the hot sort monomorphic (no polymorphic-compare boxing) and
+   orders any nan deterministically; ties break on (u, v) *)
+let cmp_edge (w1, u1, v1) (w2, u2, v2) =
+  let c = Float.compare w1 w2 in
+  if c <> 0 then c
+  else
+    let c = Int.compare u1 u2 in
+    if c <> 0 then c else Int.compare v1 v2
+
 let find parent x =
   let rec root x = if parent.(x) = x then x else root parent.(x) in
   let r = root x in
@@ -24,7 +34,7 @@ let minimum_spanning_forest g points =
   Graph.iter_edges g (fun u v ->
       edges.(!i) <- (Geometry.Point.dist points.(u) points.(v), u, v);
       incr i);
-  Array.sort compare edges;
+  Array.sort cmp_edge edges;
   let parent = Array.init n (fun i -> i) in
   let forest = Graph.create n in
   Array.iter

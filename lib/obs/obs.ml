@@ -8,7 +8,6 @@ let g17 = Printf.sprintf "%.17g"
 type counter = { c_name : string; mutable c_value : int }
 
 type dist_cell = {
-  d_name : string;
   mutable d_count : int;
   mutable d_sum : float;
   mutable d_sumsq : float;
@@ -20,7 +19,7 @@ type dist = dist_cell
 
 type span_cell = { mutable s_calls : int; mutable s_seconds : float }
 
-type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
+type gauge = { mutable g_value : float; mutable g_set : bool }
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 let dists : (string, dist_cell) Hashtbl.t = Hashtbl.create 16
@@ -534,7 +533,7 @@ let dist name =
   | Some d -> d
   | None ->
     let d =
-      { d_name = name; d_count = 0; d_sum = 0.; d_sumsq = 0.; d_min = infinity;
+      { d_count = 0; d_sum = 0.; d_sumsq = 0.; d_min = infinity;
         d_max = neg_infinity }
     in
     Hashtbl.add dists name d;
@@ -553,7 +552,7 @@ let gauge name =
   match Hashtbl.find_opt gauges name with
   | Some g -> g
   | None ->
-    let g = { g_name = name; g_value = nan; g_set = false } in
+    let g = { g_value = nan; g_set = false } in
     Hashtbl.add gauges name g;
     g
 
@@ -856,7 +855,6 @@ end
    values directly with [record]. *)
 module Telemetry = struct
   type cell = {
-    t_name : string;
     mutable t_fn : (unit -> float) option;
     mutable t_values : (int * float) list; (* reversed *)
     t_sketch : Sketch.t;
@@ -875,7 +873,7 @@ module Telemetry = struct
     | Some c -> c
     | None ->
       let c =
-        { t_name = name; t_fn = None; t_values = [];
+        { t_fn = None; t_values = [];
           t_sketch = Sketch.create () }
       in
       Hashtbl.add t.tbl name c;

@@ -1,0 +1,374 @@
+(* The lint layer: tokenizer behaviour on the constructs that usually
+   break naive scanners, positive and negative fixtures for every rule
+   in the catalog, suppression and baseline round-trips, JSON
+   round-trips, and the self-lint — the repo must come out clean under
+   its own analyzer. *)
+
+let check = Alcotest.(check bool)
+
+module T = Lint.Tokenizer
+
+(* ---------- tokenizer ---------- *)
+
+let kinds src = List.map (fun t -> t.T.kind) (T.tokenize src)
+let texts src = List.map (fun t -> t.T.text) (T.tokenize src)
+
+let tok_nested_comments () =
+  check "nested comment is one token" true
+    (kinds "(* a (* nested *) b *) x" = [ T.Comment; T.Ident ]);
+  check "string closer inside comment ignored" true
+    (kinds "(* \"*)\" still comment *) y" = [ T.Comment; T.Ident ])
+
+let tok_strings () =
+  check "escaped quote stays inside" true
+    (texts "\"a\\\"b\" z" = [ "a\\\"b"; "z" ]);
+  check "quoted string literal" true
+    (kinds "{xx|raw \" (* not a comment *) |xx} q"
+    = [ T.String_lit; T.Ident ]);
+  check "idents inside strings are not code" true
+    (kinds "\"Hashtbl.iter\"" = [ T.String_lit ])
+
+let tok_chars () =
+  check "simple char" true (kinds "'a' f" = [ T.Char_lit; T.Ident ]);
+  check "escaped quote char" true (kinds "'\\''" = [ T.Char_lit ]);
+  check "newline escape" true (kinds "'\\n'" = [ T.Char_lit ]);
+  check "type variable is an op + ident" true
+    (kinds "'a list" = [ T.Op; T.Ident; T.Ident ])
+
+let tok_dotted () =
+  check "dotted path merges" true
+    (texts "Stdlib.Random.self_init ()"
+    = [ "Stdlib.Random.self_init"; "("; ")" ]);
+  check "record access merges" true (List.mem "h.keys" (texts "h.keys <- x"));
+  check "array access does not merge" true
+    (texts "a.(0)" = [ "a"; "."; "("; "0"; ")" ]);
+  let t = List.hd (T.tokenize "Stdlib.Random.int") in
+  check "has_component" true (T.has_component t "Random");
+  check "has_component miss" false (T.has_component t "Rand");
+  check "last_component" true (T.last_component t = "int")
+
+let tok_numbers () =
+  check "float with exponent" true (kinds "1.5e3" = [ T.Float_lit ]);
+  check "trailing-dot float" true (kinds "9007.  " = [ T.Float_lit ]);
+  check "int" true (kinds "42" = [ T.Int_lit ]);
+  check "hex int" true (kinds "0x9E37L" = [ T.Int_lit ]);
+  check "line/col" true
+    (match T.tokenize "let x =\n  3.14" with
+    | [ _; _; _; f ] -> f.T.line = 2 && f.T.col = 3 && f.T.kind = T.Float_lit
+    | _ -> false)
+
+(* ---------- rules: positive / negative fixtures ---------- *)
+
+let lint ?(path = "lib/geometry/snippet.ml") ?(has_mli = true) src =
+  fst (Lint.Engine.lint_source ~has_mli ~path src)
+
+let rules_of ds = List.map (fun d -> d.Lint.Diag.rule) ds
+let fires r ?path ?has_mli src = List.mem r (rules_of (lint ?path ?has_mli src))
+
+let d001 () =
+  check "Random.int flagged" true
+    (fires "D001" ~path:"lib/core/x.ml" "let x = Random.int 5");
+  check "Stdlib.Random.self_init flagged" true
+    (fires "D001" ~path:"bin/x.ml" "let () = Stdlib.Random.self_init ()");
+  check "rand.ml exempt" false
+    (fires "D001" ~path:"lib/wireless/rand.ml" "let x = Random.int 5");
+  check "Wireless.Rand fine" false
+    (fires "D001" ~path:"lib/core/x.ml" "let x = Rand.int r 5")
+
+let d002 () =
+  check "bare fold flagged" true
+    (fires "D002" ~path:"lib/core/x.ml"
+       "let f tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []");
+  check "iter flagged" true
+    (fires "D002" ~path:"lib/core/x.ml"
+       "let f tbl = Hashtbl.iter (fun _ v -> out v) tbl");
+  check "sort-wrapped fold allowed" false
+    (fires "D002" ~path:"lib/core/x.ml"
+       "let f tbl = List.sort cmp (Hashtbl.fold (fun k _ a -> k :: a) tbl [])");
+  check "piped into sort allowed" false
+    (fires "D002" ~path:"lib/core/x.ml"
+       "let f tbl =\n\
+       \  Hashtbl.fold (fun k _ a -> k :: a) tbl [] |> List.sort_uniq cmp");
+  check "graph.ml hosts the wrappers" false
+    (fires "D002" ~path:"lib/netgraph/graph.ml"
+       "let f tbl = Hashtbl.fold (fun k _ a -> k :: a) tbl []");
+  check "outside lib not scoped" false
+    (fires "D002" ~path:"bench/x.ml"
+       "let f tbl = Hashtbl.fold (fun k _ a -> k :: a) tbl []")
+
+let d003 () =
+  check "gettimeofday flagged" true
+    (fires "D003" ~path:"lib/core/x.ml" "let t = Unix.gettimeofday ()");
+  check "Sys.time flagged" true
+    (fires "D003" ~path:"lib/distsim/x.ml" "let t = Sys.time ()");
+  check "obs exempt" false
+    (fires "D003" ~path:"lib/obs/obs.ml" "let t = Unix.gettimeofday ()");
+  check "bench exempt" false
+    (fires "D003" ~path:"bench/main.ml" "let t = Unix.gettimeofday ()")
+
+let f001 () =
+  check "List.sort compare flagged" true
+    (fires "F001" ~path:"lib/netgraph/x.ml" "let s l = List.sort compare l");
+  check "min of float flagged" true
+    (fires "F001" ~path:"lib/geometry/x.ml" "let m x = min x 0.5");
+  check "Float.compare fine" false
+    (fires "F001" ~path:"lib/netgraph/x.ml"
+       "let s l = List.sort Float.compare l");
+  check "defining compare fine" false
+    (fires "F001" ~path:"lib/netgraph/x.ml" "let compare a b = 0");
+  check "int min fine" false
+    (fires "F001" ~path:"lib/netgraph/x.ml" "let m x = min 1 x");
+  check "core out of scope" false
+    (fires "F001" ~path:"lib/core/x.ml" "let s l = List.sort compare l")
+
+let f002 () =
+  check "x = 0. flagged" true
+    (fires "F002" ~path:"lib/netgraph/x.ml" "let f x = x = 0.");
+  check "<> 1e-9 flagged" true
+    (fires "F002" ~path:"lib/delaunay/x.ml" "let f x = x <> 1e-9");
+  check "= nan flagged" true
+    (fires "F002" ~path:"lib/geometry/x.ml" "let f x = x = nan");
+  check "let binding fine" false
+    (fires "F002" ~path:"lib/geometry/x.ml" "let x = 0.");
+  check "record literal fine" false
+    (fires "F002" ~path:"lib/geometry/x.ml"
+       "let p = { x = 0.; y = 1.5 }");
+  check "optional default fine" false
+    (fires "F002" ~path:"lib/geometry/x.ml"
+       "let f ?(eps = 1e-9) x = x + eps");
+  check "predicates.ml exempt" false
+    (fires "F002" ~path:"lib/geometry/predicates.ml" "let f e = e = 0.")
+
+let m001 () =
+  check "toplevel Hashtbl flagged" true
+    (fires "M001" ~path:"lib/geometry/x.ml" "let cache = Hashtbl.create 16");
+  check "toplevel ref flagged" true
+    (fires "M001" ~path:"lib/netgraph/x.ml" "let acc = ref []");
+  check "toplevel scratch array flagged" true
+    (fires "M001" ~path:"lib/wireless/x.ml" "let buf = Array.make 64 0.");
+  check "function binding fine" false
+    (fires "M001" ~path:"lib/geometry/x.ml"
+       "let make n = Array.make n 0.");
+  check "Atomic fine" false
+    (fires "M001" ~path:"lib/geometry/x.ml" "let hits = Atomic.make 0");
+  check "DLS fine" false
+    (fires "M001" ~path:"lib/netgraph/x.ml"
+       "let key = Domain.DLS.new_key (fun () -> ref [])");
+  check "annotation fine" false
+    (fires "M001" ~path:"lib/geometry/x.ml"
+       "(* lint: domain-local scratch, reset at every public entry *)\n\
+        let buf = ref []");
+  check "core out of scope" false
+    (fires "M001" ~path:"lib/core/x.ml" "let cache = Hashtbl.create 16")
+
+let h001 () =
+  check "lib module without mli flagged" true
+    (fires "H001" ~path:"lib/geometry/x.ml" ~has_mli:false "let x = 1");
+  check "with mli fine" false
+    (fires "H001" ~path:"lib/geometry/x.ml" ~has_mli:true "let x = 1");
+  check "bin exempt" false
+    (fires "H001" ~path:"bin/x.ml" ~has_mli:false "let x = 1")
+
+let h002 () =
+  check "Obj.magic flagged" true
+    (fires "H002" ~path:"bin/x.ml" "let f x = Obj.magic x");
+  check "Obj.repr fine" false
+    (fires "H002" ~path:"bin/x.ml" "let f x = Obj.repr x")
+
+let h003 () =
+  check "bare assert false flagged" true
+    (fires "H003" ~path:"lib/core/x.ml" "let f () = assert false");
+  check "commented assert false fine" false
+    (fires "H003" ~path:"lib/core/x.ml"
+       "let f () = assert false (* unreachable: guarded above *)");
+  check "empty failwith flagged" true
+    (fires "H003" ~path:"lib/core/x.ml" "let f () = failwith \"\"");
+  check "failwith with message fine" false
+    (fires "H003" ~path:"lib/core/x.ml" "let f () = failwith \"boom\"");
+  check "ordinary assert fine" false
+    (fires "H003" ~path:"lib/core/x.ml" "let f x = assert (x > 0)");
+  check "tests exempt" false
+    (fires "H003" ~path:"test/x.ml" "let f () = assert false")
+
+(* ---------- suppressions ---------- *)
+
+let suppression () =
+  let src =
+    "let f tbl =\n\
+    \  (* lint: disable D002 order-insensitive accumulation into a set *)\n\
+    \  Hashtbl.fold (fun k _ a -> add k a) tbl empty"
+  in
+  let findings, cut = Lint.Engine.lint_source ~path:"lib/core/x.ml" src in
+  check "suppressed" true (findings = []);
+  check "counted" true (cut = 1);
+  let wrong =
+    "let f tbl =\n\
+    \  (* lint: disable D001 wrong rule *)\n\
+    \  Hashtbl.fold (fun k _ a -> a) tbl []"
+  in
+  check "wrong rule id does not silence" true
+    (fires "D002" ~path:"lib/core/x.ml" wrong);
+  let reasonless =
+    "let f tbl =\n\
+    \  (* lint: disable D002 *)\n\
+    \  Hashtbl.fold (fun k _ a -> a) tbl []"
+  in
+  check "reasonless suppression is inert" true
+    (fires "D002" ~path:"lib/core/x.ml" reasonless)
+
+(* ---------- baseline ---------- *)
+
+let mk_diag ?(rule = "D002") ?(file = "lib/core/x.ml") ?(line = 3) () =
+  {
+    Lint.Diag.rule;
+    severity = Lint.Diag.Error;
+    file;
+    line;
+    col = 1;
+    message = "msg";
+    excerpt = "Hashtbl.fold ...";
+  }
+
+let baseline_roundtrip () =
+  let entries =
+    [
+      { Lint.Baseline.rule = "D002"; file = "lib/obs/obs.ml"; count = 3;
+        reason = "order-insensitive reset" };
+      { Lint.Baseline.rule = "H003"; file = "lib/core/ldel.ml"; count = 1;
+        reason = "documented in DESIGN.md" };
+    ]
+  in
+  let back = Lint.Baseline.of_string (Lint.Baseline.to_string entries) in
+  check "round-trips" true (back = entries);
+  check "reasonless entry rejected" true
+    (try
+       ignore (Lint.Baseline.of_string "D002\tlib/x.ml\t1\t \n");
+       false
+     with Failure _ -> true)
+
+let baseline_apply () =
+  let e =
+    [ { Lint.Baseline.rule = "D002"; file = "lib/core/x.ml"; count = 1;
+        reason = "grandfathered" } ]
+  in
+  let d1 = mk_diag ~line:3 () and d2 = mk_diag ~line:9 () in
+  let keep, grand = Lint.Baseline.apply e [ d2; d1 ] in
+  check "budget consumed in position order" true
+    (match grand with [ (g, r) ] -> g.Lint.Diag.line = 3 && r = "grandfathered" | _ -> false);
+  check "excess finding still fails" true
+    (match keep with [ k ] -> k.Lint.Diag.line = 9 | _ -> false);
+  let other = mk_diag ~rule:"D001" () in
+  let keep2, _ = Lint.Baseline.apply e [ other ] in
+  check "other rules unaffected" true (keep2 = [ other ]);
+  check "of_findings collapses" true
+    (Lint.Baseline.of_findings ~reason:"r" [ d1; d2 ]
+    = [ { Lint.Baseline.rule = "D002"; file = "lib/core/x.ml"; count = 2;
+          reason = "r" } ])
+
+(* ---------- JSON ---------- *)
+
+let json_roundtrip () =
+  let d =
+    {
+      Lint.Diag.rule = "F002";
+      severity = Lint.Diag.Warning;
+      file = "lib/geometry/x.ml";
+      line = 12;
+      col = 7;
+      message = "tricky \"quotes\" and \\ backslash";
+      excerpt = "if x = 0. then (* \"why\" *)";
+    }
+  in
+  (match Lint.Diag.of_json_line (Lint.Diag.to_json_line d) with
+  | Some back -> check "finding round-trips" true (Lint.Diag.equal d back)
+  | None -> Alcotest.fail "finding did not parse back");
+  let report =
+    Lint.Diag.to_json_line d ^ "\n\n"
+    ^ "{\"kind\":\"summary\",\"findings\":1,\"grandfathered\":0,\"suppressed\":0,\"files\":1}\n"
+  in
+  check "reader skips summary and blanks" true
+    (match Lint.Diag.read_json_lines report with
+    | [ one ] -> Lint.Diag.equal d one
+    | _ -> false)
+
+(* ---------- self-lint ---------- *)
+
+(* Tests run from _build/default/test; the tree above it is the
+   (copied) repository root, declared as deps in test/dune. *)
+let repo_root = ".."
+
+let self_lint () =
+  let baseline_file = Filename.concat repo_root "lint.baseline" in
+  check "baseline present" true (Sys.file_exists baseline_file);
+  let baseline = Lint.Baseline.read baseline_file in
+  List.iter
+    (fun (e : Lint.Baseline.entry) ->
+      check ("baseline reason: " ^ e.file) true
+        (String.trim e.reason <> ""))
+    baseline;
+  let res = Lint.Engine.run ~baseline repo_root in
+  List.iter
+    (fun d -> Format.eprintf "self-lint: %a@." Lint.Diag.pp d)
+    res.findings;
+  check "zero unsuppressed findings" true (res.findings = []);
+  check "scanned the whole tree" true (res.files > 50);
+  check "no stale baseline entries" true (res.unused_baseline = []);
+  (* the --json report of everything the run saw must round-trip
+     through the reader *)
+  let all = List.map fst res.grandfathered in
+  let report =
+    String.concat "\n" (List.map Lint.Diag.to_json_line all)
+    ^ "\n{\"kind\":\"summary\",\"findings\":0,\"grandfathered\":3,\"suppressed\":2,\"files\":84}"
+  in
+  let back = Lint.Diag.read_json_lines report in
+  check "self report round-trips" true
+    (List.length back = List.length all
+    && List.for_all2 Lint.Diag.equal all back)
+
+let catalog () =
+  check "at least 8 rules" true (List.length Lint.Rules.all >= 8);
+  let families =
+    List.sort_uniq String.compare
+      (List.map (fun (r : Lint.Rules.rule) -> r.family) Lint.Rules.all)
+  in
+  check "four families" true (List.length families = 4);
+  List.iter
+    (fun (r : Lint.Rules.rule) ->
+      check ("doc for " ^ r.id) true (String.length r.doc > 20))
+    Lint.Rules.all;
+  check "find" true
+    (match Lint.Rules.find "D001" with Some r -> r.id = "D001" | None -> false);
+  check "find miss" true (Lint.Rules.find "Z999" = None)
+
+let suites =
+  [
+    ( "lint.tokenizer",
+      [
+        Alcotest.test_case "nested comments" `Quick tok_nested_comments;
+        Alcotest.test_case "strings" `Quick tok_strings;
+        Alcotest.test_case "chars" `Quick tok_chars;
+        Alcotest.test_case "dotted paths" `Quick tok_dotted;
+        Alcotest.test_case "numbers, positions" `Quick tok_numbers;
+      ] );
+    ( "lint.rules",
+      [
+        Alcotest.test_case "D001 stdlib random" `Quick d001;
+        Alcotest.test_case "D002 hashtbl order" `Quick d002;
+        Alcotest.test_case "D003 wall clock" `Quick d003;
+        Alcotest.test_case "F001 poly compare" `Quick f001;
+        Alcotest.test_case "F002 float literal eq" `Quick f002;
+        Alcotest.test_case "M001 toplevel mutable" `Quick m001;
+        Alcotest.test_case "H001 missing mli" `Quick h001;
+        Alcotest.test_case "H002 obj magic" `Quick h002;
+        Alcotest.test_case "H003 silent dead ends" `Quick h003;
+        Alcotest.test_case "catalog" `Quick catalog;
+      ] );
+    ( "lint.plumbing",
+      [
+        Alcotest.test_case "suppressions" `Quick suppression;
+        Alcotest.test_case "baseline round-trip" `Quick baseline_roundtrip;
+        Alcotest.test_case "baseline apply" `Quick baseline_apply;
+        Alcotest.test_case "json round-trip" `Quick json_roundtrip;
+      ] );
+    ("lint.self", [ Alcotest.test_case "repo self-lints clean" `Quick self_lint ]);
+  ]

@@ -293,7 +293,7 @@ let prop_protocol_equals_centralized =
          = bb.Core.Backbone.cds.Core.Cds.connectors.Core.Connectors.cds_edges
       && G.equal pr.Core.Protocol.ldel_graph bb.Core.Backbone.ldel_icds_g)
 
-let to_alcotest = List.map QCheck_alcotest.to_alcotest
+let to_alcotest tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
 let suites =
   [
