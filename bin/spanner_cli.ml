@@ -134,6 +134,41 @@ let jobs =
     & opt int (Netgraph.Pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
 
+let partition =
+  let doc =
+    "Construction partition: $(b,auto) runs the sharded CSR pipeline on \
+     grid tiles for large instances (>= 5000 nodes), $(b,serial) forces \
+     the legacy single-domain Hashtbl build, and a positive integer \
+     $(docv) forces tile-sharding with that many tiles per axis.  Every \
+     mode produces bit-identical structures; only construction speed \
+     changes."
+  in
+  let part_conv =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "auto" -> Ok Config.Auto
+      | "serial" -> Ok Config.Serial
+      | s -> (
+        match int_of_string_opt s with
+        | Some k when k >= 1 -> Ok (Config.Tiles k)
+        | _ ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "expected auto, serial or a positive tile count, got %S" s)))
+    in
+    let print fmt = function
+      | Config.Auto -> Format.pp_print_string fmt "auto"
+      | Config.Serial -> Format.pp_print_string fmt "serial"
+      | Config.Tiles k -> Format.pp_print_int fmt k
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt part_conv Config.Auto
+    & info [ "partition"; "tiles" ] ~docv:"PART" ~doc)
+
 (* ---------------- deployment I/O ---------------- *)
 
 let load_csv file =
@@ -199,12 +234,14 @@ let generate_cmd =
 (* ---------------- build ---------------- *)
 
 let build_cmd =
-  let run seed n side radius input jobs stats_fmt trace =
+  let run seed n side radius input jobs partition stats_fmt trace =
     with_stats stats_fmt @@ fun () ->
     with_trace trace @@ fun () ->
     let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
     let bb =
-      Core.Backbone.run { Config.default with Config.radius; jobs } pts
+      Core.Backbone.run
+        { Config.default with Config.radius; jobs; partition }
+        pts
     in
     let roles = bb.Core.Backbone.cds.Core.Cds.roles in
     let dominators =
@@ -236,18 +273,20 @@ let build_cmd =
   Cmd.v
     (Cmd.info "build" ~doc)
     Term.(
-      const run $ seed $ nodes $ side $ radius $ input $ jobs $ stats
-      $ trace_file)
+      const run $ seed $ nodes $ side $ radius $ input $ jobs $ partition
+      $ stats $ trace_file)
 
 (* ---------------- measure ---------------- *)
 
 let measure_cmd =
-  let run seed n side radius input jobs stats_fmt trace =
+  let run seed n side radius input jobs partition stats_fmt trace =
     with_stats stats_fmt @@ fun () ->
     with_trace trace @@ fun () ->
     let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
     let bb =
-      Core.Backbone.run { Config.default with Config.radius; jobs } pts
+      Core.Backbone.run
+        { Config.default with Config.radius; jobs; partition }
+        pts
     in
     let rows = Core.Quality.rows bb in
     Format.printf "%a@." Core.Quality.pp_agg_header ();
@@ -258,8 +297,8 @@ let measure_cmd =
   Cmd.v
     (Cmd.info "measure" ~doc)
     Term.(
-      const run $ seed $ nodes $ side $ radius $ input $ jobs $ stats
-      $ trace_file)
+      const run $ seed $ nodes $ side $ radius $ input $ jobs $ partition
+      $ stats $ trace_file)
 
 (* ---------------- route ---------------- *)
 

@@ -34,7 +34,11 @@ let () =
   let radius = 45. in
   let points = deployment_with_hole 31 radius in
   begin
-    let bb = Core.Backbone.build points ~radius in
+    let bb =
+      Core.Backbone.run
+        { Core.Backbone.Config.default with Core.Backbone.Config.radius }
+        points
+    in
     let planar = (Core.Backbone.ldel_full bb).Core.Ldel.planar in
     (* pick a pair where plain greedy actually gets stuck, so the
        trace shows the perimeter recovery; fall back to the farthest

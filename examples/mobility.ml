@@ -33,7 +33,12 @@ let () =
         (Wireless.Rand.create 42L)
         ~side ~min_speed:2. ~max_speed:5. ~init
     in
-    let bb = ref (Core.Backbone.build (Array.copy init) ~radius) in
+    let bb =
+      ref
+        (Core.Backbone.run
+           { Core.Backbone.Config.default with Core.Backbone.Config.radius }
+           (Array.copy init))
+    in
     let repairs = ref 0
     and churn = ref 0
     and edge_churn = ref 0

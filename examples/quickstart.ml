@@ -4,8 +4,8 @@
      dune exec examples/quickstart.exe
 
    This is the five-minute tour of the public API: deploy nodes, build
-   every structure with [Core.Backbone.build], inspect the quality
-   metrics, and route a packet over the planar backbone. *)
+   every structure with [Core.Backbone.run] driven by a [Config], inspect
+   the quality metrics, and route a packet over the planar backbone. *)
 
 let () =
   (* 1. Deploy 100 nodes uniformly in a 200 x 200 region; redraw until
@@ -20,8 +20,17 @@ let () =
     (Array.length points) attempts;
 
   (* 2. One call builds the whole hierarchy: clustering -> connectors
-     -> CDS family -> localized Delaunay planarization. *)
-  let bb = Core.Backbone.build points ~radius:60. in
+     -> CDS family -> localized Delaunay planarization.  The [Config]
+     record is the front door; [partition = Auto] switches to the
+     tile-sharded CSR pipeline automatically on large instances, with
+     bit-identical results.  (At million-node scale, prefer
+     [Core.Backbone.snapshot], which returns sealed CSR structures and
+     never materializes a mutable graph.) *)
+  let bb =
+    Core.Backbone.run
+      { Core.Backbone.Config.default with Core.Backbone.Config.radius = 60. }
+      points
+  in
 
   let dominators =
     List.length (Core.Mis.dominators bb.Core.Backbone.cds.Core.Cds.roles)

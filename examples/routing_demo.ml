@@ -18,7 +18,11 @@ let () =
       ~max_attempts:1000
   in
   let n = Array.length points in
-  let bb = Core.Backbone.build points ~radius:60. in
+  let bb =
+    Core.Backbone.run
+      { Core.Backbone.Config.default with Core.Backbone.Config.radius = 60. }
+      points
+  in
   let udg = bb.Core.Backbone.udg in
   let gg = Wireless.Proximity.gabriel_graph udg points in
   let pldel = (Core.Backbone.ldel_full bb).Core.Ldel.planar in

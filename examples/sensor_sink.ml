@@ -40,7 +40,11 @@ let () =
       points;
     !best
   in
-  let bb = Core.Backbone.build points ~radius:60. in
+  let bb =
+    Core.Backbone.run
+      { Core.Backbone.Config.default with Core.Backbone.Config.radius = 60. }
+      points
+  in
   let udg = bb.Core.Backbone.udg in
   Printf.printf "%d sensors, sink = node %d\n\n" n sink;
 

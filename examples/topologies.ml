@@ -18,7 +18,11 @@ let () =
     Wireless.Deploy.connected_uniform rng ~n:100 ~side:200. ~radius:60.
       ~max_attempts:1000
   in
-  let bb = Core.Backbone.build points ~radius:60. in
+  let bb =
+    Core.Backbone.run
+      { Core.Backbone.Config.default with Core.Backbone.Config.radius = 60. }
+      points
+  in
 
   let roles = bb.Core.Backbone.cds.Core.Cds.roles in
   let connector = bb.Core.Backbone.cds.Core.Cds.connectors.Core.Connectors.connector in

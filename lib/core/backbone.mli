@@ -19,6 +19,10 @@ type t = {
   ldel_icds' : Netgraph.Graph.t;
       (** planar backbone plus dominatee–dominator edges — the routing
           structure spanning all nodes *)
+  planar_csr : Netgraph.Csr.t;
+      (** PLDel(ICDS) as a sealed CSR snapshot with Euclidean arc
+          weights — the read-optimized form of [ldel_icds_g], identical
+          on both the serial and the partitioned path *)
 }
 
 (** Pipeline configuration — one record instead of a growing pile of
@@ -29,6 +33,15 @@ module Config : sig
       survive with distance-proportional probability (drawn from a
       dedicated RNG seeded by [seed], so a config is reproducible). *)
   type radio = Disk | Quasi of { r_min : float; seed : int64 }
+
+  (** How the pipeline build itself is executed.  [Serial] is the
+      legacy single-threaded chain; [Tiles k] forces the sharded
+      CSR-native pipeline ({!Shard}) with [k] tiles per axis; [Auto]
+      picks the sharded pipeline for disk-radio instances of at least
+      ~5k nodes and the serial chain otherwise (the quasi radio's
+      RNG-ordered link draws keep its UDG stage serial under [Auto]).
+      Both paths produce bit-identical structures. *)
+  type partition = Auto | Tiles of int | Serial
 
   type t = {
     radius : float;  (** transmission radius, shared by all nodes *)
@@ -42,27 +55,41 @@ module Config : sig
             obs state afterwards; call [Obs.reset] first for numbers
             isolated to one run *)
     jobs : int;
-        (** worker domains for metrics over this instance (see
-            {!Netgraph.Pool}); the pipeline build itself stays
-            sequential *)
+        (** worker domains (see {!Netgraph.Pool}) — used by the
+            partitioned build and as the default parallelism for
+            metrics over this instance *)
+    partition : partition;
   }
 
   (** radius 60, smallest-ID clustering, ideal disk, no sink,
-      [jobs = Netgraph.Pool.default_jobs ()]. *)
+      [jobs = Netgraph.Pool.default_jobs ()], [partition = Auto]. *)
   val default : t
 end
 
 (** [run cfg points] runs the whole pipeline.  The UDG need not be
     connected, but the spanner guarantees only hold per component.
-    Stage timings are charged to obs spans [backbone/udg],
-    [backbone/cds/mis], [backbone/cds/connectors],
-    [backbone/cds/assemble], [backbone/ldel] and [backbone/links]. *)
+    On the serial path, stage timings are charged to obs spans
+    [backbone/udg], [backbone/cds/mis], [backbone/cds/connectors],
+    [backbone/cds/assemble], [backbone/ldel] and [backbone/links]; on
+    the partitioned path the [shard.*] spans replace the per-stage
+    ones (plus [backbone/thaw] for rebuilding the legacy graphs).
+    Both paths return the same structures bit for bit.  For
+    million-node instances prefer {!snapshot}, which skips the
+    legacy-graph thaw entirely. *)
 val run : Config.t -> Geometry.Point.t array -> t
+
+(** [snapshot cfg points] runs the sharded CSR-native pipeline
+    ({!Shard.pipeline}) under [cfg] — partition, jobs, radio, priority
+    and sink are honored as in {!run} — and returns the sealed
+    snapshot without ever materializing a mutable graph.  This is the
+    front door for million-node instances. *)
+val snapshot : Config.t -> Geometry.Point.t array -> Shard.snapshot
 
 (** [build points ~radius] is
     [run { Config.default with radius; priority }] — the historical
     front door, kept so existing callers compile.  New code should
-    construct a {!Config.t} and call {!run}. *)
+    construct a {!Config.t} and call {!run} (or {!snapshot} at
+    scale). *)
 val build :
   ?priority:(int -> int) -> Geometry.Point.t array -> radius:float -> t
 

@@ -17,14 +17,14 @@ let build udg roles connectors =
         roles.(u) = Mis.Dominator || connectors.Connectors.connector.(u))
   in
   let cds = G.of_edges n connectors.Connectors.cds_edges in
-  let dominatee_links g =
-    let g = G.copy g in
-    for u = 0 to n - 1 do
-      if roles.(u) = Mis.Dominatee then
-        List.iter (fun d -> G.add_edge g u d) (Mis.dominators_of udg roles u)
-    done;
-    g
+  let links =
+    List.concat
+      (List.init n (fun u ->
+           if roles.(u) = Mis.Dominatee then
+             List.map (fun d -> (u, d)) (Mis.dominators_of udg roles u)
+           else []))
   in
+  let dominatee_links g = G.union g (G.of_edges n links) in
   let cds' = dominatee_links cds in
   let icds = G.induced udg (fun u -> backbone.(u)) in
   let icds' = dominatee_links icds in

@@ -133,6 +133,172 @@ let find g roles =
     three_hop_pairs = List.sort compare !three_hop_pairs;
   }
 
+(* CSR-native, tile-sharded rendition of [find].  Every pair election
+   is 2-local around the smaller (two-hop stage) or first (three-hop
+   stage) dominator of the pair, so each pair is processed exactly
+   once, entirely from its owner's tile: candidate sets, gates and
+   local-minima elections read only the immutable snapshot and the
+   role array.  Per-tile accumulators are merged by a final sort
+   ([sort_uniq] for edges, matching [find]'s Hashtbl dedup), and
+   [connector] writes race only on the identical value [true], so the
+   result equals [find]'s field for field, for any tiling and any job
+   count. *)
+let find_csr ?pool ?owners csr roles =
+  let module C = Netgraph.Csr in
+  let n = C.node_count csr in
+  let owners =
+    match owners with
+    | Some o -> o
+    | None -> [| Array.init n (fun u -> u) |]
+  in
+  let ntiles = Array.length owners in
+  let connector = Array.make n false in
+  let edges_by_tile = Array.make ntiles [] in
+  let two_by_tile = Array.make ntiles [] in
+  let three_by_tile = Array.make ntiles [] in
+  let elect_csr cands =
+    List.filter
+      (fun w ->
+        List.for_all
+          (fun x -> x = w || (not (C.mem_edge csr w x)) || w < x)
+          cands)
+      cands
+  in
+  (* dominatees adjacent to both u and v — [candidates_two_hop] read
+     off u's CSR row *)
+  let common_dominatees u v =
+    let acc = ref [] in
+    C.iter_neighbors csr u (fun w ->
+        if roles.(w) = Mis.Dominatee && C.mem_edge csr w v then
+          acc := w :: !acc);
+    List.rev !acc
+  in
+  let mk_body () =
+    (* stamped scratch, one set per worker domain: [mark] dedups pair
+       partners per u, [seen] dedups two-hop dominators per w, and
+       [gmark]/[gval] cache the no-common-dominatee gate per u *)
+    let mark = Array.make n (-1) and mstamp = ref 0 in
+    let seen = Array.make n (-1) and sstamp = ref 0 in
+    let gmark = Array.make n (-1) and gstamp = ref 0 in
+    let gval = Array.make n false in
+    let edges = ref [] and two = ref [] and three = ref [] in
+    (* steps 3-4 for the unordered pair (u, v), owned by u = min *)
+    let two_hop_at u =
+      incr mstamp;
+      let s = !mstamp in
+      C.iter_neighbors csr u (fun w ->
+          if roles.(w) = Mis.Dominatee then
+            C.iter_neighbors csr w (fun v ->
+                if v > u && roles.(v) = Mis.Dominator && mark.(v) <> s then begin
+                  mark.(v) <- s;
+                  two := (u, v) :: !two;
+                  List.iter
+                    (fun w' ->
+                      connector.(w') <- true;
+                      edges := ordered_edge u w' :: ordered_edge w' v :: !edges)
+                    (elect_csr (common_dominatees u v))
+                end))
+    in
+    (* steps 5-8 for ordered pairs (u, v), owned by u *)
+    let three_hop_at u =
+      incr gstamp;
+      let gs = !gstamp in
+      let gate_open v =
+        (* true when u and v share no dominatee (pair not two-hop) *)
+        if gmark.(v) <> gs then begin
+          gmark.(v) <- gs;
+          gval.(v) <- common_dominatees u v = []
+        end;
+        gval.(v)
+      in
+      let cands_by_v = Hashtbl.create 16 in
+      C.iter_neighbors csr u (fun w ->
+          if roles.(w) = Mis.Dominatee then begin
+            incr sstamp;
+            let s = !sstamp in
+            C.iter_neighbors csr w (fun y ->
+                C.iter_neighbors csr y (fun v ->
+                    if
+                      v <> w && v <> u
+                      && roles.(v) = Mis.Dominator
+                      && seen.(v) <> s
+                      && not (C.mem_edge csr w v)
+                    then begin
+                      seen.(v) <- s;
+                      if gate_open v then
+                        Hashtbl.replace cands_by_v v
+                          (w
+                          :: Option.value ~default:[]
+                               (Hashtbl.find_opt cands_by_v v))
+                    end))
+          end);
+      G.sorted_tbl_iter Int.compare
+        (fun v cands ->
+          three := (u, v) :: !three;
+          let first = elect_csr cands in
+          let second_cands =
+            List.sort_uniq compare
+              (List.concat_map
+                 (fun w ->
+                   C.fold_neighbors csr w
+                     (fun acc x ->
+                       if
+                         roles.(x) = Mis.Dominatee
+                         && C.mem_edge csr x v
+                         && x <> w
+                       then x :: acc
+                       else acc)
+                     [])
+                 first)
+          in
+          let second = elect_csr second_cands in
+          List.iter
+            (fun w ->
+              connector.(w) <- true;
+              edges := ordered_edge u w :: !edges)
+            first;
+          List.iter
+            (fun x ->
+              connector.(x) <- true;
+              edges := ordered_edge x v :: !edges;
+              List.iter
+                (fun w ->
+                  if C.mem_edge csr w x then edges := ordered_edge w x :: !edges)
+                first)
+            second)
+        cands_by_v
+    in
+    fun t ->
+      edges := [];
+      two := [];
+      three := [];
+      Array.iter
+        (fun u ->
+          if roles.(u) = Mis.Dominator then begin
+            two_hop_at u;
+            three_hop_at u
+          end)
+        owners.(t);
+      edges_by_tile.(t) <- !edges;
+      two_by_tile.(t) <- !two;
+      three_by_tile.(t) <- !three
+  in
+  Obs.quiesced (fun () ->
+      match pool with
+      | Some p -> Netgraph.Pool.parallel_for p ~n:ntiles mk_body
+      | None ->
+        let body = mk_body () in
+        for t = 0 to ntiles - 1 do
+          body t
+        done);
+  let concat_of by_tile = List.concat (Array.to_list by_tile) in
+  {
+    connector;
+    cds_edges = List.sort_uniq compare (concat_of edges_by_tile);
+    two_hop_pairs = List.sort compare (concat_of two_by_tile);
+    three_hop_pairs = List.sort compare (concat_of three_by_tile);
+  }
+
 (* The Alzoubi-style dominator-initiated selection: one deterministic
    path per ordered dominator pair.  Dominator u "decides the next
    node on the path" — realized here as smallest-ID choices, which is

@@ -29,6 +29,22 @@ type result = {
     disk graph [g] with the clustering [roles]. *)
 val find : Netgraph.Graph.t -> Mis.role array -> result
 
+(** [find_csr csr roles] runs the same elections directly on a CSR
+    snapshot and returns a result equal to [find] field for field.
+    Every pair election is 2-local around one dominator of the pair
+    (the smaller one for two-hop pairs, the first one for ordered
+    three-hop pairs), so with [owners] (tile partition of the node
+    ids) each pair is processed exactly once from its owner's tile;
+    with [pool] the tiles fan out across its domains.  Per-tile
+    results are merged by deterministic sorts, so the output is
+    bit-identical for any tiling and any job count. *)
+val find_csr :
+  ?pool:Netgraph.Pool.t ->
+  ?owners:int array array ->
+  Netgraph.Csr.t ->
+  Mis.role array ->
+  result
+
 (** [candidates_two_hop g roles u v] is the candidate connector set
     for the dominator pair [(u, v)] at hop distance two: their common
     dominatee neighbors. *)

@@ -169,15 +169,9 @@ let planarize g points triangles =
   !kept
 
 let graph_of n gabriel triangles =
-  let g = G.create n in
-  List.iter (fun (u, v) -> G.add_edge g u v) gabriel;
-  List.iter
-    (fun (a, b, c) ->
-      G.add_edge g a b;
-      G.add_edge g b c;
-      G.add_edge g a c)
-    triangles;
-  g
+  G.of_edges n
+    (gabriel
+    @ List.concat_map (fun (a, b, c) -> [ (a, b); (b, c); (a, c) ]) triangles)
 
 let gabriel_edges_of g points =
   List.filter
@@ -202,6 +196,237 @@ let build_gen g points ~radius ~local_triangles =
 let build g points ~radius =
   build_gen g points ~radius
     ~local_triangles:(local_delaunay_triangles g points)
+
+(* ---- CSR-native, tile-sharded construction ------------------------- *)
+
+type csr_parts = {
+  p_gabriel : (int * int) list;
+  p_triangles : (int * int * int) list;
+  p_kept : (int * int * int) list;
+}
+
+let of_parts n { p_gabriel; p_triangles; p_kept } =
+  {
+    ldel1 = graph_of n p_gabriel p_triangles;
+    planar = graph_of n p_gabriel p_kept;
+    gabriel_edges = p_gabriel;
+    triangles = p_triangles;
+    kept_triangles = p_kept;
+  }
+
+(* Algorithm 3 driven by a bucket grid instead of the O(T^2) pair
+   scan.  Every accepted triangle has all links within [radius], so
+   its bbox is at most [radius] wide and tall; two overlapping bboxes
+   therefore have min-corners within [radius] of each other, i.e. in
+   the same or an adjacent grid cell of side [radius] — scanning the
+   3x3 block around each triangle's min-corner cell visits every
+   overlapping pair.  Pair decisions are pure predicates of the
+   snapshot (they never read the removal flags), so processing pair
+   (i, j) from i's worker and letting [removed] writes race on the
+   identical value [true] loses nothing: the flags after the join
+   equal the serial ones bit for bit. *)
+let planarize_csr ?pool csr points ~radius tris_list =
+  let module C = Netgraph.Csr in
+  let tris = Array.of_list tris_list in
+  let m = Array.length tris in
+  if m = 0 then []
+  else begin
+    let boxes =
+      Array.map
+        (fun (a, b, c) ->
+          Geometry.Bbox.of_points [ points.(a); points.(b); points.(c) ])
+        tris
+    in
+    let boxes_overlap (b1 : Geometry.Bbox.t) (b2 : Geometry.Bbox.t) =
+      b1.xmin <= b2.xmax && b2.xmin <= b1.xmax && b1.ymin <= b2.ymax
+      && b2.ymin <= b1.ymax
+    in
+    let mutually_visible_csr (a1, b1, c1) (a2, b2, c2) =
+      List.exists
+        (fun x ->
+          List.exists (fun y -> x = y || C.mem_edge csr x y) [ a2; b2; c2 ])
+        [ a1; b1; c1 ]
+    in
+    (* bucket triangle indices by the grid cell of their bbox
+       min-corner (side = radius, origin = least min-corner) *)
+    let bx0 = ref infinity and by0 = ref infinity in
+    let bx1 = ref neg_infinity and by1 = ref neg_infinity in
+    Array.iter
+      (fun (b : Geometry.Bbox.t) ->
+        if b.xmin < !bx0 then bx0 := b.xmin;
+        if b.xmin > !bx1 then bx1 := b.xmin;
+        if b.ymin < !by0 then by0 := b.ymin;
+        if b.ymin > !by1 then by1 := b.ymin)
+      boxes;
+    let nx = 1 + int_of_float ((!bx1 -. !bx0) /. radius) in
+    let ny = 1 + int_of_float ((!by1 -. !by0) /. radius) in
+    let cell_of (b : Geometry.Bbox.t) =
+      let cx = int_of_float ((b.xmin -. !bx0) /. radius) in
+      let cy = int_of_float ((b.ymin -. !by0) /. radius) in
+      (cy * nx) + cx
+    in
+    let tcell = Array.map cell_of boxes in
+    let start = Array.make ((nx * ny) + 1) 0 in
+    Array.iter (fun k -> start.(k + 1) <- start.(k + 1) + 1) tcell;
+    for k = 0 to (nx * ny) - 1 do
+      start.(k + 1) <- start.(k) + start.(k + 1)
+    done;
+    let order = Array.make m 0 in
+    let cursor = Array.copy start in
+    for i = 0 to m - 1 do
+      let k = tcell.(i) in
+      order.(cursor.(k)) <- i;
+      cursor.(k) <- cursor.(k) + 1
+    done;
+    let removed = Array.make m false in
+    let process i =
+      let bi = boxes.(i) in
+      let k = tcell.(i) in
+      let cx = k mod nx and cy = k / nx in
+      for dy = -1 to 1 do
+        let y = cy + dy in
+        if y >= 0 && y < ny then
+          for dx = -1 to 1 do
+            let x = cx + dx in
+            if x >= 0 && x < nx then begin
+              let c = (y * nx) + x in
+              for idx = start.(c) to start.(c + 1) - 1 do
+                let j = order.(idx) in
+                if
+                  j > i
+                  && boxes_overlap bi boxes.(j)
+                  && mutually_visible_csr tris.(i) tris.(j)
+                  && triangles_intersect points tris.(i) tris.(j)
+                then begin
+                  let a2, b2, c2 = tris.(j) in
+                  if
+                    List.exists
+                      (circumcircle_contains points tris.(i))
+                      [ a2; b2; c2 ]
+                  then removed.(i) <- true;
+                  let a1, b1, c1 = tris.(i) in
+                  if
+                    List.exists
+                      (circumcircle_contains points tris.(j))
+                      [ a1; b1; c1 ]
+                  then removed.(j) <- true
+                end
+              done
+            end
+          done
+      done
+    in
+    (match pool with
+    | Some p -> Netgraph.Pool.parallel_for p ~n:m (fun () -> process)
+    | None ->
+      for i = 0 to m - 1 do
+        process i
+      done);
+    let kept = ref [] in
+    for i = m - 1 downto 0 do
+      if not removed.(i) then kept := tris.(i) :: !kept
+    done;
+    !kept
+  end
+
+(* Binary search in a sorted array of normalized triples. *)
+let mem_tri (arr : (int * int * int) array) t =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !hi - !lo > 0 do
+    let mid = (!lo + !hi) / 2 in
+    if compare arr.(mid) t < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo < Array.length arr && arr.(!lo) = t
+
+(* [build] on a CSR snapshot, without the Hashtbl graph.  Stage L1
+   computes every node's local Delaunay triangles (neighbor lists fed
+   in the same ascending order as [G.neighbors], so degenerate
+   tie-breaks inside the triangulation match the serial build); stage
+   L2 accepts a triangle from its min-corner's tile exactly when the
+   other two corners also found it and the links fit — the same
+   intersection [accepted_triangles_gen] computes, each triangle
+   decided exactly once; Gabriel edges are filtered from the owner
+   side of each row.  Per-tile lists merge by sorting, which
+   reproduces the serial sorted outputs for any tiling and job
+   count. *)
+let build_csr ?pool ?owners csr points ~radius =
+  let module C = Netgraph.Csr in
+  let n = C.node_count csr in
+  let owners =
+    match owners with
+    | Some o -> o
+    | None -> [| Array.init n (fun u -> u) |]
+  in
+  let ntiles = Array.length owners in
+  let for_tiles mk_body =
+    match pool with
+    | Some p -> Netgraph.Pool.parallel_for p ~n:ntiles mk_body
+    | None ->
+      let body = mk_body () in
+      for t = 0 to ntiles - 1 do
+        body t
+      done
+  in
+  Obs.quiesced (fun () ->
+      (* L1: per-node local triangles, sorted for binary search *)
+      let locals = Array.make n [||] in
+      let l1 u =
+        let nbrs =
+          List.rev
+            (C.fold_neighbors csr u (fun acc v -> (v, points.(v)) :: acc) [])
+        in
+        locals.(u) <-
+          Array.of_list
+            (List.sort_uniq compare
+               (local_triangles_of_neighborhood ~me:u ~me_pos:points.(u) ~nbrs))
+      in
+      (match pool with
+      | Some p -> Netgraph.Pool.parallel_for p ~n (fun () -> l1)
+      | None ->
+        for u = 0 to n - 1 do
+          l1 u
+        done);
+      (* L2 + Gabriel: per-tile over owned nodes *)
+      let gab_by_tile = Array.make ntiles [] in
+      let acc_by_tile = Array.make ntiles [] in
+      let mk_body () =
+        let gab = ref [] and acc = ref [] in
+        let at u =
+          C.iter_neighbors csr u (fun v ->
+              if v > u then begin
+                (* [Proximity.is_gabriel_edge] off u's CSR row *)
+                let blocked = ref false in
+                C.iter_neighbors csr u (fun w ->
+                    if
+                      (not !blocked) && w <> v
+                      && Geometry.Circle.in_diametral points.(u) points.(v)
+                           points.(w)
+                    then blocked := true);
+                if not !blocked then gab := (u, v) :: !gab
+              end);
+          Array.iter
+            (fun ((a, b, c) as t) ->
+              if
+                a = u
+                && triangle_fits points ~radius t
+                && mem_tri locals.(b) t
+                && mem_tri locals.(c) t
+              then acc := t :: !acc)
+            locals.(u)
+        in
+        fun t ->
+          gab := [];
+          acc := [];
+          Array.iter at owners.(t);
+          gab_by_tile.(t) <- !gab;
+          acc_by_tile.(t) <- !acc
+      in
+      for_tiles mk_body;
+      let concat_of by_tile = List.concat (Array.to_list by_tile) in
+      let p_gabriel = List.sort compare (concat_of gab_by_tile) in
+      let p_triangles = List.sort compare (concat_of acc_by_tile) in
+      let p_kept = planarize_csr ?pool csr points ~radius p_triangles in
+      { p_gabriel; p_triangles; p_kept })
 
 let build_k g points ~radius ~k =
   if k < 1 then invalid_arg "Ldel.build_k: k < 1";

@@ -36,6 +36,37 @@ type t = {
     is only the dominators and connectors). *)
 val build : Netgraph.Graph.t -> Geometry.Point.t array -> radius:float -> t
 
+(** The three edge/triangle lists of a build, without the materialized
+    graphs — what the sharded pipeline computes and stitches.  Field
+    for field equal to the corresponding fields of {!t}. *)
+type csr_parts = {
+  p_gabriel : (int * int) list;
+  p_triangles : (int * int * int) list;
+  p_kept : (int * int * int) list;
+}
+
+(** [build_csr csr points ~radius] computes the same lists as {!build}
+    directly on a CSR snapshot of the (unit disk or induced backbone)
+    graph: per-node local Delaunay triangles, min-corner-owned
+    acceptance, owner-side Gabriel filtering, and a bucket-grid
+    rendition of Algorithm 3 that only examines triangle pairs whose
+    bounding boxes can overlap.  With [owners] (tile partition of the
+    node ids) and [pool] all four stages fan out across the pool's
+    domains; per-tile results merge by deterministic sorts, so the
+    output is bit-identical to {!build}'s lists for any tiling and
+    any job count. *)
+val build_csr :
+  ?pool:Netgraph.Pool.t ->
+  ?owners:int array array ->
+  Netgraph.Csr.t ->
+  Geometry.Point.t array ->
+  radius:float ->
+  csr_parts
+
+(** [of_parts n parts] materializes the two graphs from the lists,
+    yielding a record equal to the serial {!build}'s. *)
+val of_parts : int -> csr_parts -> t
+
 (** [build_k g points ~radius ~k] is the k-localized Delaunay graph
     [LDel^k]: triangles must have circumcircles empty of every
     corner's k-hop neighborhood.  Li et al. prove [LDel^k] is planar

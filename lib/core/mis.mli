@@ -21,6 +21,22 @@ val compute : Netgraph.Graph.t -> role array
 val compute_with_priority :
   Netgraph.Graph.t -> priority:(int -> int) -> role array
 
+(** [compute_csr csr] runs the same rule directly on a CSR snapshot —
+    no intermediate mutable graph — and is bit-identical to {!compute}
+    on the same edge set.  [owners] partitions the node ids into tiles
+    (default: one tile holding every node); with [pool], each pass
+    elects per-tile winners and applies them in two barrier-separated
+    phases across the pool's domains.  Winners within a pass are
+    pairwise non-adjacent, so the result is bit-identical for any
+    tiling and any job count.  [priority] is as in
+    {!compute_with_priority}. *)
+val compute_csr :
+  ?pool:Netgraph.Pool.t ->
+  ?owners:int array array ->
+  ?priority:(int -> int) ->
+  Netgraph.Csr.t ->
+  role array
+
 (** Dominator ids, increasing. *)
 val dominators : role array -> int list
 

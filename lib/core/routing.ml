@@ -1,7 +1,14 @@
 module G = Netgraph.Graph
+module V = Netgraph.View
 module P = Geometry.Point
 
-let max_steps g = (4 * G.edge_count g) + 16
+(* Routers read the topology through {!Netgraph.View}, so the same
+   code serves the legacy mutable graphs and sealed CSR snapshots;
+   the [_v] forms are the primaries, the [Graph.t] entry points wrap
+   them (neighbor iteration is ascending in both representations, so
+   routes are identical). *)
+
+let max_steps g = (4 * V.edge_count g) + 16
 
 (* Per-scheme route/delivery counters and a shared hop distribution.
    [hierarchical] drives [gfg] on the backbone, so a hierarchical
@@ -28,7 +35,7 @@ let obs_nfp = instrumented "nfp"
 let obs_gfg = instrumented "gfg"
 let obs_hierarchical = instrumented "hierarchical"
 
-let greedy g points ~src ~dst =
+let greedy_v g points ~src ~dst =
   let rec go path u steps =
     if u = dst then Some (List.rev (u :: path))
     else if steps <= 0 then None
@@ -41,7 +48,7 @@ let greedy g points ~src ~dst =
             match acc with
             | Some (_, dbest) when dbest <= dv -> acc
             | _ -> if dv < du then Some (v, dv) else acc)
-          None (G.neighbors g u)
+          None (V.neighbors g u)
       in
       match best with
       | Some (v, _) -> go (u :: path) v (steps - 1)
@@ -67,10 +74,10 @@ let directional_route g ~src ~dst ~choose =
   in
   go [] src (max_steps g)
 
-let compass g points ~src ~dst =
+let compass_v g points ~src ~dst =
   let d = points.(dst) in
   let choose u =
-    if G.has_edge g u dst then Some dst
+    if V.has_edge g u dst then Some dst
     else
       let toward = P.sub d points.(u) in
       List.fold_left
@@ -85,7 +92,7 @@ let compass g points ~src ~dst =
           match best with
           | Some b when score b <= score v -> best
           | _ -> Some v)
-        None (G.neighbors g u)
+        None (V.neighbors g u)
   in
   obs_compass (directional_route g ~src ~dst ~choose)
 
@@ -95,9 +102,9 @@ let progress points u v dst =
   let n = P.norm toward in
   if n = 0. then 0. else P.dot (P.sub points.(v) points.(u)) toward /. n
 
-let mfr g points ~src ~dst =
+let mfr_v g points ~src ~dst =
   let choose u =
-    if G.has_edge g u dst then Some dst
+    if V.has_edge g u dst then Some dst
     else
       List.fold_left
         (fun best v ->
@@ -107,14 +114,14 @@ let mfr g points ~src ~dst =
             match best with
             | Some (_, pb) when pb >= p -> best
             | _ -> Some (v, p))
-        None (G.neighbors g u)
+        None (V.neighbors g u)
       |> Option.map fst
   in
   obs_mfr (directional_route g ~src ~dst ~choose)
 
-let nfp g points ~src ~dst =
+let nfp_v g points ~src ~dst =
   let choose u =
-    if G.has_edge g u dst then Some dst
+    if V.has_edge g u dst then Some dst
     else
       List.fold_left
         (fun best v ->
@@ -124,7 +131,7 @@ let nfp g points ~src ~dst =
             match best with
             | Some (_, db) when db <= dv -> best
             | _ -> Some (v, dv))
-        None (G.neighbors g u)
+        None (V.neighbors g u)
       |> Option.map fst
   in
   obs_nfp (directional_route g ~src ~dst ~choose)
@@ -133,7 +140,7 @@ let nfp g points ~src ~dst =
    the right-hand rule — after arriving at [v] over edge (v, prev),
    the next edge is the first one counterclockwise from (v, prev). *)
 let next_ccw g points v ~from_angle =
-  let nbrs = G.neighbors g v in
+  let nbrs = V.neighbors g v in
   let angle w = P.angle_of (P.sub points.(w) points.(v)) in
   let rel w =
     let a = angle w -. from_angle in
@@ -173,7 +180,7 @@ let closer_neighbor g points ~dst u =
       match acc with
       | Some (_, dbest) when dbest <= dv -> acc
       | _ -> if dv < du then Some (v, dv) else acc)
-    None (G.neighbors g u)
+    None (V.neighbors g u)
   |> Option.map fst
 
 (* pivot around [u] handling face changes, then forward along the
@@ -202,7 +209,7 @@ let rec advance g points ~dst u st w =
     end
     | None -> Forward (w, Perimeter ({ st with p_first = false }, u))
 
-let gfg_step g points ~dst u header =
+let gfg_step_v g points ~dst u header =
   Obs.incr c_gfg_steps;
   if u = dst then Deliver
   else
@@ -239,11 +246,11 @@ let gfg_step g points ~dst u header =
         | Some w -> advance g points ~dst u st w
       end
 
-let gfg g points ~src ~dst =
+let gfg_v g points ~src ~dst =
   let rec go path u header steps =
     if steps <= 0 then None
     else
-      match gfg_step g points ~dst u header with
+      match gfg_step_v g points ~dst u header with
       | Deliver -> Some (List.rev (u :: path))
       | Drop -> None
       | Forward (v, header') -> go (u :: path) v header' (steps - 1)
@@ -263,7 +270,11 @@ let hierarchical (bb : Backbone.t) ~src ~dst =
        let backbone_path =
          if enter = exit then Some [ enter ]
          else
-           gfg bb.Backbone.ldel_icds_g bb.Backbone.points ~src:enter ~dst:exit
+           (* perimeter mode runs on the sealed planar snapshot — the
+              read-optimized twin of [ldel_icds_g], identical routes *)
+           gfg_v
+             (V.of_csr bb.Backbone.planar_csr)
+             bb.Backbone.points ~src:enter ~dst:exit
        in
        match backbone_path with
        | None -> None
@@ -272,6 +283,14 @@ let hierarchical (bb : Backbone.t) ~src ~dst =
          let p = if exit = dst then p else p @ [ dst ] in
          Some p)
 
+(* legacy Graph.t entry points *)
+let greedy g = greedy_v (V.of_graph g)
+let compass g = compass_v (V.of_graph g)
+let mfr g = mfr_v (V.of_graph g)
+let nfp g = nfp_v (V.of_graph g)
+let gfg g = gfg_v (V.of_graph g)
+let gfg_step g = gfg_step_v (V.of_graph g)
+
 type evaluation = {
   pairs : int;
   delivered : int;
@@ -279,9 +298,9 @@ type evaluation = {
   avg_hop_stretch : float;
 }
 
-let evaluate ~router ~base points ~pairs rng =
+let evaluate_v ~router ~base points ~pairs rng =
   Obs.span "routing.evaluate" @@ fun () ->
-  let n = G.node_count base in
+  let n = V.node_count base in
   let delivered = ref 0 in
   let len_sum = ref 0. and hop_sum = ref 0. and measured = ref 0 in
   let tried = ref 0 in
@@ -291,14 +310,14 @@ let evaluate ~router ~base points ~pairs rng =
     let src = Wireless.Rand.int rng n in
     let dst = Wireless.Rand.int rng n in
     if src <> dst then begin
-      let hops = Netgraph.Traversal.bfs base src in
+      let hops = Netgraph.Traversal.bfs_v base src in
       if hops.(dst) <> max_int then begin
         incr tried;
         match router ~src ~dst with
         | None -> ()
         | Some path ->
           incr delivered;
-          let sp = Netgraph.Traversal.dijkstra base points src in
+          let sp = Netgraph.Traversal.dijkstra_v base points src in
           let plen = Netgraph.Traversal.path_length points path in
           if sp.(dst) > 0. then begin
             incr measured;
@@ -319,3 +338,5 @@ let evaluate ~router ~base points ~pairs rng =
     avg_hop_stretch =
       (if !measured = 0 then 0. else !hop_sum /. float_of_int !measured);
   }
+
+let evaluate ~router ~base = evaluate_v ~router ~base:(V.of_graph base)

@@ -9,7 +9,33 @@
 
     All routers return the traversed node path (inclusive of both
     endpoints), or [None] when the packet is dropped (greedy local
-    minimum with no recovery, or a step budget exhausted). *)
+    minimum with no recovery, or a step budget exhausted).
+
+    Every router exists in two forms: a [_v] primary over a
+    {!Netgraph.View.t} (so sealed CSR snapshots route without thawing
+    into a mutable graph) and the historical [Graph]-typed adapter,
+    which is the [_v] form composed with [View.of_graph].  Routes are
+    identical in both representations. *)
+
+val greedy_v :
+  Netgraph.View.t -> Geometry.Point.t array -> src:int -> dst:int ->
+  int list option
+
+val compass_v :
+  Netgraph.View.t -> Geometry.Point.t array -> src:int -> dst:int ->
+  int list option
+
+val mfr_v :
+  Netgraph.View.t -> Geometry.Point.t array -> src:int -> dst:int ->
+  int list option
+
+val nfp_v :
+  Netgraph.View.t -> Geometry.Point.t array -> src:int -> dst:int ->
+  int list option
+
+val gfg_v :
+  Netgraph.View.t -> Geometry.Point.t array -> src:int -> dst:int ->
+  int list option
 
 (** [greedy g points ~src ~dst] forwards to the neighbor strictly
     closest to the destination; fails at a local minimum. *)
@@ -75,10 +101,18 @@ val gfg_step :
   header ->
   decision
 
+val gfg_step_v :
+  Netgraph.View.t ->
+  Geometry.Point.t array ->
+  dst:int ->
+  int ->
+  header ->
+  decision
+
 (** [hierarchical backbone ~src ~dst] is dominating-set-based routing:
     a direct hop when the nodes are adjacent, otherwise src → its
-    dominator → GFG over the planar backbone [LDel(ICDS)] → dst's
-    dominator → dst. *)
+    dominator → GFG over the planar backbone [LDel(ICDS)] (routed on
+    the sealed [planar_csr] snapshot) → dst's dominator → dst. *)
 val hierarchical : Backbone.t -> src:int -> dst:int -> int list option
 
 (** Success statistics of a router over every connected node pair:
@@ -96,6 +130,14 @@ type evaluation = {
 val evaluate :
   router:(src:int -> dst:int -> int list option) ->
   base:Netgraph.Graph.t ->
+  Geometry.Point.t array ->
+  pairs:int ->
+  Wireless.Rand.t ->
+  evaluation
+
+val evaluate_v :
+  router:(src:int -> dst:int -> int list option) ->
+  base:Netgraph.View.t ->
   Geometry.Point.t array ->
   pairs:int ->
   Wireless.Rand.t ->

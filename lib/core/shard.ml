@@ -1,0 +1,173 @@
+(* Sharded, CSR-native construction pipeline (DESIGN.md §10).
+
+   The deployment square is cut into grid tiles whose side is at
+   least the transmission radius; a tile's bucket is its ownership
+   set.  Every stage then runs per-tile on the pool's domains against
+   the immutable CSR snapshot of the previous stage — MIS in
+   pass-synchronous rounds, connector elections and LDel acceptance
+   from each item's owning tile — and per-tile results are stitched
+   by deterministic sorted merges.  No stage consults a mutable
+   Hashtbl graph; every intermediate is a sealed CSR.  The outputs
+   are bit-identical to the serial [Cds.of_udg] / [Ldel.build] chain
+   for any tile count and any job count (asserted by the shard test
+   suite). *)
+
+module Csr = Netgraph.Csr
+module Builder = Netgraph.Builder
+
+type snapshot = {
+  points : Geometry.Point.t array;
+  radius : float;
+  owners : int array array;  (* tile ownership sets, ascending ids *)
+  udg : Csr.t;
+  roles : Mis.role array;
+  connectors : Connectors.result;
+  ldel : Ldel.csr_parts;
+  backbone : bool array;
+  cds : Csr.t;
+  cds' : Csr.t;
+  icds : Csr.t;
+  icds' : Csr.t;
+  pldel : Csr.t;
+  pldel' : Csr.t;
+}
+
+(* Per-axis tile count whose average tile holds ~4k nodes — small
+   enough for balance, large enough that per-tile overhead is noise. *)
+let auto_tiles_per_axis n =
+  max 1 (int_of_float (sqrt (float_of_int n /. 4096.) +. 0.5))
+
+let tiling ?tiles points ~radius =
+  if radius <= 0. then invalid_arg "Shard.tiling: radius <= 0";
+  let n = Array.length points in
+  if n = 0 then [| [||] |]
+  else begin
+    let k =
+      match tiles with
+      | Some k when k >= 1 -> k
+      | Some _ -> invalid_arg "Shard.tiling: tiles < 1"
+      | None -> auto_tiles_per_axis n
+    in
+    (* tile side >= radius keeps halos at one ring of tiles; the grid
+       clamps the per-axis count accordingly *)
+    let module P = Geometry.Point in
+    let x0 = ref infinity and y0 = ref infinity in
+    let x1 = ref neg_infinity and y1 = ref neg_infinity in
+    Array.iter
+      (fun (p : P.t) ->
+        if p.x < !x0 then x0 := p.x;
+        if p.x > !x1 then x1 := p.x;
+        if p.y < !y0 then y0 := p.y;
+        if p.y > !y1 then y1 := p.y)
+      points;
+    let side = Float.max (!x1 -. !x0) (!y1 -. !y0) in
+    let cell = Float.max radius (side /. float_of_int k) in
+    let grid = Wireless.Cellgrid.create ~cell_size:cell points in
+    Array.init (Wireless.Cellgrid.cells grid) (Wireless.Cellgrid.nodes_of grid)
+  end
+
+(* Dominatee -> adjacent-dominator links, appended off each
+   dominatee's CSR row (the CDS'/ICDS' "prime" augmentation). *)
+let add_dominatee_links_csr b udg roles =
+  Array.iteri
+    (fun u r ->
+      if r = Mis.Dominatee then
+        Csr.iter_neighbors udg u (fun d ->
+            if roles.(d) = Mis.Dominator then Builder.add_edge b u d))
+    roles
+
+let pipeline ?pool ?tiles ?priority ?udg points ~radius =
+  Obs.span "shard" (fun () ->
+      let owners =
+        Obs.span "shard.tiling" (fun () -> tiling ?tiles points ~radius)
+      in
+      Obs.set_gauge (Obs.gauge "shard.tiles")
+        (float_of_int (Array.length owners));
+      let pop = Obs.dist "shard.tile_pop" in
+      Array.iter
+        (fun tile -> Obs.observe pop (float_of_int (Array.length tile)))
+        owners;
+      let udg =
+        match udg with
+        | Some csr ->
+          if Csr.node_count csr <> Array.length points then
+            invalid_arg "Shard.pipeline: udg node count mismatch";
+          csr
+        | None ->
+          Obs.span "shard.udg" (fun () ->
+              Wireless.Udg.build_csr ?pool points ~radius)
+      in
+      let roles =
+        Obs.span "shard.mis" (fun () ->
+            Mis.compute_csr ?pool ~owners ?priority udg)
+      in
+      let connectors =
+        Obs.span "shard.connectors" (fun () ->
+            Connectors.find_csr ?pool ~owners udg roles)
+      in
+      let ldel =
+        Obs.span "shard.ldel" (fun () ->
+            (* LDel of the induced backbone, as in the serial chain *)
+            let backbone u =
+              roles.(u) = Mis.Dominator || connectors.Connectors.connector.(u)
+            in
+            let b = Builder.create (Array.length points) in
+            Csr.iter_edges udg (fun u v ->
+                if backbone u && backbone v then Builder.add_edge b u v);
+            let icds = Builder.seal ?pool b in
+            Ldel.build_csr ?pool ~owners icds points ~radius)
+      in
+      Obs.span "shard.assemble" (fun () ->
+          let n = Array.length points in
+          let backbone =
+            Array.init n (fun u ->
+                roles.(u) = Mis.Dominator
+                || connectors.Connectors.connector.(u))
+          in
+          let seal_of ?points fill =
+            let b = Builder.create n in
+            fill b;
+            Builder.seal ?pool ?points b
+          in
+          let cds_b = Builder.create n in
+          Builder.add_edges cds_b connectors.Connectors.cds_edges;
+          let cds = Builder.seal ?pool cds_b in
+          add_dominatee_links_csr cds_b udg roles;
+          let cds' = Builder.seal ?pool cds_b in
+          let icds_b = Builder.create n in
+          Csr.iter_edges udg (fun u v ->
+              if backbone.(u) && backbone.(v) then Builder.add_edge icds_b u v);
+          let icds = Builder.seal ?pool icds_b in
+          add_dominatee_links_csr icds_b udg roles;
+          let icds' = Builder.seal ?pool icds_b in
+          let add_pldel b =
+            Builder.add_edges b ldel.Ldel.p_gabriel;
+            List.iter
+              (fun (a, b', c) ->
+                Builder.add_edge b a b';
+                Builder.add_edge b b' c;
+                Builder.add_edge b a c)
+              ldel.Ldel.p_kept
+          in
+          let pldel = seal_of ~points add_pldel in
+          let pldel' =
+            seal_of ~points (fun b ->
+                add_pldel b;
+                add_dominatee_links_csr b udg roles)
+          in
+          {
+            points;
+            radius;
+            owners;
+            udg;
+            roles;
+            connectors;
+            ldel;
+            backbone;
+            cds;
+            cds';
+            icds;
+            icds';
+            pldel;
+            pldel';
+          }))

@@ -350,6 +350,37 @@ let m001_check ctx =
     List.rev !out
   end
 
+(* ---------- M002: mutable Graph construction in core paths ---------- *)
+
+(* The Hashtbl-backed [Netgraph.Graph] cannot be grown from Pool
+   worker domains, so every [G.add_edge] loop in lib/core pins that
+   stage to one domain and to hash-table cache behaviour.  The sharded
+   pipeline builds through [Netgraph.Builder]/[Csr] (or, for legacy
+   record shapes, collects an edge list and seals it in one
+   [G.of_edges]/[G.union] call); this rule keeps the mutation API from
+   creeping back into construction paths. *)
+
+let m002_check ctx =
+  if not (under "lib/core" ctx.path) then []
+  else
+    Array.to_list ctx.code
+    |> List.filter_map (fun t ->
+           let hit =
+             t.T.kind = T.Ident
+             && (match T.last_component t with
+                | "add_edge" | "remove_edge" -> true
+                | _ -> false)
+             && (T.has_component t "Graph" || T.has_component t "G")
+           in
+           if hit then
+             Some
+               (finding ctx "M002" Diag.Error t.T.line t.T.col
+                  (t.T.text
+                 ^ " mutates a Hashtbl graph on a lib/core construction \
+                    path; collect an edge list and seal it through \
+                    Netgraph.Builder/Csr (or G.of_edges / G.union)"))
+           else None)
+
 (* ---------- H001: every library module has an interface ---------- *)
 
 let h001_check ctx =
@@ -486,6 +517,19 @@ let all =
          and race silently.  Use Atomic, Domain.DLS, pass state explicitly, \
          or annotate the binding with (* lint: domain-local reason *).";
       check = m001_check;
+    };
+    {
+      id = "M002";
+      family = "multicore-safety";
+      severity = Diag.Error;
+      title = "no mutable Graph construction in core paths";
+      doc =
+        "Graph.add_edge / remove_edge loops in lib/core pin a construction \
+         stage to one domain (the Hashtbl graph cannot be grown from Pool \
+         workers) and were retired from the hot path by the sharded CSR \
+         pipeline.  Collect edge lists and seal through Netgraph.Builder / \
+         Csr, or G.of_edges / G.union for legacy record shapes.";
+      check = m002_check;
     };
     {
       id = "H001";

@@ -10,7 +10,9 @@
     - multicore-safety: M001 no module-toplevel mutable state in
       libraries reachable from [Netgraph.Pool] workers, unless
       [Atomic]/[Domain.DLS]-based or annotated
-      [(* lint: domain-local reason *)].
+      [(* lint: domain-local reason *)]; M002 no
+      [Graph.add_edge]/[remove_edge] on lib/core construction paths
+      (build through [Netgraph.Builder]/[Csr] or seal an edge list).
     - hygiene: H001 every lib module has an .mli; H002 no
       [Obj.magic]; H003 no bare [assert false] / empty [failwith]. *)
 

@@ -1,19 +1,20 @@
 (* Labelling runs on a CSR snapshot: freezing the adjacency costs one
    O(n + m) pass and the flood fills then touch flat int arrays
-   instead of allocating neighbor lists.  The labelling rule is
-   unchanged: each node gets the smallest node id of its component. *)
+   instead of allocating neighbor lists; a view that already is a
+   snapshot skips the freeze.  The labelling rule is unchanged: each
+   node gets the smallest node id of its component. *)
 
-let component_labels g = Csr.component_labels (Csr.of_graph g)
+let component_labels_v g = Csr.component_labels (View.to_csr g)
 
-let count g =
-  let label = component_labels g in
+let count_v g =
+  let label = component_labels_v g in
   let distinct = Hashtbl.create 16 in
   Array.iter (fun l -> Hashtbl.replace distinct l ()) label;
   Hashtbl.length distinct
 
-let is_connected g = Graph.node_count g = 0 || count g = 1
+let is_connected_v g = View.node_count g = 0 || count_v g = 1
 
-let connected_within g nodes =
+let connected_within_v g nodes =
   match nodes with
   | [] | [ _ ] -> true
   | s :: _ ->
@@ -25,7 +26,7 @@ let connected_within g nodes =
     Queue.add s q;
     while not (Queue.is_empty q) do
       let u = Queue.pop q in
-      Graph.iter_neighbors g u (fun v ->
+      View.iter_neighbors g u (fun v ->
           if Hashtbl.mem members v && not (Hashtbl.mem seen v) then begin
             Hashtbl.replace seen v ();
             Queue.add v q
@@ -33,8 +34,16 @@ let connected_within g nodes =
     done;
     List.for_all (Hashtbl.mem seen) nodes
 
-let reachable g s =
-  let dist = Traversal.bfs g s in
+let reachable_v g s =
+  let dist = Traversal.bfs_v g s in
   let acc = ref [] in
   Array.iteri (fun i d -> if d <> max_int then acc := i :: !acc) dist;
   List.rev !acc
+
+(* ------------- legacy Graph-typed adapters ------------- *)
+
+let component_labels g = component_labels_v (View.of_graph g)
+let count g = count_v (View.of_graph g)
+let is_connected g = is_connected_v (View.of_graph g)
+let connected_within g nodes = connected_within_v (View.of_graph g) nodes
+let reachable g s = reachable_v (View.of_graph g) s

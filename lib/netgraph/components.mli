@@ -1,4 +1,14 @@
-(** Connectivity queries. *)
+(** Connectivity queries.
+
+    The [_v] forms work over a read-only {!View.t} ({!Graph.t} or
+    {!Csr.t}); the [Graph]-typed functions are thin adapters kept for
+    existing callers. *)
+
+val component_labels_v : View.t -> int array
+val count_v : View.t -> int
+val is_connected_v : View.t -> bool
+val connected_within_v : View.t -> int list -> bool
+val reachable_v : View.t -> int -> int list
 
 (** [component_labels g] assigns each node the smallest node id of its
     connected component. *)

@@ -14,6 +14,26 @@ type t = {
   pw : float array;  (* |e|^beta per arc, or [||] *)
 }
 
+let weights_of ?points ?beta ~n ~offsets ~targets () =
+  match points with
+  | None ->
+    if beta <> None then invalid_arg "Csr: beta requires points";
+    ([||], [||])
+  | Some pts ->
+    if Array.length pts < n then invalid_arg "Csr: fewer points than nodes";
+    let ew = Array.make (Array.length targets) 0. in
+    for u = 0 to n - 1 do
+      for k = offsets.(u) to offsets.(u + 1) - 1 do
+        ew.(k) <- Geometry.Point.dist pts.(u) pts.(targets.(k))
+      done
+    done;
+    let pw =
+      match beta with
+      | None -> [||]
+      | Some b -> Array.map (fun w -> w ** b) ew
+    in
+    (ew, pw)
+
 let of_graph ?points ?beta g =
   let n = Graph.node_count g in
   let m = Graph.edge_count g in
@@ -33,23 +53,29 @@ let of_graph ?points ?beta g =
         targets.(!k) <- v;
         incr k)
   done;
-  let ew, pw =
-    match points with
-    | None -> ([||], [||])
-    | Some pts ->
-      let ew = Array.make (2 * m) 0. in
-      for u = 0 to n - 1 do
-        for k = offsets.(u) to offsets.(u + 1) - 1 do
-          ew.(k) <- Geometry.Point.dist pts.(u) pts.(targets.(k))
-        done
-      done;
-      let pw =
-        match beta with
-        | None -> [||]
-        | Some b -> Array.map (fun w -> w ** b) ew
-      in
-      (ew, pw)
-  in
+  let ew, pw = weights_of ?points ?beta ~n ~offsets ~targets () in
+  { n; m; offsets; targets; ew; pw }
+
+let of_rows ?points ?beta ~offsets ~targets () =
+  let n = Array.length offsets - 1 in
+  if n < 0 then invalid_arg "Csr.of_rows: empty offsets";
+  if offsets.(0) <> 0 then invalid_arg "Csr.of_rows: offsets.(0) <> 0";
+  if offsets.(n) <> Array.length targets then
+    invalid_arg "Csr.of_rows: offsets.(n) <> |targets|";
+  if Array.length targets land 1 <> 0 then
+    invalid_arg "Csr.of_rows: odd arc count";
+  for u = 0 to n - 1 do
+    if offsets.(u + 1) < offsets.(u) then
+      invalid_arg "Csr.of_rows: decreasing offsets";
+    for k = offsets.(u) to offsets.(u + 1) - 1 do
+      let v = targets.(k) in
+      if v < 0 || v >= n || v = u then invalid_arg "Csr.of_rows: bad target";
+      if k > offsets.(u) && targets.(k - 1) >= v then
+        invalid_arg "Csr.of_rows: row not sorted strictly"
+    done
+  done;
+  let m = Array.length targets / 2 in
+  let ew, pw = weights_of ?points ?beta ~n ~offsets ~targets () in
   { n; m; offsets; targets; ew; pw }
 
 let node_count t = t.n
@@ -83,6 +109,32 @@ let mem_edge t u v =
     else hi := mid - 1
   done;
   !found
+
+let iter_edges t f =
+  for u = 0 to t.n - 1 do
+    for k = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+      let v = t.targets.(k) in
+      if u < v then f u v
+    done
+  done
+
+let fold_edges t f init =
+  let acc = ref init in
+  iter_edges t (fun u v -> acc := f !acc u v);
+  !acc
+
+let edges t = List.rev (fold_edges t (fun acc u v -> (u, v) :: acc) [])
+
+let to_graph t =
+  let g = Graph.create t.n in
+  iter_edges t (Graph.add_edge g);
+  g
+
+let with_weights ?beta t points =
+  let ew, pw =
+    weights_of ~points ?beta ~n:t.n ~offsets:t.offsets ~targets:t.targets ()
+  in
+  { t with ew; pw }
 
 (* ---------------- traversals ---------------- *)
 

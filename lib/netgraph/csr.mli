@@ -23,6 +23,31 @@ type t
     [points] is shorter than the node count. *)
 val of_graph : ?points:Geometry.Point.t array -> ?beta:float -> Graph.t -> t
 
+(** [of_rows ~offsets ~targets ()] adopts pre-built CSR rows without
+    going through a {!Graph.t} — the sealing primitive of {!Builder}
+    and the sharded construction pipeline.  [offsets] has length
+    [n + 1] with [offsets.(0) = 0]; row [u] is
+    [targets.(offsets.(u)) .. targets.(offsets.(u+1) - 1)] and must be
+    strictly increasing (sorted, duplicate-free) with in-range,
+    non-self targets.  Rows must be symmetric ([v] in row [u] iff [u]
+    in row [v]); this is the caller's obligation — the cheap structural
+    checks here do not verify it.  The arrays are adopted, not copied.
+    [points]/[beta] precompute arc weights as in {!of_graph}.
+    @raise Invalid_argument on malformed offsets or rows. *)
+val of_rows :
+  ?points:Geometry.Point.t array ->
+  ?beta:float ->
+  offsets:int array ->
+  targets:int array ->
+  unit ->
+  t
+
+(** [with_weights ?beta t points] is [t] with freshly computed
+    Euclidean (and with [beta], power) arc weights — rows are shared,
+    only the weight arrays are rebuilt.  Used to upgrade a weightless
+    snapshot for the metrics engine without re-sealing. *)
+val with_weights : ?beta:float -> t -> Geometry.Point.t array -> t
+
 val node_count : t -> int
 
 (** Number of undirected edges (half the stored arc count). *)
@@ -47,6 +72,23 @@ val neighbors : t -> int -> int list
 
 (** [mem_edge t u v] tests adjacency by binary search in [u]'s row. *)
 val mem_edge : t -> int -> int -> bool
+
+(** [iter_edges t f] calls [f u v] once per undirected edge with
+    [u < v], in lexicographic order. *)
+val iter_edges : t -> (int -> int -> unit) -> unit
+
+(** [fold_edges t f init] folds over edges with [u < v],
+    lexicographically. *)
+val fold_edges : t -> ('a -> int -> int -> 'a) -> 'a -> 'a
+
+(** All edges as [(u, v)] pairs with [u < v], lexicographically
+    (allocates; for tests and interop). *)
+val edges : t -> (int * int) list
+
+(** Thaw back into the legacy mutable representation — the adapter for
+    consumers that still require a {!Graph.t}.  Linear in the edge
+    count; avoid on million-node snapshots. *)
+val to_graph : t -> Graph.t
 
 (** {1 Traversals}
 

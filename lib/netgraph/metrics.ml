@@ -1,11 +1,11 @@
 type degree_stats = { deg_avg : float; deg_max : int; edges : int }
 
-let degree_stats g =
-  let n = Graph.node_count g in
-  let m = Graph.edge_count g in
+let degree_stats_v g =
+  let n = View.node_count g in
+  let m = View.edge_count g in
   let deg_max = ref 0 in
   for u = 0 to n - 1 do
-    let d = Graph.degree g u in
+    let d = View.degree g u in
     if d > !deg_max then deg_max := d
   done;
   {
@@ -13,6 +13,8 @@ let degree_stats g =
     deg_max = !deg_max;
     edges = m;
   }
+
+let degree_stats g = degree_stats_v (View.of_graph g)
 
 type stretch = {
   len_avg : float;
@@ -62,17 +64,17 @@ let weighted_sssp g cost s =
 (* ------------------------------------------------------------------ *)
 
 let fused ~one_hop_direct ~jobs ~want_len ~want_hop ~beta ~base points subs =
-  let n = Graph.node_count base in
+  let n = View.node_count base in
   List.iter
     (fun (_, sub) ->
-      if Graph.node_count sub <> n then
+      if View.node_count sub <> n then
         invalid_arg "Metrics: node count mismatch")
     subs;
   let want_pow = beta <> None in
   let nsubs = List.length subs in
-  let base_csr = Csr.of_graph ~points ?beta base in
+  let base_csr = View.to_csr ~points ?beta base in
   let subs_csr =
-    Array.of_list (List.map (fun (_, g) -> Csr.of_graph ~points ?beta g) subs)
+    Array.of_list (List.map (fun (_, g) -> View.to_csr ~points ?beta g) subs)
   in
   (* per-(sub, source) partial accumulators; [||] when the metric is
      off so a stray access fails loudly *)
@@ -247,12 +249,17 @@ let fused ~one_hop_direct ~jobs ~want_len ~want_hop ~beta ~base points subs =
       (name, { c_stretch = { len_avg; len_max; hop_avg; hop_max }; c_power }))
     subs
 
-let combined_stretch ?(one_hop_direct = true) ?(jobs = 1) ?beta ~base points
+let combined_stretch_v ?(one_hop_direct = true) ?(jobs = 1) ?beta ~base points
     subs =
   fused ~one_hop_direct ~jobs ~want_len:true ~want_hop:true ~beta ~base points
     subs
 
-let stretch_factors ?(one_hop_direct = true) ?(jobs = 1) ~base ~sub points =
+let combined_stretch ?one_hop_direct ?jobs ?beta ~base points subs =
+  combined_stretch_v ?one_hop_direct ?jobs ?beta ~base:(View.of_graph base)
+    points
+    (List.map (fun (name, g) -> (name, View.of_graph g)) subs)
+
+let stretch_factors_v ?(one_hop_direct = true) ?(jobs = 1) ~base ~sub points =
   match
     fused ~one_hop_direct ~jobs ~want_len:true ~want_hop:true ~beta:None ~base
       points
@@ -261,12 +268,16 @@ let stretch_factors ?(one_hop_direct = true) ?(jobs = 1) ~base ~sub points =
   | [ (_, c) ] -> c.c_stretch
   | _ -> assert false (* fused returns one cell per requested sub *)
 
+let stretch_factors ?one_hop_direct ?jobs ~base ~sub points =
+  stretch_factors_v ?one_hop_direct ?jobs ~base:(View.of_graph base)
+    ~sub:(View.of_graph sub) points
+
 let power_stretch ?(one_hop_direct = true) ?(jobs = 1) ~base ~sub points ~beta
     =
   match
     fused ~one_hop_direct ~jobs ~want_len:false ~want_hop:false
-      ~beta:(Some beta) ~base points
-      [ ("", sub) ]
+      ~beta:(Some beta) ~base:(View.of_graph base) points
+      [ ("", View.of_graph sub) ]
   with
   | [ (_, { c_power = Some p; _ }) ] -> p
   | _ -> assert false (* beta:(Some _) forces a power cell per sub *)
@@ -390,7 +401,9 @@ let pair_stretch ~base ~sub points s t =
       ( ds.(t) /. db.(t),
         float_of_int hs.(t) /. float_of_int (max 1 hb.(t)) )
 
-let total_edge_length g points =
-  Graph.fold_edges g
+let total_edge_length_v g points =
+  View.fold_edges g
     (fun acc u v -> acc +. Geometry.Point.dist points.(u) points.(v))
     0.
+
+let total_edge_length g points = total_edge_length_v (View.of_graph g) points

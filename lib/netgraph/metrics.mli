@@ -20,6 +20,10 @@ type degree_stats = {
 
 val degree_stats : Graph.t -> degree_stats
 
+(** Same statistics over a read-only {!View.t} — accepts legacy
+    graphs and {!Csr.t} snapshots uniformly. *)
+val degree_stats_v : View.t -> degree_stats
+
 type stretch = {
   len_avg : float;  (** average length stretch over connected pairs *)
   len_max : float;  (** maximum length stretch *)
@@ -89,6 +93,23 @@ val combined_stretch :
   (string * Graph.t) list ->
   (string * combined) list
 
+(** View-typed engine entry points: identical semantics and numbers,
+    but base and substructures may be {!Csr.t} snapshots (already
+    weight-sealed snapshots skip the freeze entirely). *)
+val combined_stretch_v :
+  ?one_hop_direct:bool ->
+  ?jobs:int ->
+  ?beta:float ->
+  base:View.t ->
+  Geometry.Point.t array ->
+  (string * View.t) list ->
+  (string * combined) list
+
+val stretch_factors_v :
+  ?one_hop_direct:bool ->
+  ?jobs:int ->
+  base:View.t -> sub:View.t -> Geometry.Point.t array -> stretch
+
 (** [sampled_stretch ~sources ~base ~sub points] is length/hop stretch
     restricted to the given source nodes, each measured against every
     node reachable from it in [base] — the per-round health probe used
@@ -117,6 +138,8 @@ val pair_stretch :
 
 (** Total Euclidean length of all edges. *)
 val total_edge_length : Graph.t -> Geometry.Point.t array -> float
+
+val total_edge_length_v : View.t -> Geometry.Point.t array -> float
 
 (** [weighted_sssp g cost s] is Dijkstra from [s] with arbitrary edge
     costs [cost u v] — the generic fallback for costs that cannot be

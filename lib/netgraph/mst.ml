@@ -1,4 +1,5 @@
-(* Kruskal with path-compressing union-find. *)
+(* Kruskal with path-compressing union-find, over the read-only View
+   (legacy Graph entry points are adapters at the bottom). *)
 
 (* explicit (weight, u, v) comparator: Float.compare on the weight
    keeps the hot sort monomorphic (no polymorphic-compare boxing) and
@@ -23,15 +24,15 @@ let find parent x =
   compress x;
   r
 
-let minimum_spanning_forest g points =
-  let n = Graph.node_count g in
-  let m = Graph.edge_count g in
+let minimum_spanning_forest_v g points =
+  let n = View.node_count g in
+  let m = View.edge_count g in
   (* edges in one flat array sorted in place — no per-edge list cells;
      ties break on (u, v) so the forest is deterministic regardless of
      iteration order *)
   let edges = Array.make m (0., 0, 0) in
   let i = ref 0 in
-  Graph.iter_edges g (fun u v ->
+  View.iter_edges g (fun u v ->
       edges.(!i) <- (Geometry.Point.dist points.(u) points.(v), u, v);
       incr i);
   Array.sort cmp_edge edges;
@@ -46,6 +47,9 @@ let minimum_spanning_forest g points =
       end)
     edges;
   forest
+
+let minimum_spanning_forest g points =
+  minimum_spanning_forest_v (View.of_graph g) points
 
 let forest_weight g points = Metrics.total_edge_length g points
 

@@ -11,6 +11,11 @@
 val minimum_spanning_forest :
   Graph.t -> Geometry.Point.t array -> Graph.t
 
+(** Same computation over a read-only view (accepts {!Csr.t}
+    snapshots); the forest itself is small, so it stays a {!Graph.t}. *)
+val minimum_spanning_forest_v :
+  View.t -> Geometry.Point.t array -> Graph.t
+
 (** Total Euclidean weight of the forest of [g]. *)
 val forest_weight : Graph.t -> Geometry.Point.t array -> float
 

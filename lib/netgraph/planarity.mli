@@ -3,7 +3,17 @@
     A network topology drawn with straight-line links is planar when no
     two links cross; routing schemes such as GPSR's perimeter mode are
     only correct on such drawings.  These checks are geometric (they
-    use the node positions), not abstract graph planarity. *)
+    use the node positions), not abstract graph planarity.
+
+    The [_v] forms accept a read-only {!View.t} ({!Graph.t} or
+    {!Csr.t}); the [Graph]-typed functions are thin adapters. *)
+
+val crossing_pairs_v :
+  View.t -> Geometry.Point.t array -> ((int * int) * (int * int)) list
+
+val crossing_count_v : View.t -> Geometry.Point.t array -> int
+val is_planar_v : View.t -> Geometry.Point.t array -> bool
+val euler_bound_ok_v : View.t -> bool
 
 (** [crossing_pairs g points] lists every pair of edges that properly
     cross (edges sharing an endpoint never count).  Each pair is

@@ -3,7 +3,23 @@
     The spanner definitions in the paper are stated for two metrics:
     the hop metric (number of links) and the length metric (sum of
     Euclidean link lengths).  Both traversals return per-source
-    distance arrays so stretch factors can be computed over all pairs. *)
+    distance arrays so stretch factors can be computed over all pairs.
+
+    Every traversal exists in two forms: a [_v] function over a
+    read-only {!View.t} (works on {!Graph.t} and {!Csr.t} alike) and
+    the historical [Graph]-typed adapter, which is [_v] composed with
+    {!View.of_graph}.  Results are bit-identical. *)
+
+val bfs_v : View.t -> int -> int array
+val bfs_path_v : View.t -> int -> int -> int list option
+val dijkstra_v : View.t -> Geometry.Point.t array -> int -> float array
+
+val dijkstra_path_v :
+  View.t -> Geometry.Point.t array -> int -> int -> int list option
+
+val is_path_v : View.t -> int list -> bool
+val eccentricity_v : View.t -> int -> int
+val diameter_v : View.t -> int
 
 (** Distance by hops from a single source.  Unreachable nodes get
     [max_int]. *)

@@ -2,6 +2,17 @@ let on = ref false
 let enabled () = !on
 let set_enabled b = on := b
 
+(* Run [f] with the registry disabled, restoring the previous state.
+   Parallel construction stages wrap their worker fan-out in this:
+   the registry is not domain-safe, and instrumented inner loops
+   (predicates, triangulation, grid queries) would otherwise race.
+   An enclosing [span] entered before the quiesce still records its
+   timing — [span] checks the switch once at entry. *)
+let quiesced f =
+  let was = !on in
+  on := false;
+  Fun.protect ~finally:(fun () -> on := was) f
+
 (* %.17g round-trips IEEE doubles exactly *)
 let g17 = Printf.sprintf "%.17g"
 

@@ -30,6 +30,13 @@ val on : bool ref
 val enabled : unit -> bool
 val set_enabled : bool -> unit
 
+(** [quiesced f] runs [f ()] with the registry disabled, restoring the
+    previous state afterwards (also on exceptions).  The registry is
+    not domain-safe, so parallel construction stages wrap their worker
+    fan-out in this; a {!span} entered {e before} the quiesce still
+    records its timing, since [span] checks the switch once at entry. *)
+val quiesced : (unit -> 'a) -> 'a
+
 (** [reset ()] zeroes every counter, distribution, span and gauge
     while keeping all registered handles valid. *)
 val reset : unit -> unit

@@ -1,0 +1,50 @@
+(** Flat, immutable spatial buckets (counting sort; no Hashtbl, no
+    {!Obs}).
+
+    The shard pipeline's spatial substrate: built once from the node
+    positions, then read concurrently from pool worker domains —
+    unlike {!Geometry.Grid}, whose Hashtbl buckets and Obs-instrumented
+    queries must stay on the calling domain.  Buckets hold node ids in
+    ascending order, so every iteration here is deterministic.
+
+    With [cell_size] = the transmission radius this drives CSR-native
+    UDG construction ({!Udg.build_csr}); with [cell_size] = the tile
+    side its buckets are exactly the tile ownership sets of
+    {!Core.Shard}. *)
+
+type t
+
+(** [create ~cell_size points] buckets the points into a grid of
+    square cells covering their bounding box.
+    @raise Invalid_argument when [cell_size <= 0]. *)
+val create : cell_size:float -> Geometry.Point.t array -> t
+
+(** Total number of cells ([cols * rows], at least 1). *)
+val cells : t -> int
+
+val cols : t -> int
+val rows : t -> int
+
+(** Bucket index of node [u]. *)
+val cell_of : t -> int -> int
+
+(** Bucket index of an arbitrary position (clamped to the grid). *)
+val cell_at : t -> Geometry.Point.t -> int
+
+(** [iter_cell t k f] visits bucket [k]'s nodes, ascending ids. *)
+val iter_cell : t -> int -> (int -> unit) -> unit
+
+(** Bucket [k]'s nodes as a fresh array, ascending ids. *)
+val nodes_of : t -> int -> int array
+
+val population : t -> int -> int
+
+(** [iter_near t u f] visits every node of the 3x3 cell block around
+    [u]'s cell (including [u] itself) — the candidate set for any
+    within-[cell_size] range query. *)
+val iter_near : t -> int -> (int -> unit) -> unit
+
+(** [iter_ring_cells t k r f] visits the cell indices at Chebyshev
+    distance exactly [r] from cell [k] ([r = 0]: just [k]) — halo
+    enumeration for the tile tests. *)
+val iter_ring_cells : t -> int -> int -> (int -> unit) -> unit

@@ -14,6 +14,62 @@ let build points ~radius =
   end;
   g
 
+(* CSR-native construction: two grid passes (count, fill) with the
+   same in-range predicate as [build], so the edge set is identical;
+   both passes write only node-[u]-owned slots and read the immutable
+   cell grid, so they fan out over the pool's domains and the result
+   is bit-identical for any job count. *)
+let build_csr ?pool points ~radius =
+  if radius <= 0. then invalid_arg "Udg.build_csr: radius <= 0";
+  let n = Array.length points in
+  let deg = Array.make (max 1 (n + 1)) 0 in
+  if n > 1 then begin
+    let grid = Cellgrid.create ~cell_size:radius points in
+    let for_all_nodes body =
+      match pool with
+      | Some p -> Netgraph.Pool.parallel_for p ~n (fun () -> body)
+      | None ->
+        for u = 0 to n - 1 do
+          body u
+        done
+    in
+    let count u =
+      let d = ref 0 in
+      Cellgrid.iter_near grid u (fun v ->
+          if v <> u && P.dist points.(u) points.(v) <= radius then incr d);
+      deg.(u + 1) <- !d
+    in
+    for_all_nodes count;
+    let offsets = Array.make (n + 1) 0 in
+    for u = 0 to n - 1 do
+      offsets.(u + 1) <- offsets.(u) + deg.(u + 1)
+    done;
+    let targets = Array.make offsets.(n) 0 in
+    let fill u =
+      let k = ref offsets.(u) in
+      Cellgrid.iter_near grid u (fun v ->
+          if v <> u && P.dist points.(u) points.(v) <= radius then begin
+            targets.(!k) <- v;
+            incr k
+          end);
+      (* cells are scanned in row-major order, so the row is not yet
+         sorted by id; degrees are tiny — insertion sort in place *)
+      for i = offsets.(u) + 1 to offsets.(u + 1) - 1 do
+        let x = targets.(i) in
+        let j = ref (i - 1) in
+        while !j >= offsets.(u) && targets.(!j) > x do
+          targets.(!j + 1) <- targets.(!j);
+          decr j
+        done;
+        targets.(!j + 1) <- x
+      done
+    in
+    for_all_nodes fill;
+    Netgraph.Csr.of_rows ~offsets ~targets ()
+  end
+  else
+    Netgraph.Csr.of_rows ~offsets:(Array.make (n + 1) 0) ~targets:[||] ()
+
 let neighborhood g u ~hops =
   let dist = Netgraph.Traversal.bfs g u in
   let acc = ref [] in

@@ -10,6 +10,19 @@
     @raise Invalid_argument when [radius <= 0]. *)
 val build : Geometry.Point.t array -> radius:float -> Netgraph.Graph.t
 
+(** [build_csr points ~radius] is the same unit disk graph, emitted
+    directly as a {!Netgraph.Csr} snapshot — no intermediate mutable
+    graph, so this is the entry point for million-node pipelines.
+    With [pool], the per-node count/fill passes fan out across its
+    domains; the snapshot is bit-identical to
+    [Csr.of_graph (build points ~radius)] for any job count.
+    @raise Invalid_argument when [radius <= 0]. *)
+val build_csr :
+  ?pool:Netgraph.Pool.t ->
+  Geometry.Point.t array ->
+  radius:float ->
+  Netgraph.Csr.t
+
 (** [neighborhood points ~radius u ~hops] is the set of nodes within
     [hops] hops of [u] in the UDG (the paper's [N_k(u)], including [u]
     itself), computed from an existing graph. *)

@@ -161,6 +161,24 @@ let m001 () =
   check "core out of scope" false
     (fires "M001" ~path:"lib/core/x.ml" "let cache = Hashtbl.create 16")
 
+let m002 () =
+  check "G.add_edge in core flagged" true
+    (fires "M002" ~path:"lib/core/x.ml" "let f g = G.add_edge g u v");
+  check "qualified Netgraph.Graph.add_edge flagged" true
+    (fires "M002" ~path:"lib/core/x.ml"
+       "let f g = Netgraph.Graph.add_edge g 0 1");
+  check "remove_edge flagged" true
+    (fires "M002" ~path:"lib/core/x.ml" "let f g = G.remove_edge g u v");
+  check "Builder.add_edge fine" false
+    (fires "M002" ~path:"lib/core/x.ml" "let f b = Builder.add_edge b u v");
+  check "local add_edge helper fine" false
+    (fires "M002" ~path:"lib/core/x.ml"
+       "let add_edge u v = Hashtbl.replace edges (u, v) ()");
+  check "of_edges sealing fine" false
+    (fires "M002" ~path:"lib/core/x.ml" "let g = G.of_edges n edges");
+  check "outside core not scoped" false
+    (fires "M002" ~path:"lib/netgraph/x.ml" "let f g = G.add_edge g u v")
+
 let h001 () =
   check "lib module without mli flagged" true
     (fires "H001" ~path:"lib/geometry/x.ml" ~has_mli:false "let x = 1");
@@ -358,6 +376,7 @@ let suites =
         Alcotest.test_case "F001 poly compare" `Quick f001;
         Alcotest.test_case "F002 float literal eq" `Quick f002;
         Alcotest.test_case "M001 toplevel mutable" `Quick m001;
+        Alcotest.test_case "M002 mutable graph construction" `Quick m002;
         Alcotest.test_case "H001 missing mli" `Quick h001;
         Alcotest.test_case "H002 obj magic" `Quick h002;
         Alcotest.test_case "H003 silent dead ends" `Quick h003;

@@ -1,0 +1,519 @@
+(* Sharded CSR-native construction: bit-identity against the serial
+   Hashtbl-graph pipeline, for any tiling and any job count. *)
+
+module G = Netgraph.Graph
+module Csr = Netgraph.Csr
+module Pool = Netgraph.Pool
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let edge_list = Alcotest.(check (list (pair int int)))
+
+(* a reproducible connected-ish deployment *)
+let deployment seed n side radius =
+  let rng = Wireless.Rand.create seed in
+  let pts = Wireless.Deploy.uniform rng ~n ~side in
+  (pts, Wireless.Udg.build pts ~radius)
+
+(* split node ids into [k] tiles by spatial cell — the partition the
+   pipeline itself uses; correctness must hold for ANY partition, so
+   some tests below use a round-robin split instead *)
+let spatial_tiles pts k =
+  let side = 200. in
+  let grid = Wireless.Cellgrid.create ~cell_size:(side /. float_of_int k) pts in
+  Array.init (Wireless.Cellgrid.cells grid) (Wireless.Cellgrid.nodes_of grid)
+
+let round_robin_tiles n k =
+  let tiles = Array.make k [] in
+  for u = n - 1 downto 0 do
+    tiles.(u mod k) <- u :: tiles.(u mod k)
+  done;
+  Array.map Array.of_list tiles
+
+let with_jobs jobs f =
+  if jobs = 1 then f None else Pool.with_pool ~jobs (fun p -> f (Some p))
+
+(* --- UDG ------------------------------------------------------------ *)
+
+let test_udg_csr_identity () =
+  List.iter
+    (fun jobs ->
+      let pts, g = deployment 11L 300 200. 25. in
+      let want = Csr.edges (Csr.of_graph g) in
+      with_jobs jobs (fun pool ->
+          let csr = Wireless.Udg.build_csr ?pool pts ~radius:25. in
+          edge_list
+            (Printf.sprintf "udg edges jobs=%d" jobs)
+            want (Csr.edges csr)))
+    [ 1; 2; 4 ]
+
+let test_udg_csr_tiny () =
+  let csr = Wireless.Udg.build_csr [||] ~radius:1. in
+  checki "empty nodes" 0 (Csr.node_count csr);
+  let csr = Wireless.Udg.build_csr [| { Geometry.Point.x = 0.; y = 0. } |] ~radius:1. in
+  checki "single node" 1 (Csr.node_count csr);
+  checki "single node edges" 0 (Csr.edge_count csr)
+
+(* --- MIS ------------------------------------------------------------ *)
+
+let test_mis_csr_identity () =
+  let pts, g = deployment 12L 400 200. 22. in
+  let csr = Csr.of_graph g in
+  let want = Core.Mis.compute g in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun tiles ->
+          with_jobs jobs (fun pool ->
+              let got = Core.Mis.compute_csr ?pool ?owners:tiles csr in
+              check
+                (Printf.sprintf "mis jobs=%d" jobs)
+                true (want = got)))
+        [
+          None;
+          Some (spatial_tiles pts 3);
+          Some (round_robin_tiles (Array.length pts) 7);
+        ])
+    [ 1; 2; 4 ]
+
+let test_mis_csr_priority () =
+  let _, g = deployment 13L 200 200. 30. in
+  let priority u = -u in
+  let want = Core.Mis.compute_with_priority g ~priority in
+  let got = Core.Mis.compute_csr ~priority (Csr.of_graph g) in
+  check "priority identical" true (want = got)
+
+(* --- Connectors ----------------------------------------------------- *)
+
+let test_connectors_csr_identity () =
+  let pts, g = deployment 14L 400 200. 22. in
+  let csr = Csr.of_graph g in
+  let roles = Core.Mis.compute g in
+  let want = Core.Connectors.find g roles in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun tiles ->
+          with_jobs jobs (fun pool ->
+              let got = Core.Connectors.find_csr ?pool ?owners:tiles csr roles in
+              let tag s = Printf.sprintf "%s jobs=%d" s jobs in
+              check (tag "connector") true
+                (want.Core.Connectors.connector = got.Core.Connectors.connector);
+              edge_list (tag "cds_edges") want.Core.Connectors.cds_edges
+                got.Core.Connectors.cds_edges;
+              edge_list (tag "two_hop") want.Core.Connectors.two_hop_pairs
+                got.Core.Connectors.two_hop_pairs;
+              edge_list (tag "three_hop") want.Core.Connectors.three_hop_pairs
+                got.Core.Connectors.three_hop_pairs))
+        [
+          None;
+          Some (spatial_tiles pts 4);
+          Some (round_robin_tiles (Array.length pts) 5);
+        ])
+    [ 1; 2; 4 ]
+
+(* --- LDel ----------------------------------------------------------- *)
+
+let tri_list = Alcotest.(check (list (triple int int int)))
+
+let test_ldel_csr_identity () =
+  let pts, g = deployment 15L 300 200. 28. in
+  let csr = Csr.of_graph g in
+  let want = Core.Ldel.build g pts ~radius:28. in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun tiles ->
+          with_jobs jobs (fun pool ->
+              let parts = Core.Ldel.build_csr ?pool ?owners:tiles csr pts ~radius:28. in
+              let tag s = Printf.sprintf "%s jobs=%d" s jobs in
+              edge_list (tag "gabriel") want.Core.Ldel.gabriel_edges
+                parts.Core.Ldel.p_gabriel;
+              tri_list (tag "triangles") want.Core.Ldel.triangles
+                parts.Core.Ldel.p_triangles;
+              tri_list (tag "kept") want.Core.Ldel.kept_triangles
+                parts.Core.Ldel.p_kept;
+              let rebuilt = Core.Ldel.of_parts (Array.length pts) parts in
+              check (tag "ldel1 graph") true
+                (G.equal want.Core.Ldel.ldel1 rebuilt.Core.Ldel.ldel1);
+              check (tag "planar graph") true
+                (G.equal want.Core.Ldel.planar rebuilt.Core.Ldel.planar)))
+        [ None; Some (spatial_tiles pts 3) ])
+    [ 1; 2; 4 ]
+
+(* the induced backbone graph has isolated nodes and sparse rows — the
+   other shape [build_csr] must reproduce *)
+let test_ldel_csr_on_backbone () =
+  let pts, g = deployment 16L 250 200. 30. in
+  let cds = Core.Cds.of_udg g in
+  let icds = cds.Core.Cds.icds in
+  let want = Core.Ldel.build icds pts ~radius:30. in
+  let parts = Core.Ldel.build_csr (Csr.of_graph icds) pts ~radius:30. in
+  edge_list "gabriel" want.Core.Ldel.gabriel_edges parts.Core.Ldel.p_gabriel;
+  tri_list "triangles" want.Core.Ldel.triangles parts.Core.Ldel.p_triangles;
+  tri_list "kept" want.Core.Ldel.kept_triangles parts.Core.Ldel.p_kept
+
+(* --- Builder / View ------------------------------------------------- *)
+
+module B = Netgraph.Builder
+module V = Netgraph.View
+
+let test_builder_seal () =
+  let b = B.create 5 in
+  B.add_edges b [ (1, 2); (2, 1); (0, 4); (1, 2) ];
+  checki "pending counts duplicates" 4 (B.pending b);
+  let csr = B.seal b in
+  edge_list "dedup both orientations" [ (0, 4); (1, 2) ] (Csr.edges csr);
+  let b2 = B.create 5 in
+  B.add_edges b2 [ (4, 0); (1, 2) ];
+  edge_list "append order irrelevant" (Csr.edges csr)
+    (Csr.edges (B.seal b2));
+  let into = B.create 5 in
+  B.add_edge into 0 4;
+  B.append ~into b2;
+  edge_list "append stitches" [ (0, 4); (1, 2) ] (Csr.edges (B.seal into));
+  (* seal is non-destructive: keep appending, seal again *)
+  B.add_edge b2 3 4;
+  edge_list "incremental reseal" [ (0, 4); (1, 2); (3, 4) ]
+    (Csr.edges (B.seal b2));
+  check "self-loop rejected" true
+    (try
+       B.add_edge b2 1 1;
+       false
+     with Invalid_argument _ -> true);
+  check "out-of-range rejected" true
+    (try
+       B.add_edge b2 0 5;
+       false
+     with Invalid_argument _ -> true);
+  check "seal_graph adapter" true
+    (G.equal (B.seal_graph b2) (Csr.to_graph (B.seal b2)));
+  (* pooled seal is bit-identical to the serial seal *)
+  let pts, g = deployment 32L 300 200. 25. in
+  let bb = B.create (Array.length pts) in
+  B.add_graph bb g;
+  let serial = B.seal ~points:pts bb in
+  Pool.with_pool ~jobs:3 (fun p ->
+      let pooled = B.seal ~pool:p ~points:pts bb in
+      edge_list "pooled seal" (Csr.edges serial) (Csr.edges pooled))
+
+let test_view_dispatch () =
+  let _, g = deployment 33L 200 200. 30. in
+  let vg = V.of_graph g and vc = V.of_csr (Csr.of_graph g) in
+  checki "node_count" (V.node_count vg) (V.node_count vc);
+  checki "edge_count" (V.edge_count vg) (V.edge_count vc);
+  edge_list "edges agree" (V.edges vg) (V.edges vc);
+  edge_list "edges match graph" (G.edges g) (V.edges vc);
+  let rows_agree = ref true in
+  for u = 0 to V.node_count vg - 1 do
+    if V.neighbors vg u <> V.neighbors vc u then rows_agree := false;
+    if V.degree vg u <> V.degree vc u then rows_agree := false
+  done;
+  check "neighbor rows agree" true !rows_agree;
+  check "has_edge symmetric" true
+    (match G.edges g with
+    | (u, v) :: _ -> V.has_edge vc u v && V.has_edge vc v u
+    | [] -> true);
+  (* a snapshot view freezes to itself when no weights are demanded *)
+  let c = Csr.of_graph g in
+  check "to_csr reuses snapshot" true (V.to_csr (V.of_csr c) == c)
+
+(* --- Halo properties ------------------------------------------------ *)
+
+(* induced sub-deployment over a sorted id set: the remap is monotone,
+   so every smallest-id tie-break elects the same winners *)
+let induce pts ids =
+  let old_of = Array.of_list ids in
+  let new_of = Hashtbl.create (Array.length old_of) in
+  Array.iteri (fun i u -> Hashtbl.add new_of u i) old_of;
+  (old_of, (fun u -> Hashtbl.find_opt new_of u),
+   Array.map (fun u -> pts.(u)) old_of)
+
+let halo_ids grid cell ~rings =
+  let acc = ref [] in
+  for r = 0 to rings do
+    Wireless.Cellgrid.iter_ring_cells grid cell r (fun k ->
+        Wireless.Cellgrid.iter_cell grid k (fun u -> acc := u :: !acc))
+  done;
+  List.sort_uniq Int.compare !acc
+
+(* Connector elections are 2-local around the owning dominator: the
+   serial algorithm, re-run on just the halo (cells within Chebyshev
+   3 of the tile — 3 hops at cell = radius), reproduces exactly the
+   pairs owned by the tile's dominators.  This is the property that
+   makes per-tile sharding correct. *)
+let test_connectors_halo () =
+  let radius = 30. in
+  let pts, g = deployment 31L 800 300. radius in
+  let roles = Core.Mis.compute g in
+  let full = Core.Connectors.find g roles in
+  let grid = Wireless.Cellgrid.create ~cell_size:radius pts in
+  let n_cells = Wireless.Cellgrid.cells grid in
+  List.iter
+    (fun cell ->
+      let cell = cell mod n_cells in
+      let old_of, remap, sub_pts =
+        induce pts (halo_ids grid cell ~rings:3)
+      in
+      let sub_g = Wireless.Udg.build sub_pts ~radius in
+      let sub_roles = Array.map (fun u -> roles.(u)) old_of in
+      let sub = Core.Connectors.find sub_g sub_roles in
+      let in_tile u = Wireless.Cellgrid.cell_of grid u = cell in
+      (* tile-owned pairs of the full run, in halo coordinates *)
+      let owned pairs =
+        List.filter_map
+          (fun (u, v) ->
+            if in_tile u then
+              match (remap u, remap v) with
+              | Some u', Some v' -> Some (u', v')
+              | _ -> None (* unreachable: halo covers 3 hops *)
+            else None)
+          pairs
+      in
+      (* tile-owned pairs of the halo re-run *)
+      let sub_owned pairs =
+        List.filter (fun (u', _) -> in_tile old_of.(u')) pairs
+      in
+      let tag s = Printf.sprintf "%s cell=%d" s cell in
+      edge_list (tag "two-hop halo")
+        (owned full.Core.Connectors.two_hop_pairs)
+        (sub_owned sub.Core.Connectors.two_hop_pairs);
+      edge_list (tag "three-hop halo")
+        (owned full.Core.Connectors.three_hop_pairs)
+        (sub_owned sub.Core.Connectors.three_hop_pairs))
+    [ 0; 17; 23; 38 ]
+
+(* LDel(1) is 2-local: a triangle needs its own corner neighborhoods
+   (1 hop) plus the corners' local Delaunay votes (their 1-hop views),
+   so a 2-ring halo reproduces every accepted triangle and Gabriel
+   edge whose min corner lies in the tile.  (Planarization is global
+   — [kept_triangles] is deliberately not compared.) *)
+let test_ldel_halo () =
+  let radius = 28. in
+  let pts, g = deployment 34L 600 250. radius in
+  let full = Core.Ldel.build g pts ~radius in
+  let grid = Wireless.Cellgrid.create ~cell_size:radius pts in
+  let n_cells = Wireless.Cellgrid.cells grid in
+  List.iter
+    (fun cell ->
+      let cell = cell mod n_cells in
+      let old_of, remap, sub_pts =
+        induce pts (halo_ids grid cell ~rings:2)
+      in
+      let sub = Core.Ldel.build (Wireless.Udg.build sub_pts ~radius) sub_pts ~radius in
+      let in_tile u = Wireless.Cellgrid.cell_of grid u = cell in
+      let tag s = Printf.sprintf "%s cell=%d" s cell in
+      edge_list (tag "gabriel halo")
+        (List.filter_map
+           (fun (u, v) ->
+             if in_tile u then
+               match (remap u, remap v) with
+               | Some u', Some v' -> Some (u', v')
+               | _ -> None
+             else None)
+           full.Core.Ldel.gabriel_edges)
+        (List.filter
+           (fun (u', _) -> in_tile old_of.(u'))
+           sub.Core.Ldel.gabriel_edges);
+      tri_list (tag "triangle halo")
+        (List.filter_map
+           (fun (a, b, c) ->
+             if in_tile a then
+               match (remap a, remap b, remap c) with
+               | Some a', Some b', Some c' -> Some (a', b', c')
+               | _ -> None
+             else None)
+           full.Core.Ldel.triangles)
+        (List.filter
+           (fun (a', _, _) -> in_tile old_of.(a'))
+           sub.Core.Ldel.triangles))
+    [ 0; 11; 29 ]
+
+(* --- Full pipeline -------------------------------------------------- *)
+
+let same_backbone tag (a : Core.Backbone.t) (b : Core.Backbone.t) =
+  check (tag ^ " udg") true (G.equal a.Core.Backbone.udg b.Core.Backbone.udg);
+  check (tag ^ " roles") true
+    (a.Core.Backbone.cds.Core.Cds.roles = b.Core.Backbone.cds.Core.Cds.roles);
+  edge_list (tag ^ " cds_edges")
+    a.Core.Backbone.cds.Core.Cds.connectors.Core.Connectors.cds_edges
+    b.Core.Backbone.cds.Core.Cds.connectors.Core.Connectors.cds_edges;
+  check (tag ^ " cds' graph") true
+    (G.equal a.Core.Backbone.cds.Core.Cds.cds' b.Core.Backbone.cds.Core.Cds.cds');
+  check (tag ^ " icds graph") true
+    (G.equal a.Core.Backbone.cds.Core.Cds.icds b.Core.Backbone.cds.Core.Cds.icds);
+  check (tag ^ " planar") true
+    (G.equal a.Core.Backbone.ldel_icds_g b.Core.Backbone.ldel_icds_g);
+  check (tag ^ " primed planar") true
+    (G.equal a.Core.Backbone.ldel_icds' b.Core.Backbone.ldel_icds');
+  edge_list
+    (tag ^ " planar csr")
+    (Csr.edges a.Core.Backbone.planar_csr)
+    (Csr.edges b.Core.Backbone.planar_csr)
+
+(* serial vs sharded [Backbone.run]: identical records for jobs 1/2/4
+   and a sweep of tile counts *)
+let test_pipeline_identity () =
+  let rng = Wireless.Rand.create 21L in
+  let pts = Wireless.Deploy.uniform rng ~n:600 ~side:300. in
+  let serial =
+    Core.Backbone.run
+      {
+        Core.Backbone.Config.default with
+        Core.Backbone.Config.radius = 30.;
+        partition = Core.Backbone.Config.Serial;
+      }
+      pts
+  in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun k ->
+          let sharded =
+            Core.Backbone.run
+              {
+                Core.Backbone.Config.default with
+                Core.Backbone.Config.radius = 30.;
+                partition = Core.Backbone.Config.Tiles k;
+                jobs;
+              }
+              pts
+          in
+          same_backbone (Printf.sprintf "tiles=%d jobs=%d" k jobs) serial
+            sharded)
+        [ 1; 2; 3; 5 ])
+    [ 1; 2; 4 ]
+
+(* [Backbone.snapshot] agrees with the record the sharded [run]
+   materializes *)
+let test_snapshot_matches_run () =
+  let rng = Wireless.Rand.create 22L in
+  let pts = Wireless.Deploy.uniform rng ~n:500 ~side:300. in
+  let cfg =
+    {
+      Core.Backbone.Config.default with
+      Core.Backbone.Config.radius = 32.;
+      partition = Core.Backbone.Config.Tiles 3;
+      jobs = 2;
+    }
+  in
+  let t = Core.Backbone.run cfg pts in
+  let s = Core.Backbone.snapshot cfg pts in
+  check "roles" true (t.Core.Backbone.cds.Core.Cds.roles = s.Core.Shard.roles);
+  edge_list "udg" (G.edges t.Core.Backbone.udg) (Csr.edges s.Core.Shard.udg);
+  edge_list "icds"
+    (G.edges t.Core.Backbone.cds.Core.Cds.icds)
+    (Csr.edges s.Core.Shard.icds);
+  edge_list "icds'"
+    (G.edges t.Core.Backbone.cds.Core.Cds.icds')
+    (Csr.edges s.Core.Shard.icds');
+  edge_list "cds"
+    (G.edges t.Core.Backbone.cds.Core.Cds.cds)
+    (Csr.edges s.Core.Shard.cds);
+  edge_list "pldel"
+    (G.edges t.Core.Backbone.ldel_icds_g)
+    (Csr.edges s.Core.Shard.pldel);
+  edge_list "pldel'"
+    (G.edges t.Core.Backbone.ldel_icds')
+    (Csr.edges s.Core.Shard.pldel')
+
+(* quasi radio: the UDG stage is serial (RNG stream) but the sharded
+   stages must still reproduce the serial chain on it *)
+let test_pipeline_quasi () =
+  let rng = Wireless.Rand.create 23L in
+  let pts = Wireless.Deploy.uniform rng ~n:300 ~side:250. in
+  let cfg partition =
+    {
+      Core.Backbone.Config.default with
+      Core.Backbone.Config.radius = 35.;
+      radio = Core.Backbone.Config.Quasi { r_min = 25.; seed = 99L };
+      partition;
+    }
+  in
+  let serial = Core.Backbone.run (cfg Core.Backbone.Config.Serial) pts in
+  let sharded = Core.Backbone.run (cfg (Core.Backbone.Config.Tiles 3)) pts in
+  same_backbone "quasi" serial sharded
+
+(* tiling invariants: every node exactly once, tile side >= radius *)
+let test_tiling_partition () =
+  let rng = Wireless.Rand.create 24L in
+  let pts = Wireless.Deploy.uniform rng ~n:700 ~side:300. in
+  List.iter
+    (fun k ->
+      let owners = Core.Shard.tiling ~tiles:k pts ~radius:40. in
+      let seen = Array.make (Array.length pts) 0 in
+      Array.iter
+        (Array.iter (fun u -> seen.(u) <- seen.(u) + 1))
+        owners;
+      check
+        (Printf.sprintf "partition k=%d" k)
+        true
+        (Array.for_all (fun c -> c = 1) seen);
+      (* side 300, radius 40: at most 300/40 = 7 tiles per axis no
+         matter how many were requested *)
+      check
+        (Printf.sprintf "clamped k=%d" k)
+        true
+        (Array.length owners <= 8 * 8))
+    [ 1; 2; 7; 50 ]
+
+(* ISSUE acceptance: n = 10^4, sharded bit-identical to serial for
+   jobs in {1, 2, 4} — UDG, CDS family and PLDel compared edge by
+   edge.  [Auto] partitions here (n >= 5000, Disk radio). *)
+let test_acceptance_10k () =
+  let rng = Wireless.Rand.create 41L in
+  let pts = Wireless.Deploy.uniform rng ~n:10_000 ~side:1000. in
+  let cfg partition jobs =
+    {
+      Core.Backbone.Config.default with
+      Core.Backbone.Config.radius = 20.;
+      partition;
+      jobs;
+    }
+  in
+  let serial = Core.Backbone.run (cfg Core.Backbone.Config.Serial 1) pts in
+  List.iter
+    (fun jobs ->
+      let sharded =
+        Core.Backbone.run (cfg Core.Backbone.Config.Auto jobs) pts
+      in
+      same_backbone (Printf.sprintf "10k jobs=%d" jobs) serial sharded)
+    [ 1; 2; 4 ]
+
+let suites =
+  [
+    ( "shard.stages",
+      [
+        Alcotest.test_case "udg csr identity" `Quick test_udg_csr_identity;
+        Alcotest.test_case "udg csr tiny" `Quick test_udg_csr_tiny;
+        Alcotest.test_case "mis csr identity" `Quick test_mis_csr_identity;
+        Alcotest.test_case "mis csr priority" `Quick test_mis_csr_priority;
+        Alcotest.test_case "connectors csr identity" `Quick
+          test_connectors_csr_identity;
+        Alcotest.test_case "ldel csr identity" `Quick test_ldel_csr_identity;
+        Alcotest.test_case "ldel csr on backbone" `Quick
+          test_ldel_csr_on_backbone;
+      ] );
+    ( "shard.builder",
+      [
+        Alcotest.test_case "builder seal" `Quick test_builder_seal;
+        Alcotest.test_case "view dispatch" `Quick test_view_dispatch;
+      ] );
+    ( "shard.halo",
+      [
+        Alcotest.test_case "connectors 2-local" `Quick test_connectors_halo;
+        Alcotest.test_case "ldel 2-local" `Quick test_ldel_halo;
+      ] );
+    ( "shard.pipeline",
+      [
+        Alcotest.test_case "serial vs sharded run" `Quick
+          test_pipeline_identity;
+        Alcotest.test_case "snapshot matches run" `Quick
+          test_snapshot_matches_run;
+        Alcotest.test_case "quasi radio" `Quick test_pipeline_quasi;
+        Alcotest.test_case "tiling partition" `Quick test_tiling_partition;
+        Alcotest.test_case "acceptance n=10^4 jobs sweep" `Slow
+          test_acceptance_10k;
+      ] );
+  ]
