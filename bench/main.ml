@@ -9,14 +9,16 @@
      dune exec bench/main.exe -- --quick          # smaller instances
      dune exec bench/main.exe -- metrics --check  # regression gate
 
-   --check re-runs a gated benchmark (metrics, pipeline) and compares
-   it against its committed BENCH_*.json baseline: counters must match
-   exactly, span timings may regress by at most --check-threshold
-   (default 0.5, i.e. +50%).  Any violation fails the run with exit
-   code 1.  The pipeline gate compares only top-level spans — nested
-   stage spans are milliseconds-scale and dominated by scheduler
-   noise, while the determinism counters (edge counts per structure)
-   already pin the outputs exactly.
+   --check re-runs a gated benchmark (metrics, pipeline, serve) and
+   compares it against its committed BENCH_*.json baseline: counters
+   must match exactly, span timings may regress by at most
+   --check-threshold (default 0.5, i.e. +50%).  The baseline's
+   bench.jobs pin is validated before anything is compared.  Any
+   violation fails the run with exit code 1.  The pipeline gate
+   compares only top-level spans — nested stage spans are
+   milliseconds-scale and dominated by scheduler noise, while the
+   determinism counters (edge counts per structure) already pin the
+   outputs exactly.
 
    Reported numbers are deterministic for a fixed configuration. *)
 
@@ -642,6 +644,65 @@ end
    violation instead of a silent apples-to-oranges timing comparison *)
 let c_bench_jobs = Obs.counter "bench.jobs"
 
+(* ------------------------------------------------------------------ *)
+(* Shared regression-gate plumbing (metrics, pipeline, serve)          *)
+(* ------------------------------------------------------------------ *)
+
+let read_baseline file =
+  let ic = open_in_bin file in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Obs.Snapshot.of_json_lines contents
+
+let write_baseline file snap =
+  let oc = open_out file in
+  let fmt = Format.formatter_of_out_channel oc in
+  Obs.json fmt snap;
+  Format.pp_print_flush fmt ();
+  close_out oc;
+  pf "  [wrote %s]@." file
+
+(* the one per-key expected/actual/delta table every gate prints *)
+let pp_mismatches file threshold (mismatches : Obs.Snapshot.mismatch list) =
+  pf "  [check FAILED against %s: %d mismatches, span threshold +%.0f%%]@."
+    file (List.length mismatches) (100. *. threshold);
+  pf "    %-12s %-44s %14s %14s %10s@." "kind" "key" "expected" "actual"
+    "delta";
+  List.iter
+    (fun (m : Obs.Snapshot.mismatch) ->
+      let delta =
+        if Float.is_nan m.Obs.Snapshot.m_actual then "missing"
+        else begin
+          let d = m.Obs.Snapshot.m_actual -. m.Obs.Snapshot.m_expected in
+          if m.Obs.Snapshot.m_expected <> 0. then
+            Printf.sprintf "%+.1f%%" (100. *. d /. m.Obs.Snapshot.m_expected)
+          else Printf.sprintf "%+g" d
+        end
+      in
+      pf "    %-12s %-44s %14g %14g %10s@." m.Obs.Snapshot.m_kind
+        m.Obs.Snapshot.m_name m.Obs.Snapshot.m_expected m.Obs.Snapshot.m_actual
+        delta)
+    mismatches
+
+(* [bench.jobs] pinning, validated up front: comparing a --jobs J run
+   against a baseline recorded at a different J would fail on every
+   j-suffixed span/counter key anyway — fail fast with the reason
+   instead of a wall of per-key noise.  Returns true when the gate may
+   proceed. *)
+let validate_bench_jobs file (reference : Obs.Snapshot.t) jobs =
+  match List.assoc_opt "bench.jobs" reference.Obs.Snapshot.counters with
+  | Some j when j = jobs -> true
+  | Some j ->
+    pf
+      "  [check FAILED: %s was recorded with --jobs %d, this run uses --jobs \
+       %d — rerun with --jobs %d or regenerate the baseline]@."
+      file j jobs j;
+    false
+  | None ->
+    pf "  [check FAILED: %s has no bench.jobs pin — regenerate the baseline]@."
+      file;
+    false
+
 let bench_metrics ?check quick jobs =
   header
     (Printf.sprintf
@@ -747,42 +808,19 @@ let bench_metrics ?check quick jobs =
   | Some threshold ->
     (* regression gate: compare this run against the committed baseline
        instead of overwriting it *)
-    let ic = open_in_bin file in
-    let contents = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    let reference = Obs.Snapshot.of_json_lines contents in
+    let reference = read_baseline file in
+    if not (validate_bench_jobs file reference jobs) then begin
+      Obs.set_enabled was;
+      exit 1
+    end;
     (match Obs.Snapshot.compare_against ~threshold ~reference snap with
     | [] ->
       pf "  [check ok: within +%.0f%% of %s]@." (100. *. threshold) file
     | mismatches ->
-      pf "  [check FAILED against %s: %d mismatches, span threshold +%.0f%%]@."
-        file (List.length mismatches) (100. *. threshold);
-      pf "    %-12s %-44s %14s %14s %10s@." "kind" "key" "expected" "actual"
-        "delta";
-      List.iter
-        (fun (m : Obs.Snapshot.mismatch) ->
-          let delta =
-            if Float.is_nan m.Obs.Snapshot.m_actual then "missing"
-            else begin
-              let d = m.Obs.Snapshot.m_actual -. m.Obs.Snapshot.m_expected in
-              if m.Obs.Snapshot.m_expected <> 0. then
-                Printf.sprintf "%+.1f%%" (100. *. d /. m.Obs.Snapshot.m_expected)
-              else Printf.sprintf "%+g" d
-            end
-          in
-          pf "    %-12s %-44s %14g %14g %10s@." m.Obs.Snapshot.m_kind
-            m.Obs.Snapshot.m_name m.Obs.Snapshot.m_expected
-            m.Obs.Snapshot.m_actual delta)
-        mismatches;
+      pp_mismatches file threshold mismatches;
       Obs.set_enabled was;
       exit 1)
-  | None ->
-    let oc = open_out file in
-    let fmt = Format.formatter_of_out_channel oc in
-    Obs.json fmt snap;
-    Format.pp_print_flush fmt ();
-    close_out oc;
-    pf "  [wrote %s]@." file);
+  | None -> write_baseline file snap);
   Obs.set_enabled was
 
 (* ------------------------------------------------------------------ *)
@@ -923,10 +961,11 @@ let bench_pipeline ?check quick jobs =
   let file = "BENCH_pipeline.json" in
   (match check with
   | Some threshold ->
-    let ic = open_in_bin file in
-    let contents = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    let reference = Obs.Snapshot.of_json_lines contents in
+    let reference = read_baseline file in
+    if not (validate_bench_jobs file reference jobs) then begin
+      Obs.set_enabled was;
+      exit 1
+    end;
     (* Gate on counters (exact: the determinism edge counts) and the
        top-level per-case spans (multi-second aggregates).  Nested
        stage spans stay in the committed JSON for inspection but are
@@ -944,23 +983,145 @@ let bench_pipeline ?check quick jobs =
     (match Obs.Snapshot.compare_against ~threshold ~reference snap with
     | [] -> pf "  [check ok: within +%.0f%% of %s]@." (100. *. threshold) file
     | mismatches ->
-      pf "  [check FAILED against %s: %d mismatches, span threshold +%.0f%%]@."
-        file (List.length mismatches) (100. *. threshold);
-      List.iter
-        (fun (m : Obs.Snapshot.mismatch) ->
-          pf "    %-12s %-44s %14g %14g@." m.Obs.Snapshot.m_kind
-            m.Obs.Snapshot.m_name m.Obs.Snapshot.m_expected
-            m.Obs.Snapshot.m_actual)
-        mismatches;
+      pp_mismatches file threshold mismatches;
       Obs.set_enabled was;
       exit 1)
-  | None ->
-    let oc = open_out file in
-    let fmt = Format.formatter_of_out_channel oc in
-    Obs.json fmt snap;
-    Format.pp_print_flush fmt ();
-    close_out oc;
-    pf "  [wrote %s]@." file);
+  | None -> write_baseline file snap);
+  Obs.set_enabled was
+
+(* ------------------------------------------------------------------ *)
+(* Route-query serving benchmark                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving layer under load: one epoch-pinned snapshot, a seeded
+   hotspot workload, and the zero-allocation query kernels.  The
+   headline is queries/sec.  Three runs: closed-loop jobs = 1 and
+   jobs = J with latency sampling off (throughput + the allocation
+   probe), then a shorter open-loop run with latency sampling for the
+   tail percentiles.  Per-query results are asserted bit-identical
+   across the job counts before any number is reported; the jobs
+   column is honest — on a one-CPU box it shows ~1x, the machinery is
+   validated by the determinism assertion either way. *)
+let bench_serve ?check quick jobs =
+  header
+    (Printf.sprintf
+       "Route-query serving: epoch store + concurrent readers (jobs = 1 and \
+        %d)"
+       jobs);
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  Obs.reset ();
+  Obs.add c_bench_jobs jobs;
+  let n = if quick then 5_000 else 100_000 in
+  let q_count = if quick then 20_000 else 100_000 in
+  (* constant density, radius comfortably above the connectivity
+     threshold so GFG's delivery guarantee applies *)
+  let radius = 25. in
+  let side = 10. *. sqrt (float_of_int n) in
+  let rng = Wireless.Rand.create 4242L in
+  let pts, _ =
+    Wireless.Deploy.connected_uniform rng ~n ~side ~radius ~max_attempts:50
+  in
+  let snap =
+    Obs.span
+      (Printf.sprintf "bench.serve.build.n%d" n)
+      (fun () ->
+        Core.Backbone.snapshot
+          {
+            Core.Backbone.Config.default with
+            Core.Backbone.Config.radius;
+            jobs = 1;
+          }
+          pts)
+  in
+  let store = Serve.Store.create snap in
+  let mix = { Serve.Workload.default_mix with Serve.Workload.stretch = 0.002 } in
+  let skew = Serve.Workload.Hotspot { nodes = 64; frac = 0.3 } in
+  let w = Serve.Workload.generate ~seed:99L ~n ~count:q_count ~mix ~skew () in
+  pf "n = %d nodes, %d queries, mix %s, skew %s@." n q_count
+    (Serve.Workload.mix_to_string mix)
+    (Serve.Workload.skew_to_string skew);
+  let serve label jobs latency w =
+    Obs.span
+      (Printf.sprintf "bench.serve.%s.n%d" label n)
+      (fun () -> Serve.Engine.run ~jobs ~batch:4096 ~latency ~store w)
+  in
+  let r1 = serve "q.j1" 1 false w in
+  let rj =
+    if jobs > 1 then serve (Printf.sprintf "q.j%d" jobs) jobs false w else r1
+  in
+  (* determinism gate: the throughput comparison below is only
+     meaningful if both job counts served exactly the same answers
+     (compare, not =, so NaN stretch slots compare equal) *)
+  if
+    not
+      (r1.Serve.Engine.hops = rj.Serve.Engine.hops
+      && r1.Serve.Engine.epoch = rj.Serve.Engine.epoch
+      && compare r1.Serve.Engine.stretch rj.Serve.Engine.stretch = 0)
+  then
+    failwith
+      (Printf.sprintf "serve bench: jobs=%d diverges from jobs=1 at n = %d"
+         jobs n);
+  (* open-loop latency run: a tenth of the queries at a fixed arrival
+     rate, latency sampling on *)
+  let w_lat =
+    Serve.Workload.generate ~seed:99L ~n ~count:(q_count / 10) ~mix ~skew
+      ~rate:(if quick then 20_000. else 5_000.)
+      ()
+  in
+  let r_lat = serve "lat.j1" 1 true w_lat in
+  let s1 = Serve.Engine.summarize r1
+  and sj = Serve.Engine.summarize rj
+  and sl = Serve.Engine.summarize r_lat in
+  (* deterministic result counters for the regression gate: any change
+     to the kernels, the workload generator or the store shows up as
+     an exact-match violation here *)
+  let count name v =
+    Obs.add (Obs.counter (Printf.sprintf "bench.serve.%s.n%d" name n)) v
+  in
+  let hops_total =
+    Array.fold_left (fun acc h -> if h > 0 then acc + h else acc) 0
+      r1.Serve.Engine.hops
+  in
+  count "queries" q_count;
+  count "delivered" s1.Serve.Engine.s_delivered;
+  count "hops_total" hops_total;
+  pf "@.%-10s %14s %12s %10s@." "variant" "queries/s" "elapsed(s)" "speedup";
+  pf "%-10s %14.0f %12.3f %10s@." "jobs=1" s1.Serve.Engine.s_qps
+    r1.Serve.Engine.elapsed_s "1.00";
+  if jobs > 1 then
+    pf "%-10s %14.0f %12.3f %10.2f@."
+      (Printf.sprintf "jobs=%d" jobs)
+      sj.Serve.Engine.s_qps rj.Serve.Engine.elapsed_s
+      (sj.Serve.Engine.s_qps /. s1.Serve.Engine.s_qps);
+  pf "delivered:  %d/%d   hops p50 %.0f p99 %.0f   stretch p50 %.3f@."
+    s1.Serve.Engine.s_delivered q_count s1.Serve.Engine.s_hop_p50
+    s1.Serve.Engine.s_hop_p99 s1.Serve.Engine.s_stretch_p50;
+  pf
+    "open loop at %g/s: latency p50 %.1f us  p99 %.1f us  p999 %.1f us (%d \
+     queries)@."
+    (if quick then 20_000. else 5_000.)
+    sl.Serve.Engine.s_lat_p50_us sl.Serve.Engine.s_lat_p99_us
+    sl.Serve.Engine.s_lat_p999_us (q_count / 10);
+  pf "allocation: %.2f minor words/query at jobs = 1 (steady-state scratch)@."
+    s1.Serve.Engine.s_minor_per_query;
+  pf "(per-query results verified bit-identical across job counts)@.";
+  let osnap = Obs.Snapshot.capture () in
+  let file = "BENCH_serve.json" in
+  (match check with
+  | Some threshold ->
+    let reference = read_baseline file in
+    if not (validate_bench_jobs file reference jobs) then begin
+      Obs.set_enabled was;
+      exit 1
+    end;
+    (match Obs.Snapshot.compare_against ~threshold ~reference osnap with
+    | [] -> pf "  [check ok: within +%.0f%% of %s]@." (100. *. threshold) file
+    | mismatches ->
+      pp_mismatches file threshold mismatches;
+      Obs.set_enabled was;
+      exit 1)
+  | None -> write_baseline file osnap);
   Obs.set_enabled was
 
 (* ------------------------------------------------------------------ *)
@@ -1098,4 +1259,5 @@ let () =
       extension_bounds cfg);
   artifact "metrics" (fun () -> bench_metrics ?check quick !jobs);
   artifact "pipeline" (fun () -> bench_pipeline ?check quick !jobs);
+  artifact "serve" (fun () -> bench_serve ?check quick !jobs);
   artifact "micro" micro

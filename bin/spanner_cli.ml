@@ -12,6 +12,7 @@
      experiment regenerate a table/figure from the paper
      trace      audit protocol message complexity under the event tracer
      monitor    re-check the paper's invariants every round under mobility
+     serve      answer route queries from epoch-pinned snapshots at rate
 
    Deployments are deterministic given --seed; a CSV written by
    `generate` can be fed back to every other subcommand via --input. *)
@@ -995,6 +996,208 @@ let monitor_cmd =
       $ traffic $ len_limit $ hop_limit $ degree_limit $ out $ csv_out
       $ jobs $ stats $ trace_file)
 
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let queries =
+    Arg.(
+      value & opt int 20_000
+      & info [ "queries" ] ~docv:"Q" ~doc:"Queries to serve.")
+  in
+  let mix_arg =
+    let doc =
+      "Query mix as comma-separated scheme weights, e.g. \
+       $(b,greedy=0.5,gfg=0.3,compass=0.15,stretch=0.05).  Omitted schemes \
+       weigh 0; $(b,stretch) probes route with GFG and report walked length \
+       over the UDG shortest path."
+    in
+    Arg.(
+      value
+      & opt string (Serve.Workload.mix_to_string Serve.Workload.default_mix)
+      & info [ "mix" ] ~docv:"MIX" ~doc)
+  in
+  let skew_arg =
+    let doc =
+      "Source/destination distribution: $(b,uniform), $(b,zipf:S) (exponent \
+       S, low ids hot), or $(b,hotspot:FRAC/K) (fraction FRAC of endpoint \
+       draws land on K random hot nodes)."
+    in
+    Arg.(value & opt string "uniform" & info [ "skew" ] ~docv:"SKEW" ~doc)
+  in
+  let rate =
+    let doc =
+      "Open-loop arrival rate in queries per second: query $(i,i) arrives at \
+       $(i,i)/$(docv) and its latency includes queueing delay.  Default: \
+       closed loop (latency is pure service time)."
+    in
+    Arg.(value & opt (some float) None & info [ "rate" ] ~docv:"QPS" ~doc)
+  in
+  let batch_arg =
+    let doc =
+      "Queries per epoch-pinned batch; the epoch can only roll at batch \
+       boundaries, so per-query results stay independent of --jobs."
+    in
+    Arg.(value & opt int 4096 & info [ "batch" ] ~docv:"B" ~doc)
+  in
+  let churn =
+    let doc =
+      "Every $(docv) batches, jitter the node positions and publish a \
+       rebuilt snapshot as a new epoch — queries in flight keep their \
+       pinned epoch.  0 disables churn."
+    in
+    Arg.(value & opt int 0 & info [ "churn" ] ~docv:"K" ~doc)
+  in
+  let churn_jitter =
+    Arg.(
+      value & opt float 2.
+      & info [ "churn-jitter" ] ~docv:"D"
+          ~doc:"Per-axis uniform move amplitude for --churn.")
+  in
+  let no_latency =
+    let doc =
+      "Skip the two per-query clock reads: pure throughput/allocation mode \
+       (the latency table is omitted)."
+    in
+    Arg.(value & flag & info [ "no-latency" ] ~doc)
+  in
+  let out =
+    let doc =
+      "Write the per-query result log as JSON-lines to $(docv) (op, \
+       endpoints, epoch, hops, stretch — deterministic fields only); the \
+       file is re-parsed and checked against the in-memory results before \
+       exit."
+    in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  (* write + re-parse + compare, in the export_trace/export_jsonl
+     tradition: the exporter validates its own output *)
+  let export_serve file (w : Serve.Workload.t) (r : Serve.Engine.results) =
+    let oc = open_out file in
+    let fmt = Format.formatter_of_out_channel oc in
+    Serve.Engine.write_jsonl fmt w r;
+    Format.pp_print_flush fmt ();
+    close_out oc;
+    let ic = open_in_bin file in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Serve.Engine.read_jsonl contents with
+    | rows ->
+      let ok =
+        List.length rows = r.Serve.Engine.count
+        && List.for_all
+             (fun (row : Serve.Engine.row) ->
+               row.Serve.Engine.r_q >= 0
+               && row.r_q < r.count
+               && row.r_hops = r.hops.(row.r_q)
+               && row.r_epoch = r.epoch.(row.r_q)
+               && row.r_src = w.Serve.Workload.src.(row.r_q)
+               && row.r_dst = w.Serve.Workload.dst.(row.r_q))
+             rows
+      in
+      if ok then begin
+        Printf.eprintf "serve: wrote %d query results to %s\n" r.count file;
+        0
+      end
+      else begin
+        Printf.eprintf
+          "serve: %s round-trip mismatch against the in-memory results\n" file;
+        1
+      end
+    | exception Failure msg ->
+      Printf.eprintf "serve: %s failed to validate: %s\n" file msg;
+      1
+  in
+  let run seed n side radius input jobs partition queries mix skew rate batch
+      churn churn_jitter no_latency out stats_fmt trace =
+    with_stats stats_fmt @@ fun () ->
+    with_trace trace @@ fun () ->
+    match (Serve.Workload.mix_of_string mix, Serve.Workload.skew_of_string skew)
+    with
+    | Error e, _ | _, Error e ->
+      Printf.eprintf "serve: %s\n" e;
+      2
+    | Ok mix, Ok skew ->
+      let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
+      let n = Array.length pts in
+      let cfg = { Config.default with Config.radius; jobs; partition } in
+      let store = Serve.Store.create (Core.Backbone.snapshot cfg pts) in
+      let w =
+        Serve.Workload.generate ~seed ~n ~count:queries ~mix ~skew ?rate ()
+      in
+      let churn_rng = Wireless.Rand.create (Int64.add seed 11L) in
+      let positions = ref pts in
+      let on_batch b =
+        if churn > 0 && b > 0 && b mod churn = 0 then begin
+          let moved =
+            Array.map
+              (fun (p : Geometry.Point.t) ->
+                let jit () =
+                  Wireless.Rand.float churn_rng (2. *. churn_jitter)
+                  -. churn_jitter
+                in
+                Geometry.Point.make
+                  (Float.max 0. (Float.min side (p.x +. jit ())))
+                  (Float.max 0. (Float.min side (p.y +. jit ()))))
+              !positions
+          in
+          positions := moved;
+          ignore (Serve.Store.publish store (Core.Backbone.snapshot cfg moved))
+        end
+      in
+      let r =
+        Serve.Engine.run ~jobs ~batch ~latency:(not no_latency) ~on_batch
+          ~store w
+      in
+      let s = Serve.Engine.summarize r in
+      let epochs = Serve.Store.id (Serve.Store.pin store) + 1 in
+      Printf.printf "serve: n=%d queries=%d jobs=%d batch=%d epochs=%d%s\n" n
+        queries jobs batch epochs
+        (match rate with
+        | Some q -> Printf.sprintf " rate=%g/s (open loop)"
+                      q
+        | None -> "");
+      Printf.printf "throughput: %10.0f queries/s   (%.3f s elapsed)\n"
+        s.Serve.Engine.s_qps r.Serve.Engine.elapsed_s;
+      Printf.printf "delivered:  %7d/%d (%.2f%%)\n" s.Serve.Engine.s_delivered
+        queries
+        (if queries = 0 then 100.
+         else
+           100.
+           *. float_of_int s.Serve.Engine.s_delivered
+           /. float_of_int queries);
+      Printf.printf "hops:       p50 %.0f  p99 %.0f\n" s.Serve.Engine.s_hop_p50
+        s.Serve.Engine.s_hop_p99;
+      if not (Float.is_nan s.Serve.Engine.s_stretch_p50) then
+        Printf.printf "stretch:    p50 %.3f  max %.3f  (sampled probes)\n"
+          s.Serve.Engine.s_stretch_p50 s.Serve.Engine.s_stretch_max;
+      if not no_latency then
+        Printf.printf
+          "latency:    p50 %.1f us  p99 %.1f us  p999 %.1f us\n"
+          s.Serve.Engine.s_lat_p50_us s.Serve.Engine.s_lat_p99_us
+          s.Serve.Engine.s_lat_p999_us;
+      Printf.printf "alloc:      %.2f minor words/query (caller domain)\n"
+        s.Serve.Engine.s_minor_per_query;
+      let tel = Obs.Telemetry.create () in
+      Serve.Engine.to_telemetry tel r;
+      List.iter
+        (fun name ->
+          let series = List.map snd (Obs.Telemetry.series tel name) in
+          Printf.printf "  %-16s %s\n" name (Obs.Telemetry.sparkline series))
+        (Obs.Telemetry.names tel);
+      (match out with None -> 0 | Some file -> export_serve file w r)
+  in
+  let doc =
+    "serve route queries (greedy / GFG / compass / sampled stretch) from \
+     epoch-pinned backbone snapshots across worker domains, and report \
+     throughput, tail latency and per-batch sparklines"
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ seed $ nodes $ side $ radius $ input $ jobs $ partition
+      $ queries $ mix_arg $ skew_arg $ rate $ batch_arg $ churn $ churn_jitter
+      $ no_latency $ out $ stats $ trace_file)
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -1006,5 +1209,5 @@ let () =
           [
             generate_cmd; build_cmd; measure_cmd; route_cmd; protocol_cmd;
             dump_cmd; broadcast_cmd; lifetime_cmd; experiment_cmd; trace_cmd;
-            monitor_cmd;
+            monitor_cmd; serve_cmd;
           ]))

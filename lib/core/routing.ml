@@ -4,9 +4,23 @@ module P = Geometry.Point
 
 (* Routers read the topology through {!Netgraph.View}, so the same
    code serves the legacy mutable graphs and sealed CSR snapshots;
-   the [_v] forms are the primaries, the [Graph.t] entry points wrap
-   them (neighbor iteration is ascending in both representations, so
-   routes are identical). *)
+   the [_v] forms are thin wrappers over the [_into] kernels below,
+   the [Graph.t] entry points wrap those (neighbor iteration is
+   ascending in both representations, so routes are identical).
+
+   The kernels route into a caller-owned {!Scratch} and are written
+   for the serve engine's steady state: no per-query heap allocation.
+   Cycle guards are an epoch-stamped mark array (bumping the stamp
+   invalidates every mark in O(1), replacing the per-query Hashtbl),
+   paths land in a reusable int buffer, float temporaries live in a
+   pre-sized float array, and the neighbor scans are closures created
+   once per scratch that read their state from scratch registers.
+   The scan bodies reproduce the historical fold semantics (same
+   comparison structure, same float expression order as Point's own
+   definitions), so routes are bit-identical to the pre-scratch
+   implementation — including NaN corner cases from coincident
+   points, where "replace best" conditions are spelled as the
+   negation of the original "keep best" guards. *)
 
 let max_steps g = (4 * V.edge_count g) + 16
 
@@ -35,110 +49,456 @@ let obs_nfp = instrumented "nfp"
 let obs_gfg = instrumented "gfg"
 let obs_hierarchical = instrumented "hierarchical"
 
-let greedy_v g points ~src ~dst =
-  let rec go path u steps =
-    if u = dst then Some (List.rev (u :: path))
-    else if steps <= 0 then None
-    else
-      let du = P.dist points.(u) points.(dst) in
-      let best =
-        List.fold_left
-          (fun acc v ->
-            let dv = P.dist points.(v) points.(dst) in
-            match acc with
-            | Some (_, dbest) when dbest <= dv -> acc
-            | _ -> if dv < du then Some (v, dv) else acc)
-          None (V.neighbors g u)
-      in
-      match best with
-      | Some (v, _) -> go (u :: path) v (steps - 1)
-      | None -> None
-  in
-  obs_greedy (go [] src (max_steps g))
+(* Float registers; a flat array so stores stay unboxed:
+   0 — distance from the current node to dst (greedy scans)
+   1 — key of the best candidate so far (distance/angle/progress/rel)
+   2 — reference angle for the ccw scan
+   3 — perimeter entry distance to dst (greedy resumes below it)
+   4 — best crossing distance of the entry->dst segment so far
+   5, 6 — the toward-dst vector at the current node
+   7 — its norm *)
+type scratch = {
+  mutable mark : int array;  (* mark.(u) = stamp  <=>  visited this query *)
+  mutable stamp : int;
+  mutable path : int array;
+  mutable len : int;  (* nodes of the last delivered path; 0 otherwise *)
+  fl : float array;
+  (* query registers, set by the kernels *)
+  mutable g : V.t;
+  mutable pts : P.t array;
+  mutable dst : int;
+  mutable cur : int;
+  mutable best : int;  (* scan result, -1 = none *)
+  mutable steps : int;
+  mutable state : int;  (* 0 = routing, 1 = delivered, 2 = dropped *)
+  mutable mode : int;  (* gfg header: 0 = greedy, 1 = perimeter *)
+  mutable entry : P.t;  (* position where perimeter mode was entered *)
+  mutable start_u : int;  (* first directed edge of the current face *)
+  mutable start_w : int;
+  mutable p_first : bool;  (* still on the starting edge of this face *)
+  mutable prev : int;  (* previous node while in perimeter mode *)
+  (* neighbor scans, created once per scratch (closing over it) *)
+  mutable scan_closer : int -> unit;
+  mutable scan_compass : int -> unit;
+  mutable scan_mfr : int -> unit;
+  mutable scan_nfp : int -> unit;
+  mutable scan_ccw : int -> unit;
+}
+
+module Scratch = struct
+  type t = scratch
+
+  let nop (_ : int) = ()
+
+  let create ?(n = 0) () =
+    let sc =
+      {
+        mark = Array.make (max n 1) 0;
+        stamp = 0;
+        path = Array.make 16 0;
+        len = 0;
+        fl = Array.make 8 0.;
+        g = V.of_graph (G.create 0);
+        pts = [||];
+        dst = 0;
+        cur = 0;
+        best = -1;
+        steps = 0;
+        state = 0;
+        mode = 0;
+        entry = P.origin;
+        start_u = -1;
+        start_w = -1;
+        p_first = true;
+        prev = -1;
+        scan_closer = nop;
+        scan_compass = nop;
+        scan_mfr = nop;
+        scan_nfp = nop;
+        scan_ccw = nop;
+      }
+    in
+    (* greedy: strictly closer to dst, minimal distance, smallest id
+       among candidates scanned first wins (ascending iteration) *)
+    sc.scan_closer <-
+      (fun v ->
+        let pv = sc.pts.(v) and pd = sc.pts.(sc.dst) in
+        let dx = pv.P.x -. pd.P.x and dy = pv.P.y -. pd.P.y in
+        let dv = sqrt ((dx *. dx) +. (dy *. dy)) in
+        if sc.best >= 0 && sc.fl.(1) <= dv then ()
+        else if dv < sc.fl.(0) then begin
+          sc.best <- v;
+          sc.fl.(1) <- dv
+        end);
+    (* compass: smallest unsigned angle between (u -> w) and (u -> dst) *)
+    sc.scan_compass <-
+      (fun w ->
+        let pu = sc.pts.(sc.cur) and pw = sc.pts.(w) in
+        let wx = pw.P.x -. pu.P.x and wy = pw.P.y -. pu.P.y in
+        let d = (sc.fl.(5) *. wx) +. (sc.fl.(6) *. wy) in
+        let nw = sqrt ((wx *. wx) +. (wy *. wy)) in
+        let c = d /. (sc.fl.(7) *. nw) in
+        let c = Float.max (-1.) (Float.min 1. c) in
+        let s = acos c in
+        if sc.best >= 0 && sc.fl.(1) <= s then ()
+        else begin
+          sc.best <- w;
+          sc.fl.(1) <- s
+        end);
+    (* mfr: largest projection of the step onto the unit toward-vector *)
+    sc.scan_mfr <-
+      (fun v ->
+        if sc.fl.(7) = 0. then ()
+        else begin
+          let pu = sc.pts.(sc.cur) and pv = sc.pts.(v) in
+          let p =
+            (((pv.P.x -. pu.P.x) *. sc.fl.(5))
+            +. ((pv.P.y -. pu.P.y) *. sc.fl.(6)))
+            /. sc.fl.(7)
+          in
+          if p <= 0. then ()
+          else if sc.best >= 0 && sc.fl.(1) >= p then ()
+          else begin
+            sc.best <- v;
+            sc.fl.(1) <- p
+          end
+        end);
+    (* nfp: nearest neighbor with positive progress *)
+    sc.scan_nfp <-
+      (fun v ->
+        let pu = sc.pts.(sc.cur) and pv = sc.pts.(v) in
+        let p =
+          if sc.fl.(7) = 0. then 0.
+          else
+            (((pv.P.x -. pu.P.x) *. sc.fl.(5))
+            +. ((pv.P.y -. pu.P.y) *. sc.fl.(6)))
+            /. sc.fl.(7)
+        in
+        if p <= 0. then ()
+        else begin
+          let dx = pu.P.x -. pv.P.x and dy = pu.P.y -. pv.P.y in
+          let dv = sqrt ((dx *. dx) +. (dy *. dy)) in
+          if sc.best >= 0 && sc.fl.(1) <= dv then ()
+          else begin
+            sc.best <- v;
+            sc.fl.(1) <- dv
+          end
+        end);
+    (* first edge counterclockwise from the reference angle fl.(2) *)
+    sc.scan_ccw <-
+      (fun w ->
+        let pv = sc.pts.(sc.cur) and pw = sc.pts.(w) in
+        let a = atan2 (pw.P.y -. pv.P.y) (pw.P.x -. pv.P.x) -. sc.fl.(2) in
+        let r = if a <= 1e-13 then a +. (2. *. Float.pi) else a in
+        if sc.best < 0 then begin
+          sc.best <- w;
+          sc.fl.(1) <- r
+        end
+        else if r < sc.fl.(1) then begin
+          sc.best <- w;
+          sc.fl.(1) <- r
+        end);
+    sc
+
+  let ensure sc n = if n > Array.length sc.mark then sc.mark <- Array.make n 0
+
+  let push sc u =
+    let cap = Array.length sc.path in
+    if sc.len >= cap then begin
+      let bigger = Array.make (2 * cap) 0 in
+      Array.blit sc.path 0 bigger 0 cap;
+      sc.path <- bigger
+    end;
+    sc.path.(sc.len) <- u;
+    sc.len <- sc.len + 1
+
+  let path sc = sc.path
+  let path_len sc = sc.len
+
+  let path_list sc =
+    let rec build i acc =
+      if i < 0 then acc else build (i - 1) (sc.path.(i) :: acc)
+    in
+    build (sc.len - 1) []
+end
+
+let in_range g u = u >= 0 && u < V.node_count g
+
+let prepare sc g points ~dst =
+  Scratch.ensure sc (V.node_count g);
+  sc.g <- g;
+  sc.pts <- points;
+  sc.dst <- dst;
+  sc.len <- 0
+
+(* du into fl.(0), then the strictly-closer scan *)
+let closer_scan sc u =
+  let pu = sc.pts.(u) and pd = sc.pts.(sc.dst) in
+  let dx = pu.P.x -. pd.P.x and dy = pu.P.y -. pd.P.y in
+  sc.fl.(0) <- sqrt ((dx *. dx) +. (dy *. dy));
+  sc.best <- -1;
+  V.iter_neighbors sc.g u sc.scan_closer
+
+let greedy_into sc g points ~src ~dst =
+  if not (in_range g src && in_range g dst) then begin
+    sc.len <- 0;
+    -1
+  end
+  else begin
+    prepare sc g points ~dst;
+    sc.cur <- src;
+    sc.steps <- max_steps g;
+    sc.state <- 0;
+    while sc.state = 0 do
+      let u = sc.cur in
+      if u = dst then begin
+        Scratch.push sc u;
+        sc.state <- 1
+      end
+      else if sc.steps <= 0 then sc.state <- 2
+      else begin
+        closer_scan sc u;
+        if sc.best < 0 then sc.state <- 2
+        else begin
+          Scratch.push sc u;
+          sc.cur <- sc.best;
+          sc.steps <- sc.steps - 1
+        end
+      end
+    done;
+    if sc.state = 1 then sc.len - 1
+    else begin
+      sc.len <- 0;
+      -1
+    end
+  end
+
+(* toward-dst vector and norm at u, into fl.(5..7) *)
+let toward_setup sc u =
+  let pu = sc.pts.(u) and pd = sc.pts.(sc.dst) in
+  let tx = pd.P.x -. pu.P.x and ty = pd.P.y -. pu.P.y in
+  sc.fl.(5) <- tx;
+  sc.fl.(6) <- ty;
+  sc.fl.(7) <- sqrt ((tx *. tx) +. (ty *. ty))
 
 (* The three classic localized forwarding rules differ only in how
-   they score a neighbor; [directional_route] factors the traversal
-   (with a visited-set guard, since compass/MFR can loop on some
+   they score a neighbor; this factors the traversal (with the
+   stamped visited guard, since compass/MFR can loop on some
    instances even where greedy cannot). *)
-let directional_route g ~src ~dst ~choose =
-  let visited = Hashtbl.create 16 in
-  let rec go path u steps =
-    if u = dst then Some (List.rev (u :: path))
-    else if steps <= 0 || Hashtbl.mem visited u then None
+let directional_into sc g points ~src ~dst scan =
+  if not (in_range g src && in_range g dst) then begin
+    sc.len <- 0;
+    -1
+  end
+  else begin
+    prepare sc g points ~dst;
+    sc.stamp <- sc.stamp + 1;
+    sc.cur <- src;
+    sc.steps <- max_steps g;
+    sc.state <- 0;
+    while sc.state = 0 do
+      let u = sc.cur in
+      if u = dst then begin
+        Scratch.push sc u;
+        sc.state <- 1
+      end
+      else if sc.steps <= 0 || sc.mark.(u) = sc.stamp then sc.state <- 2
+      else begin
+        sc.mark.(u) <- sc.stamp;
+        if V.has_edge g u dst then begin
+          Scratch.push sc u;
+          sc.cur <- dst;
+          sc.steps <- sc.steps - 1
+        end
+        else begin
+          toward_setup sc u;
+          sc.best <- -1;
+          V.iter_neighbors g u scan;
+          if sc.best < 0 then sc.state <- 2
+          else begin
+            Scratch.push sc u;
+            sc.cur <- sc.best;
+            sc.steps <- sc.steps - 1
+          end
+        end
+      end
+    done;
+    if sc.state = 1 then sc.len - 1
     else begin
-      Hashtbl.add visited u ();
-      match choose u with
-      | Some v -> go (u :: path) v (steps - 1)
-      | None -> None
+      sc.len <- 0;
+      -1
     end
-  in
-  go [] src (max_steps g)
+  end
 
-let compass_v g points ~src ~dst =
-  let d = points.(dst) in
-  let choose u =
-    if V.has_edge g u dst then Some dst
-    else
-      let toward = P.sub d points.(u) in
-      List.fold_left
-        (fun best v ->
-          let score w =
-            (* unsigned angle between (u -> w) and (u -> dst) *)
-            let vw = P.sub points.(w) points.(u) in
-            let c = P.dot toward vw /. (P.norm toward *. P.norm vw) in
-            let c = Float.max (-1.) (Float.min 1. c) in
-            acos c
-          in
-          match best with
-          | Some b when score b <= score v -> best
-          | _ -> Some v)
-        None (V.neighbors g u)
-  in
-  obs_compass (directional_route g ~src ~dst ~choose)
+let compass_into sc g points ~src ~dst =
+  directional_into sc g points ~src ~dst sc.scan_compass
 
-let progress points u v dst =
-  (* projection of the step u -> v onto the unit vector toward dst *)
-  let toward = P.sub points.(dst) points.(u) in
-  let n = P.norm toward in
-  if n = 0. then 0. else P.dot (P.sub points.(v) points.(u)) toward /. n
+let mfr_into sc g points ~src ~dst =
+  directional_into sc g points ~src ~dst sc.scan_mfr
 
-let mfr_v g points ~src ~dst =
-  let choose u =
-    if V.has_edge g u dst then Some dst
-    else
-      List.fold_left
-        (fun best v ->
-          let p = progress points u v dst in
-          if p <= 0. then best
-          else
-            match best with
-            | Some (_, pb) when pb >= p -> best
-            | _ -> Some (v, p))
-        None (V.neighbors g u)
-      |> Option.map fst
-  in
-  obs_mfr (directional_route g ~src ~dst ~choose)
+let nfp_into sc g points ~src ~dst =
+  directional_into sc g points ~src ~dst sc.scan_nfp
 
-let nfp_v g points ~src ~dst =
-  let choose u =
-    if V.has_edge g u dst then Some dst
-    else
-      List.fold_left
-        (fun best v ->
-          if progress points u v dst <= 0. then best
-          else
-            let dv = P.dist points.(u) points.(v) in
-            match best with
-            | Some (_, db) when db <= dv -> best
-            | _ -> Some (v, dv))
-        None (V.neighbors g u)
-      |> Option.map fst
-  in
-  obs_nfp (directional_route g ~src ~dst ~choose)
+(* first edge counterclockwise from fl.(2) around u *)
+let ccw_scan sc u =
+  sc.best <- -1;
+  V.iter_neighbors sc.g u sc.scan_ccw
 
-(* Perimeter-mode machinery: neighbors ordered by angle let us apply
-   the right-hand rule — after arriving at [v] over edge (v, prev),
-   the next edge is the first one counterclockwise from (v, prev). *)
+(* pivot around [u] handling face changes, then forward along the
+   settled edge.  Segment construction/intersection allocates, so a
+   perimeter hop is not allocation-free — only the greedy steady
+   state is; recovery is the rare path. *)
+let rec advance_k sc u w =
+  if (not sc.p_first) && u = sc.start_u && w = sc.start_w then sc.state <- 2
+  else begin
+    let pts = sc.pts in
+    let seg_uw = Geometry.Segment.make pts.(u) pts.(w) in
+    let seg_ed = Geometry.Segment.make sc.entry pts.(sc.dst) in
+    let cross =
+      match Geometry.Segment.intersection_point seg_uw seg_ed with
+      | Some p ->
+        let d = P.dist p pts.(sc.dst) in
+        if d < sc.fl.(4) -. 1e-12 then d else nan
+      | None -> nan
+    in
+    if Float.is_nan cross then begin
+      sc.p_first <- false;
+      sc.prev <- u;
+      Scratch.push sc u;
+      sc.cur <- w;
+      sc.mode <- 1;
+      sc.steps <- sc.steps - 1
+    end
+    else begin
+      let pu = pts.(u) and pw = pts.(w) in
+      sc.fl.(2) <- atan2 (pw.P.y -. pu.P.y) (pw.P.x -. pu.P.x);
+      ccw_scan sc u;
+      if sc.best < 0 then sc.state <- 2
+      else begin
+        let w' = sc.best in
+        sc.fl.(4) <- cross;
+        sc.start_u <- u;
+        sc.start_w <- w';
+        sc.p_first <- true;
+        advance_k sc u w'
+      end
+    end
+  end
+
+let enter_perimeter_k sc u =
+  let pu = sc.pts.(u) and pd = sc.pts.(sc.dst) in
+  sc.fl.(2) <- atan2 (pd.P.y -. pu.P.y) (pd.P.x -. pu.P.x);
+  ccw_scan sc u;
+  if sc.best < 0 then sc.state <- 2
+  else begin
+    let w = sc.best in
+    sc.entry <- pu;
+    let dx = pu.P.x -. pd.P.x and dy = pu.P.y -. pd.P.y in
+    let d = sqrt ((dx *. dx) +. (dy *. dy)) in
+    sc.fl.(3) <- d;
+    sc.fl.(4) <- d;
+    sc.start_u <- u;
+    sc.start_w <- w;
+    sc.p_first <- true;
+    advance_k sc u w
+  end
+
+let gfg_greedy_step sc u =
+  closer_scan sc u;
+  if sc.best >= 0 then begin
+    Scratch.push sc u;
+    sc.cur <- sc.best;
+    sc.mode <- 0;
+    sc.steps <- sc.steps - 1
+  end
+  else enter_perimeter_k sc u
+
+let gfg_into sc g points ~src ~dst =
+  if not (in_range g src && in_range g dst) then begin
+    sc.len <- 0;
+    -1
+  end
+  else begin
+    prepare sc g points ~dst;
+    if src = dst then begin
+      Scratch.push sc src;
+      0
+    end
+    else begin
+      sc.cur <- src;
+      sc.steps <- max_steps g;
+      sc.state <- 0;
+      sc.mode <- 0;
+      sc.prev <- -1;
+      while sc.state = 0 do
+        if sc.steps <= 0 then sc.state <- 2
+        else begin
+          Obs.incr c_gfg_steps;
+          let u = sc.cur in
+          if u = dst then begin
+            Scratch.push sc u;
+            sc.state <- 1
+          end
+          else if sc.mode = 0 then gfg_greedy_step sc u
+          else begin
+            let pts = sc.pts in
+            let pu = pts.(u) and pd = pts.(dst) in
+            let dx = pu.P.x -. pd.P.x and dy = pu.P.y -. pd.P.y in
+            let du = sqrt ((dx *. dx) +. (dy *. dy)) in
+            if du < sc.fl.(3) then gfg_greedy_step sc u
+            else begin
+              let pp = pts.(sc.prev) in
+              sc.fl.(2) <- atan2 (pp.P.y -. pu.P.y) (pp.P.x -. pu.P.x);
+              ccw_scan sc u;
+              if sc.best < 0 then sc.state <- 2
+              else advance_k sc u sc.best
+            end
+          end
+        end
+      done;
+      if sc.state = 1 then sc.len - 1
+      else begin
+        sc.len <- 0;
+        -1
+      end
+    end
+  end
+
+(* [_v] wrappers: allocate-on-demand scratch, list extraction, obs *)
+
+let fresh_or sc g =
+  match sc with
+  | Some sc -> sc
+  | None -> Scratch.create ~n:(V.node_count g) ()
+
+let extract sc code = if code < 0 then None else Some (Scratch.path_list sc)
+
+let greedy_v ?scratch g points ~src ~dst =
+  let sc = fresh_or scratch g in
+  obs_greedy (extract sc (greedy_into sc g points ~src ~dst))
+
+let compass_v ?scratch g points ~src ~dst =
+  let sc = fresh_or scratch g in
+  obs_compass (extract sc (compass_into sc g points ~src ~dst))
+
+let mfr_v ?scratch g points ~src ~dst =
+  let sc = fresh_or scratch g in
+  obs_mfr (extract sc (mfr_into sc g points ~src ~dst))
+
+let nfp_v ?scratch g points ~src ~dst =
+  let sc = fresh_or scratch g in
+  obs_nfp (extract sc (nfp_into sc g points ~src ~dst))
+
+let gfg_v ?scratch g points ~src ~dst =
+  let sc = fresh_or scratch g in
+  obs_gfg (extract sc (gfg_into sc g points ~src ~dst))
+
+(* Perimeter-mode machinery of the per-node forwarding automaton.
+   [gfg_step_v] drives the packet-level protocol in [Packetsim]; the
+   [gfg_into] kernel above replicates the same decisions over scratch
+   registers, and the packetsim tests assert path-level and
+   packet-level GPSR agree exactly — which now doubles as the
+   kernel-vs-automaton equivalence check. *)
 let next_ccw g points v ~from_angle =
   let nbrs = V.neighbors g v in
   let angle w = P.angle_of (P.sub points.(w) points.(v)) in
@@ -155,11 +515,6 @@ let next_ccw g points v ~from_angle =
          (fun best w -> if rel w < rel best then w else best)
          (List.hd nbrs) nbrs)
 
-(* GFG as a pure per-node forwarding automaton.  The packet header
-   carries the mode; every decision uses only the current node's
-   neighbor positions and the destination's position, so the same
-   [step] drives both the centralized route computation below and the
-   packet-level protocol in [Packetsim]. *)
 type perimeter = {
   p_entry : P.t;  (* position where perimeter mode was entered *)
   p_entry_dist : float;  (* distance to dst at entry: greedy resumes below it *)
@@ -245,18 +600,6 @@ let gfg_step_v g points ~dst u header =
         | None -> Drop
         | Some w -> advance g points ~dst u st w
       end
-
-let gfg_v g points ~src ~dst =
-  let rec go path u header steps =
-    if steps <= 0 then None
-    else
-      match gfg_step_v g points ~dst u header with
-      | Deliver -> Some (List.rev (u :: path))
-      | Drop -> None
-      | Forward (v, header') -> go (u :: path) v header' (steps - 1)
-  in
-  obs_gfg
-    (if src = dst then Some [ src ] else go [] src Greedy (max_steps g))
 
 let hierarchical (bb : Backbone.t) ~src ~dst =
   obs_hierarchical

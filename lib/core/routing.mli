@@ -11,29 +11,97 @@
     endpoints), or [None] when the packet is dropped (greedy local
     minimum with no recovery, or a step budget exhausted).
 
-    Every router exists in two forms: a [_v] primary over a
-    {!Netgraph.View.t} (so sealed CSR snapshots route without thawing
-    into a mutable graph) and the historical [Graph]-typed adapter,
-    which is the [_v] form composed with [View.of_graph].  Routes are
-    identical in both representations. *)
+    Every router exists in three forms: an [_into] kernel routing
+    into a caller-owned {!Scratch.t} with no per-query allocation on
+    the steady path (the serve engine's form), a [_v] wrapper over a
+    {!Netgraph.View.t} returning the path as a list (so sealed CSR
+    snapshots route without thawing into a mutable graph), and the
+    historical [Graph]-typed adapter, which is the [_v] form composed
+    with [View.of_graph].  Routes are bit-identical in all three.
+
+    Node-id handling is uniform: [src = dst] delivers the trivial
+    path [[src]] (hop count 0), and an out-of-range [src] or [dst]
+    drops the query ([None] / [-1]) instead of raising. *)
+
+(** Reusable per-query state: an epoch-stamped visited mark array
+    (bumping the stamp retires every mark in O(1) — no per-query
+    Hashtbl), a growable path buffer, float registers and the
+    neighbor-scan closures, all allocated once and reused across
+    queries.  A scratch is single-domain state: share one per worker,
+    never across workers. *)
+module Scratch : sig
+  type t
+
+  (** [create ~n ()] pre-sizes the visited marks for [n]-node graphs;
+      every buffer still grows on demand, so any scratch serves any
+      graph. *)
+  val create : ?n:int -> unit -> t
+
+  (** The last delivered path lives in [path t].(0 .. path_len t - 1)
+      (src and dst inclusive); [path_len] is [0] after a drop.  The
+      array is borrowed — read it before the next query, never write
+      it. *)
+  val path : t -> int array
+
+  val path_len : t -> int
+
+  (** Allocating copy of the last delivered path. *)
+  val path_list : t -> int list
+end
+
+(** The [_into] kernels: route and leave the path in the scratch,
+    returning the hop count ([>= 0], with [0] for [src = dst]) or
+    [-1] when the packet is dropped (including out-of-range ids).
+    Unlike the [_v] wrappers they record no per-route obs metrics
+    (the serve engine aggregates its own), with one exception: the
+    [routing.gfg.steps] counter, which counts forwarding decisions
+    exactly as the historical implementation did. *)
+
+val greedy_into :
+  Scratch.t -> Netgraph.View.t -> Geometry.Point.t array ->
+  src:int -> dst:int -> int
+
+val compass_into :
+  Scratch.t -> Netgraph.View.t -> Geometry.Point.t array ->
+  src:int -> dst:int -> int
+
+val mfr_into :
+  Scratch.t -> Netgraph.View.t -> Geometry.Point.t array ->
+  src:int -> dst:int -> int
+
+val nfp_into :
+  Scratch.t -> Netgraph.View.t -> Geometry.Point.t array ->
+  src:int -> dst:int -> int
+
+val gfg_into :
+  Scratch.t -> Netgraph.View.t -> Geometry.Point.t array ->
+  src:int -> dst:int -> int
+
+(** The [_v] wrappers accept an optional scratch to reuse; without
+    one, each call allocates a fresh scratch sized to the view. *)
 
 val greedy_v :
+  ?scratch:Scratch.t ->
   Netgraph.View.t -> Geometry.Point.t array -> src:int -> dst:int ->
   int list option
 
 val compass_v :
+  ?scratch:Scratch.t ->
   Netgraph.View.t -> Geometry.Point.t array -> src:int -> dst:int ->
   int list option
 
 val mfr_v :
+  ?scratch:Scratch.t ->
   Netgraph.View.t -> Geometry.Point.t array -> src:int -> dst:int ->
   int list option
 
 val nfp_v :
+  ?scratch:Scratch.t ->
   Netgraph.View.t -> Geometry.Point.t array -> src:int -> dst:int ->
   int list option
 
 val gfg_v :
+  ?scratch:Scratch.t ->
   Netgraph.View.t -> Geometry.Point.t array -> src:int -> dst:int ->
   int list option
 

@@ -236,7 +236,8 @@ let f002_check ctx =
 
 (* ---------- M001: module-toplevel mutable state ---------- *)
 
-let m001_scope = [ "lib/geometry"; "lib/netgraph"; "lib/delaunay"; "lib/wireless" ]
+let m001_scope =
+  [ "lib/geometry"; "lib/netgraph"; "lib/delaunay"; "lib/wireless"; "lib/serve" ]
 
 let m001_mutable_ctor t =
   t.T.kind = T.Ident

@@ -15,7 +15,7 @@ type shared = {
   work_ready : Condition.t;
   work_done : Condition.t;
   mutable generation : int;
-  mutable mk_body : unit -> int -> unit;
+  mutable mk_body : slot:int -> int -> unit;
   mutable total : int;
   next : int Atomic.t;
   mutable active : int;  (* workers still inside the current job *)
@@ -52,7 +52,7 @@ let drain shared body =
   done;
   if g >= 0 then Obs.Trace.set_context ~group:(-1) ~task:(-1)
 
-let worker shared =
+let worker shared slot =
   let last_gen = ref 0 in
   let running = ref true in
   while !running do
@@ -68,7 +68,7 @@ let worker shared =
       last_gen := shared.generation;
       let mk_body = shared.mk_body in
       Mutex.unlock shared.mutex;
-      (match mk_body () with
+      (match mk_body ~slot with
       | body -> drain shared body
       | exception exn -> record_failure shared 0 exn);
       Mutex.lock shared.mutex;
@@ -86,7 +86,7 @@ let create ~jobs () =
       work_ready = Condition.create ();
       work_done = Condition.create ();
       generation = 0;
-      mk_body = (fun () _ -> ());
+      mk_body = (fun ~slot:_ _ -> ());
       total = 0;
       next = Atomic.make 0;
       active = 0;
@@ -96,13 +96,14 @@ let create ~jobs () =
     }
   in
   let domains =
-    Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker shared))
+    Array.init (jobs - 1) (fun k ->
+        Domain.spawn (fun () -> worker shared (k + 1)))
   in
   { shared; domains }
 
 let jobs t = Array.length t.domains + 1
 
-let parallel_for t ~n mk_body =
+let parallel_for_slots t ~n mk_body =
   if n > 0 then begin
     Obs.incr c_for;
     Obs.add c_tasks n;
@@ -121,7 +122,7 @@ let parallel_for t ~n mk_body =
       shared.total <- n;
       Atomic.set shared.next 0;
       shared.failure <- None;
-      drain shared (mk_body ())
+      drain shared (mk_body ~slot:0)
     end
     else begin
       Mutex.lock shared.mutex;
@@ -134,7 +135,7 @@ let parallel_for t ~n mk_body =
       shared.generation <- shared.generation + 1;
       Condition.broadcast shared.work_ready;
       Mutex.unlock shared.mutex;
-      (match mk_body () with
+      (match mk_body ~slot:0 with
       | body -> drain shared body
       | exception exn -> record_failure shared 0 exn);
       Mutex.lock shared.mutex;
@@ -148,6 +149,9 @@ let parallel_for t ~n mk_body =
     | Some (_, exn) -> raise exn
     | None -> ()
   end
+
+let parallel_for t ~n mk_body =
+  parallel_for_slots t ~n (fun ~slot:_ -> mk_body ())
 
 let shutdown t =
   let shared = t.shared in

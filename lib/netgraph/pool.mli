@@ -46,6 +46,18 @@ val jobs : t -> int
     the smallest index is re-raised in the caller after the join. *)
 val parallel_for : t -> n:int -> (unit -> int -> unit) -> unit
 
+(** [parallel_for_slots pool ~n mk_body] is {!parallel_for} with a
+    stable identity for each participating domain: [mk_body ~slot]
+    builds the body for worker slot [slot], where slot [0] is always
+    the calling domain and slots [1 .. jobs-1] are the worker domains
+    in spawn order.  A given slot is served by the same domain for the
+    pool's whole lifetime, so callers running many jobs against one
+    pool can keep long-lived per-domain scratch in a caller-owned
+    array indexed by slot — each slot's entry is only ever touched by
+    its own domain (the serve engine's query scratch works this way;
+    the join in the caller publishes the slots' writes). *)
+val parallel_for_slots : t -> n:int -> (slot:int -> int -> unit) -> unit
+
 (** Join all workers.  The pool must not be used afterwards. *)
 val shutdown : t -> unit
 

@@ -597,6 +597,12 @@ let sample_gc () =
   set_gauge g_gc_major_n (float_of_int s.Gc.major_collections);
   set_gauge g_gc_compact (float_of_int s.Gc.compactions)
 
+(* The one wall clock exported to the rest of the library: D003 keeps
+   raw [Unix.gettimeofday]/[Sys.time] out of every other lib, so code
+   that must stamp real time (the serve engine's latency samples)
+   reads it through here.  Stateless, hence safe from any domain. *)
+let clock_us () = Unix.gettimeofday () *. 1e6
+
 let span name f =
   if not !on then f ()
   else begin

@@ -115,6 +115,17 @@ val set_gc_sampling : bool -> unit
 
 val span : string -> (unit -> 'a) -> 'a
 
+(** {1 Clock}
+
+    The project's only exported wall clock (lint rule D003 bans raw
+    time calls outside [lib/obs] and the bench harness): microseconds
+    since the Unix epoch, as a float.  Stateless and domain-safe —
+    worker bodies may call it even though the registry itself is not
+    domain-safe.  Deltas of this clock are wall time; like span
+    seconds they are non-deterministic and must stay out of anything
+    a regression gate compares exactly. *)
+val clock_us : unit -> float
+
 (** {1 Structured event tracing}
 
     A second switch, {!Trace.on}, arms recording of typed events into

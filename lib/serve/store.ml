@@ -1,0 +1,49 @@
+module Csr = Netgraph.Csr
+
+(* Epoch publication is a single [Atomic.set] of an immutable record;
+   a reader's [pin] is a single [Atomic.get].  Everything reachable
+   from an epoch (the shard snapshot and the derived CSRs) is sealed
+   before the set, so readers on other domains see a fully built
+   epoch or the previous one, never a partial — the usual
+   publish-by-pointer-swap discipline.  Old epochs stay valid as long
+   as someone holds them and are reclaimed by the GC when the last
+   pin is dropped. *)
+
+type epoch = {
+  id : int;
+  snap : Core.Shard.snapshot;
+  route : Csr.t;
+  view : Netgraph.View.t;
+  udg_w : Csr.t;
+}
+
+type t = { cell : epoch Atomic.t }
+
+let seal ~id (snap : Core.Shard.snapshot) =
+  let route = snap.Core.Shard.pldel' in
+  let udg = snap.Core.Shard.udg in
+  {
+    id;
+    snap;
+    route;
+    view = Netgraph.View.of_csr route;
+    udg_w =
+      (if Csr.has_weights udg then udg
+       else Csr.with_weights udg snap.Core.Shard.points);
+  }
+
+let create snap = { cell = Atomic.make (seal ~id:0 snap) }
+let pin t = Atomic.get t.cell
+
+let publish t snap =
+  let e = seal ~id:((Atomic.get t.cell).id + 1) snap in
+  Atomic.set t.cell e;
+  e
+
+let id e = e.id
+let points e = e.snap.Core.Shard.points
+let node_count e = Array.length e.snap.Core.Shard.points
+let view e = e.view
+let route e = e.route
+let udg_w e = e.udg_w
+let snapshot e = e.snap

@@ -158,6 +158,10 @@ let m001 () =
     (fires "M001" ~path:"lib/geometry/x.ml"
        "(* lint: domain-local scratch, reset at every public entry *)\n\
         let buf = ref []");
+  check "serve in scope" true
+    (fires "M001" ~path:"lib/serve/x.ml" "let cache = Hashtbl.create 16");
+  check "serve Atomic fine" false
+    (fires "M001" ~path:"lib/serve/x.ml" "let cell = Atomic.make e");
   check "core out of scope" false
     (fires "M001" ~path:"lib/core/x.ml" "let cache = Hashtbl.create 16")
 

@@ -209,6 +209,88 @@ let test_evaluate () =
     (ev.Core.Routing.avg_length_stretch >= 1.
     && ev.Core.Routing.avg_length_stretch < 10.)
 
+(* Uniform endpoint contract across all five routers (both the legacy
+   Graph form and the View form): src = dst is the trivial delivery
+   [Some [src]], any out-of-range node id is a clean [None]. *)
+let test_endpoint_contract () =
+  let pts = instance 55L 40 60. in
+  let g = Wireless.Udg.build pts ~radius:60. in
+  let v = Netgraph.View.of_graph g in
+  let n = Array.length pts in
+  let graph_routers =
+    [
+      ("greedy", fun ~src ~dst -> Core.Routing.greedy g pts ~src ~dst);
+      ("compass", fun ~src ~dst -> Core.Routing.compass g pts ~src ~dst);
+      ("mfr", fun ~src ~dst -> Core.Routing.mfr g pts ~src ~dst);
+      ("nfp", fun ~src ~dst -> Core.Routing.nfp g pts ~src ~dst);
+      ("gfg", fun ~src ~dst -> Core.Routing.gfg g pts ~src ~dst);
+    ]
+  in
+  let view_routers =
+    [
+      ("greedy_v", fun ~src ~dst -> Core.Routing.greedy_v v pts ~src ~dst);
+      ("compass_v", fun ~src ~dst -> Core.Routing.compass_v v pts ~src ~dst);
+      ("mfr_v", fun ~src ~dst -> Core.Routing.mfr_v v pts ~src ~dst);
+      ("nfp_v", fun ~src ~dst -> Core.Routing.nfp_v v pts ~src ~dst);
+      ("gfg_v", fun ~src ~dst -> Core.Routing.gfg_v v pts ~src ~dst);
+    ]
+  in
+  List.iter
+    (fun (name, router) ->
+      (match router ~src:7 ~dst:7 with
+      | Some p ->
+        Alcotest.(check (list int)) (name ^ ": src = dst") [ 7 ] p
+      | None -> Alcotest.fail (name ^ ": src = dst must deliver trivially"));
+      check (name ^ ": src out of range") true (router ~src:n ~dst:0 = None);
+      check (name ^ ": negative src") true (router ~src:(-1) ~dst:0 = None);
+      check (name ^ ": dst out of range") true
+        (router ~src:0 ~dst:(n + 3) = None);
+      check (name ^ ": negative dst") true (router ~src:0 ~dst:(-2) = None);
+      (* src = dst wins over range checks only when in range *)
+      check (name ^ ": src = dst out of range") true
+        (router ~src:n ~dst:n = None))
+    (graph_routers @ view_routers)
+
+(* One scratch reused across many queries must answer exactly like a
+   fresh scratch per query — the epoch-stamped visited marks and path
+   buffer carry no state between routes. *)
+let test_scratch_reuse_identical () =
+  let pts = instance 56L 80 50. in
+  let g = Wireless.Udg.build pts ~radius:50. in
+  let v = Netgraph.View.of_graph g in
+  let n = Array.length pts in
+  let shared = Core.Routing.Scratch.create ~n () in
+  let rng = Wireless.Rand.create 560L in
+  for _ = 1 to 200 do
+    let src = Wireless.Rand.int rng n and dst = Wireless.Rand.int rng n in
+    List.iter
+      (fun (name, route) ->
+        let reused = route ~scratch:shared ~src ~dst in
+        let fresh =
+          route ~scratch:(Core.Routing.Scratch.create ~n ()) ~src ~dst
+        in
+        if reused <> fresh then
+          Alcotest.failf "%s: shared scratch diverges on %d -> %d" name src
+            dst)
+      [
+        ( "greedy_v",
+          fun ~scratch ~src ~dst ->
+            Core.Routing.greedy_v ~scratch v pts ~src ~dst );
+        ( "compass_v",
+          fun ~scratch ~src ~dst ->
+            Core.Routing.compass_v ~scratch v pts ~src ~dst );
+        ( "mfr_v",
+          fun ~scratch ~src ~dst -> Core.Routing.mfr_v ~scratch v pts ~src ~dst
+        );
+        ( "nfp_v",
+          fun ~scratch ~src ~dst -> Core.Routing.nfp_v ~scratch v pts ~src ~dst
+        );
+        ( "gfg_v",
+          fun ~scratch ~src ~dst -> Core.Routing.gfg_v ~scratch v pts ~src ~dst
+        );
+      ]
+  done
+
 let suites =
   [
     ( "core.routing",
@@ -235,5 +317,9 @@ let suites =
         Alcotest.test_case "variants delivery rates" `Quick
           test_variants_delivery_rates;
         Alcotest.test_case "evaluate" `Quick test_evaluate;
+        Alcotest.test_case "endpoint contract (src=dst, out of range)" `Quick
+          test_endpoint_contract;
+        Alcotest.test_case "scratch reuse is invisible" `Quick
+          test_scratch_reuse_identical;
       ] );
   ]
