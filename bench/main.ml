@@ -648,11 +648,24 @@ let c_bench_jobs = Obs.counter "bench.jobs"
 (* Shared regression-gate plumbing (metrics, pipeline, serve)          *)
 (* ------------------------------------------------------------------ *)
 
+(* any failure here names the artifact file: "Scanf: bad input" alone
+   is useless when three BENCH_*.json baselines are in play *)
 let read_baseline file =
-  let ic = open_in_bin file in
-  let contents = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  Obs.Snapshot.of_json_lines contents
+  let contents =
+    match open_in_bin file with
+    | exception Sys_error msg ->
+      pf "  [check FAILED: cannot read baseline %s: %s]@." file msg;
+      exit 1
+    | ic ->
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      contents
+  in
+  match Obs.Snapshot.of_json_lines contents with
+  | snap -> snap
+  | exception Failure msg ->
+    pf "  [check FAILED: baseline %s does not parse: %s]@." file msg;
+    exit 1
 
 let write_baseline file snap =
   let oc = open_out file in
@@ -1062,6 +1075,40 @@ let bench_serve ?check quick jobs =
     failwith
       (Printf.sprintf "serve bench: jobs=%d diverges from jobs=1 at n = %d"
          jobs n);
+  (* scrape-while-serving overhead: the same closed loop again at
+     jobs = 1, with the exposition listener live and a client thread
+     hammering /metrics for the whole run.  The listener only reads
+     the registry, so results must stay bit-identical; the qps delta
+     against the unscraped run is the price of sharing the domain
+     with a scraper, reported as gauges (wall-clock, not gated). *)
+  let scrape_stop = Atomic.make false in
+  let scrape_n = Atomic.make 0 in
+  let h = Obs.Export.start ~port:0 () in
+  let port = Obs.Export.port h in
+  let scraper =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get scrape_stop) do
+          (match Obs.Export.get ~port "/metrics" with
+          | _ -> Atomic.incr scrape_n
+          | exception _ -> ());
+          Thread.yield ()
+        done)
+      ()
+  in
+  let r_scrape = serve "q.scrape" 1 false w in
+  Atomic.set scrape_stop true;
+  Thread.join scraper;
+  Obs.Export.stop h;
+  if
+    not
+      (r1.Serve.Engine.hops = r_scrape.Serve.Engine.hops
+      && r1.Serve.Engine.epoch = r_scrape.Serve.Engine.epoch
+      && compare r1.Serve.Engine.stretch r_scrape.Serve.Engine.stretch = 0)
+  then
+    failwith
+      (Printf.sprintf
+         "serve bench: results diverge under scrape load at n = %d" n);
   (* open-loop latency run: a tenth of the queries at a fixed arrival
      rate, latency sampling on *)
   let w_lat =
@@ -1072,7 +1119,18 @@ let bench_serve ?check quick jobs =
   let r_lat = serve "lat.j1" 1 true w_lat in
   let s1 = Serve.Engine.summarize r1
   and sj = Serve.Engine.summarize rj
+  and ss = Serve.Engine.summarize r_scrape
   and sl = Serve.Engine.summarize r_lat in
+  let scrapes = Atomic.get scrape_n in
+  let overhead_pct =
+    if s1.Serve.Engine.s_qps > 0. then
+      100. *. (1. -. (ss.Serve.Engine.s_qps /. s1.Serve.Engine.s_qps))
+    else nan
+  in
+  Obs.set_gauge
+    (Obs.gauge "bench.serve.scrape.count")
+    (float_of_int scrapes);
+  Obs.set_gauge (Obs.gauge "bench.serve.scrape.overhead_pct") overhead_pct;
   (* deterministic result counters for the regression gate: any change
      to the kernels, the workload generator or the store shows up as
      an exact-match violation here *)
@@ -1094,6 +1152,13 @@ let bench_serve ?check quick jobs =
       (Printf.sprintf "jobs=%d" jobs)
       sj.Serve.Engine.s_qps rj.Serve.Engine.elapsed_s
       (sj.Serve.Engine.s_qps /. s1.Serve.Engine.s_qps);
+  pf "%-10s %14.0f %12.3f %10.2f@." "scraped"
+    ss.Serve.Engine.s_qps r_scrape.Serve.Engine.elapsed_s
+    (ss.Serve.Engine.s_qps /. s1.Serve.Engine.s_qps);
+  pf
+    "scrape load: %d /metrics scrapes during the run, %.1f%% qps overhead \
+     vs unscraped@."
+    scrapes overhead_pct;
   pf "delivered:  %d/%d   hops p50 %.0f p99 %.0f   stretch p50 %.3f@."
     s1.Serve.Engine.s_delivered q_count s1.Serve.Engine.s_hop_p50
     s1.Serve.Engine.s_hop_p99 s1.Serve.Engine.s_stretch_p50;
@@ -1115,6 +1180,20 @@ let bench_serve ?check quick jobs =
       Obs.set_enabled was;
       exit 1
     end;
+    (* Gate on everything deterministic — counters, dist counts and
+       the hop histogram bucket-for-bucket.  The latency histogram's
+       values are wall-clock, so its bucket shape varies run to run:
+       it stays in the committed JSON for inspection but is excluded
+       here, mirroring the pipeline gate's nested-span filter. *)
+    let reference =
+      {
+        reference with
+        Obs.Snapshot.hists =
+          List.filter
+            (fun (name, _) -> name <> "serve.latency_us.hist")
+            reference.Obs.Snapshot.hists;
+      }
+    in
     (match Obs.Snapshot.compare_against ~threshold ~reference osnap with
     | [] -> pf "  [check ok: within +%.0f%% of %s]@." (100. *. threshold) file
     | mismatches ->

@@ -100,6 +100,84 @@ let with_trace trace_file f =
     let vcode = export_trace file (Obs.Trace.events ()) in
     if code <> 0 then code else vcode
 
+let listen_arg =
+  let doc =
+    "Serve live introspection over HTTP on 127.0.0.1:$(docv) for the \
+     duration of the run: $(b,/metrics) (Prometheus text exposition), \
+     $(b,/healthz), $(b,/debug/ring) (the flight-recorder ring as JSON) \
+     and, under $(b,serve), $(b,/epoch).  Port 0 picks a free port \
+     (printed to stderr).  Implies the observability layer is on; \
+     $(b,SIGUSR2) dumps the flight recorder to stderr while listening.  \
+     Before exit the command scrapes its own endpoint and fails unless \
+     the exposition parses and matches the in-process snapshot exactly."
+  in
+  Arg.(value & opt (some int) None & info [ "listen" ] ~docv:"PORT" ~doc)
+
+(* Run [f] with the exposition listener live, passing it the bound
+   port.  On the way out, scrape our own /metrics, re-parse the text
+   and cross-check every value against a fresh in-process snapshot —
+   exit 1 on any disagreement, in the export_trace self-validation
+   tradition.  Safe because the registry is single-writer: once [f]
+   returns, the main thread records nothing more, so the scrape the
+   listener serves and the snapshot we capture here must agree. *)
+let with_listen ?health ?routes listen f =
+  match listen with
+  | None -> f None
+  | Some port ->
+    Obs.set_enabled true;
+    Obs.Recorder.arm_gc_alarm ();
+    let h = Obs.Export.start ?health ?routes ~port () in
+    let port = Obs.Export.port h in
+    Printf.eprintf "listen: serving http://127.0.0.1:%d/metrics\n%!" port;
+    let prev =
+      Sys.signal Sys.sigusr2
+        (Sys.Signal_handle
+           (fun _ ->
+             Obs.Recorder.dump Format.err_formatter ();
+             Format.pp_print_flush Format.err_formatter ()))
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Sys.set_signal Sys.sigusr2 prev;
+        Obs.Recorder.disarm_gc_alarm ();
+        Obs.Export.stop h)
+    @@ fun () ->
+    let code = f (Some port) in
+    let scrape_code =
+      match Obs.Export.get ~port "/metrics" with
+      | exception e ->
+        Printf.eprintf "listen: final scrape failed: %s\n"
+          (Printexc.to_string e);
+        1
+      | status, body -> (
+        if not (String.length status >= 12 && String.sub status 9 3 = "200")
+        then begin
+          Printf.eprintf "listen: /metrics returned %S\n" status;
+          1
+        end
+        else
+          match Obs.Export.parse_exposition body with
+          | exception Failure msg ->
+            Printf.eprintf "listen: /metrics failed to parse: %s\n" msg;
+            1
+          | samples -> (
+            match
+              Obs.Export.check_snapshot samples (Obs.Snapshot.capture ())
+            with
+            | [] ->
+              Printf.eprintf
+                "listen: final scrape ok (%d samples, %d scrapes served)\n"
+                (List.length samples)
+                (Obs.Export.scrape_count h);
+              0
+            | errs ->
+              List.iter
+                (fun e -> Printf.eprintf "listen: scrape mismatch: %s\n" e)
+                errs;
+              1))
+    in
+    if code <> 0 then code else scrape_code
+
 let seed =
   let doc = "Random seed for the deployment." in
   Arg.(value & opt int64 2002L & info [ "seed" ] ~docv:"SEED" ~doc)
@@ -845,9 +923,22 @@ let monitor_cmd =
   in
   let run seed n side radius input rounds min_speed max_speed policy
       refresh_when stretch_sources traffic len_limit hop_limit degree_limit
-      out csv_out jobs stats_fmt trace =
+      out csv_out listen jobs stats_fmt trace =
     with_stats stats_fmt @@ fun () ->
     with_trace trace @@ fun () ->
+    let mon_ref = ref None in
+    (* /healthz reflects the monitor's live probe status *)
+    let health () =
+      match !mon_ref with
+      | None -> (true, "starting")
+      | Some mon ->
+        if Core.Monitor.healthy mon then (true, "ok")
+        else
+          ( false,
+            Printf.sprintf "%d violations"
+              (List.length (Core.Monitor.violations mon)) )
+    in
+    with_listen ~health listen @@ fun _lport ->
     let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
     let was = Obs.enabled () in
     Obs.set_enabled true;
@@ -875,6 +966,8 @@ let monitor_cmd =
     let mon =
       Core.Monitor.create ~thresholds:th ~stretch_sources ~seed ~jobs ()
     in
+    mon_ref := Some mon;
+    let ring_dumped = ref false in
     let traffic_rng = Wireless.Rand.create (Int64.add seed 2L) in
     let tel = Core.Monitor.telemetry mon in
     let lastv name =
@@ -927,6 +1020,15 @@ let monitor_cmd =
         @ traffic_extra
       in
       let vs = Core.Monitor.observe mon ~round:r ~extra !bb in
+      (* the flight recorder is always on: dump it once, at the first
+         violating round, so the events leading up to the violation
+         are on record even without --listen *)
+      if vs <> [] && not !ring_dumped then begin
+        ring_dumped := true;
+        Printf.eprintf "monitor: flight recorder at first violation:\n";
+        Obs.Recorder.dump Format.err_formatter ();
+        Format.pp_print_flush Format.err_formatter ()
+      end;
       let status =
         match vs with
         | [] -> "ok"
@@ -994,7 +1096,7 @@ let monitor_cmd =
       const run $ seed $ nodes $ side $ radius $ input $ rounds_arg
       $ min_speed $ max_speed $ policy $ refresh_when $ stretch_sources
       $ traffic $ len_limit $ hop_limit $ degree_limit $ out $ csv_out
-      $ jobs $ stats $ trace_file)
+      $ listen_arg $ jobs $ stats $ trace_file)
 
 (* ---------------- serve ---------------- *)
 
@@ -1108,7 +1210,7 @@ let serve_cmd =
       1
   in
   let run seed n side radius input jobs partition queries mix skew rate batch
-      churn churn_jitter no_latency out stats_fmt trace =
+      churn churn_jitter no_latency out listen stats_fmt trace =
     with_stats stats_fmt @@ fun () ->
     with_trace trace @@ fun () ->
     match (Serve.Workload.mix_of_string mix, Serve.Workload.skew_of_string skew)
@@ -1117,16 +1219,46 @@ let serve_cmd =
       Printf.eprintf "serve: %s\n" e;
       2
     | Ok mix, Ok skew ->
+      let store_ref = ref None in
+      (* /epoch reports the store's currently published epoch id *)
+      let epoch_route () =
+        match !store_ref with
+        | None -> "-1\n"
+        | Some store ->
+          Printf.sprintf "%d\n" (Serve.Store.id (Serve.Store.pin store))
+      in
+      with_listen ~routes:[ ("/epoch", epoch_route) ] listen @@ fun lport ->
       let pts = deployment ~seed ~n ~side ~radius ~connected:true ~input in
       let n = Array.length pts in
       let cfg = { Config.default with Config.radius; jobs; partition } in
       let store = Serve.Store.create (Core.Backbone.snapshot cfg pts) in
+      store_ref := Some store;
       let w =
         Serve.Workload.generate ~seed ~n ~count:queries ~mix ~skew ?rate ()
       in
       let churn_rng = Wireless.Rand.create (Int64.add seed 11L) in
       let positions = ref pts in
+      let nb = if queries = 0 then 0 else (queries + batch - 1) / batch in
+      let midrun_scraped = ref false in
+      let midrun_err = ref None in
       let on_batch b =
+        (* scrape ourselves once, mid-run, from the batch boundary:
+           proves a live scraper sees parseable exposition while
+           queries are in flight (the fan-out has not started yet, so
+           this perturbs scheduling, never results) *)
+        (match lport with
+        | Some port when (not !midrun_scraped) && b = nb / 2 ->
+          midrun_scraped := true;
+          (match Obs.Export.get ~port "/metrics" with
+          | exception e -> midrun_err := Some (Printexc.to_string e)
+          | _, body -> (
+            match Obs.Export.parse_exposition body with
+            | exception Failure msg -> midrun_err := Some msg
+            | samples ->
+              Printf.eprintf
+                "listen: mid-run scrape at batch %d parsed %d samples\n%!" b
+                (List.length samples)))
+        | _ -> ());
         if churn > 0 && b > 0 && b mod churn = 0 then begin
           let moved =
             Array.map
@@ -1184,7 +1316,14 @@ let serve_cmd =
           let series = List.map snd (Obs.Telemetry.series tel name) in
           Printf.printf "  %-16s %s\n" name (Obs.Telemetry.sparkline series))
         (Obs.Telemetry.names tel);
-      (match out with None -> 0 | Some file -> export_serve file w r)
+      let code =
+        match out with None -> 0 | Some file -> export_serve file w r
+      in
+      (match !midrun_err with
+      | None -> code
+      | Some msg ->
+        Printf.eprintf "serve: mid-run scrape failed: %s\n" msg;
+        1)
   in
   let doc =
     "serve route queries (greedy / GFG / compass / sampled stretch) from \
@@ -1196,7 +1335,7 @@ let serve_cmd =
     Term.(
       const run $ seed $ nodes $ side $ radius $ input $ jobs $ partition
       $ queries $ mix_arg $ skew_arg $ rate $ batch_arg $ churn $ churn_jitter
-      $ no_latency $ out $ stats $ trace_file)
+      $ no_latency $ out $ listen_arg $ stats $ trace_file)
 
 (* ---------------- main ---------------- *)
 

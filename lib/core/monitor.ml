@@ -111,6 +111,9 @@ let observe t ~round ?(extra = []) (bb : Backbone.t) =
       t.all_violations <- viol :: t.all_violations;
       round_violations := viol :: !round_violations;
       Obs.incr c_violations;
+      Obs.Recorder.record
+        (Obs.Recorder.Monitor_violation
+           { round; probe = name; value = v; limit; node });
       if !Obs.Trace.on then
         Obs.Trace.alert ~round ~probe:name ~value:v ~limit ~node
     end

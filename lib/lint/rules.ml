@@ -444,6 +444,45 @@ let h003_check ctx =
     List.rev !out
   end
 
+(* ---------- O001: metric name literals follow the naming convention ---------- *)
+
+let o001_registration = function
+  | "counter" | "dist" | "gauge" | "histogram" -> true
+  | _ -> false
+
+let o001_valid name =
+  name <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_' || c = '.')
+       name
+
+let o001_check ctx =
+  let out = ref [] in
+  Array.iteri
+    (fun i t ->
+      if
+        t.T.kind = T.Ident
+        && T.has_component t "Obs"
+        && o001_registration (T.last_component t)
+      then
+        (* only literal registrations are checkable; a computed name
+           (Printf.sprintf ...) shows up as '(' and is skipped *)
+        match tok ctx (i + 1) with
+        | Some u when u.T.kind = T.String_lit ->
+          if not (o001_valid u.T.text) then
+            out :=
+              finding ctx "O001" Diag.Error u.T.line u.T.col
+                (Printf.sprintf
+                   "metric name %S breaks the dotted lowercase convention \
+                    ([a-z0-9_.]+); registry keys sort into reports and \
+                    become /metrics sample names"
+                   u.T.text)
+              :: !out
+        | _ -> ())
+    ctx.code;
+  List.rev !out
+
 (* ---------- catalog ---------- *)
 
 let all =
@@ -560,6 +599,18 @@ let all =
          message turns an impossible state into an undiagnosable crash; \
          say why the branch cannot happen.";
       check = h003_check;
+    };
+    {
+      id = "O001";
+      family = "hygiene";
+      severity = Diag.Error;
+      title = "metric name literals follow the dotted convention";
+      doc =
+        "Obs.counter/dist/gauge/histogram name literals must be nonempty \
+         dotted lowercase ([a-z0-9_.]+): registry keys sort into every \
+         report and become Prometheus sample names on /metrics, where a \
+         typo'd or CamelCase name silently forks a new time series.";
+      check = o001_check;
     };
   ]
 

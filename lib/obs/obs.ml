@@ -32,10 +32,140 @@ type span_cell = { mutable s_calls : int; mutable s_seconds : float }
 
 type gauge = { mutable g_value : float; mutable g_set : bool }
 
+(* Fixed-bucket mergeable histograms.  P-squared sketches estimate
+   quantiles but two sketches cannot be combined without loss; a
+   histogram over one global log-2 bucket ladder merges by element-wise
+   addition, so a merged result is independent of how observations were
+   split across slots or domains — the property the serve engine needs
+   to keep jobs-bit-identity.  The ladder covers 2^-10 .. 2^30 (values
+   at or below the first bound land in bucket 0; anything above the
+   last bound lands in the overflow bucket), which spans both hop
+   counts and microsecond latencies.  Bucketing is a binary search over
+   exact powers of two — no logs, no rounding ambiguity. *)
+module Histogram = struct
+  let bounds = Array.init 41 (fun i -> ldexp 1. (i - 10))
+  let buckets_len = Array.length bounds + 1
+
+  (* [h_sum] lives in a one-slot floatarray so updating it is an
+     unboxed store — a mutable float field in this mixed record would
+     allocate a box per observation, and [observe_int] sits on the
+     engine's zero-alloc per-query path. *)
+  type t = {
+    mutable h_count : int;
+    h_sum : floatarray;
+    h_buckets : int array; (* length [buckets_len]; last is +Inf *)
+  }
+
+  let create () =
+    {
+      h_count = 0;
+      h_sum = Float.Array.make 1 0.;
+      h_buckets = Array.make buckets_len 0;
+    }
+
+  (* smallest [i] with [v <= bounds.(i)]; the overflow slot otherwise
+     (NaN also overflows — it compares false against every bound) *)
+  let bucket_index v =
+    let lo = ref 0 and hi = ref (Array.length bounds) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if v <= bounds.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+  let add_sum h v =
+    Float.Array.unsafe_set h.h_sum 0 (Float.Array.unsafe_get h.h_sum 0 +. v)
+
+  let observe h v =
+    h.h_count <- h.h_count + 1;
+    add_sum h v;
+    let i = bucket_index v in
+    h.h_buckets.(i) <- h.h_buckets.(i) + 1
+
+  (* [observe (float_of_int n)] without any float crossing a call
+     boundary: [bounds.(10 + k) = 2.^k], so the bucket of a positive
+     [n] is 10 plus the position of its highest set bit (rounded up),
+     capped at the overflow slot. *)
+  let observe_int h n =
+    h.h_count <- h.h_count + 1;
+    add_sum h (float_of_int n);
+    let i =
+      if n <= 0 then 0
+      else begin
+        let k = ref 0 in
+        while 1 lsl !k < n && !k < 31 do incr k done;
+        min (10 + !k) (buckets_len - 1)
+      end
+    in
+    h.h_buckets.(i) <- h.h_buckets.(i) + 1
+
+  let count h = h.h_count
+  let sum h = Float.Array.get h.h_sum 0
+  let buckets h = Array.copy h.h_buckets
+
+  let reset h =
+    h.h_count <- 0;
+    Float.Array.set h.h_sum 0 0.;
+    Array.fill h.h_buckets 0 buckets_len 0
+
+  let merge_into ~into src =
+    into.h_count <- into.h_count + src.h_count;
+    add_sum into (Float.Array.get src.h_sum 0);
+    for i = 0 to buckets_len - 1 do
+      into.h_buckets.(i) <- into.h_buckets.(i) + src.h_buckets.(i)
+    done
+
+  (* upper bound of the bucket holding rank ceil(q * count): an upper
+     estimate, exact to within one bucket width *)
+  let quantile_of ~count (buckets : int array) q =
+    if count = 0 then nan
+    else begin
+      let q = Float.min 1. (Float.max 0. q) in
+      let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int count))) in
+      let acc = ref 0 and ans = ref infinity in
+      (try
+         Array.iteri
+           (fun i c ->
+             acc := !acc + c;
+             if !acc >= rank then begin
+               (ans :=
+                  if i < Array.length bounds then bounds.(i) else infinity);
+               raise Exit
+             end)
+           buckets
+       with Exit -> ());
+      !ans
+    end
+
+  let quantile h q = quantile_of ~count:h.h_count h.h_buckets q
+end
+
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 let dists : (string, dist_cell) Hashtbl.t = Hashtbl.create 16
 let spans : (string, span_cell) Hashtbl.t = Hashtbl.create 16
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let hists : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
+
+(* The single-writer scrape contract.  The registry's cells are only
+   ever mutated from the main thread of the main domain (parallel
+   stages quiesce their fan-out), and cell updates are word-sized
+   stores, so the Export listener thread may *read* them at any time
+   without tearing.  What it must not race with is registration — a
+   [Hashtbl.add] can resize the table mid-fold.  Registration is rare
+   (first use of a name) and snapshots are rare, so both sides take
+   this mutex; the hot observation paths ([incr], [observe], ...)
+   never do. *)
+let registration_mutex = Mutex.create ()
+
+let registered tbl name make =
+  match Hashtbl.find_opt tbl name with
+  | Some c -> c
+  | None ->
+    let c = make () in
+    Mutex.lock registration_mutex;
+    Hashtbl.add tbl name c;
+    Mutex.unlock registration_mutex;
+    c
 
 (* span paths in first-entered order, reversed *)
 let span_order : string list ref = ref []
@@ -517,13 +647,7 @@ module Trace = struct
       else ((n *. sxy) -. (sx *. sy)) /. den
 end
 
-let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-    let c = { c_name = name; c_value = 0 } in
-    Hashtbl.add counters name c;
-    c
+let counter name = registered counters name (fun () -> { c_name = name; c_value = 0 })
 
 let incr c =
   if !on then begin
@@ -540,15 +664,9 @@ let add c n =
 let value c = c.c_value
 
 let dist name =
-  match Hashtbl.find_opt dists name with
-  | Some d -> d
-  | None ->
-    let d =
+  registered dists name (fun () ->
       { d_count = 0; d_sum = 0.; d_sumsq = 0.; d_min = infinity;
-        d_max = neg_infinity }
-    in
-    Hashtbl.add dists name d;
-    d
+        d_max = neg_infinity })
 
 let observe d v =
   if !on then begin
@@ -560,12 +678,7 @@ let observe d v =
   end
 
 let gauge name =
-  match Hashtbl.find_opt gauges name with
-  | Some g -> g
-  | None ->
-    let g = { g_value = nan; g_set = false } in
-    Hashtbl.add gauges name g;
-    g
+  registered gauges name (fun () -> { g_value = nan; g_set = false })
 
 let set_gauge g v =
   if !on then begin
@@ -574,6 +687,10 @@ let set_gauge g v =
   end
 
 let gauge_value g = g.g_value
+
+let histogram name = registered hists name Histogram.create
+let observe_hist h v = if !on then Histogram.observe h v
+let merge_hist ~into src = if !on then Histogram.merge_into ~into src
 
 (* GC sampling is its own switch, like Trace: a single load-and-branch
    at each span boundary when armed, nothing at all when not. *)
@@ -613,8 +730,10 @@ let span name f =
       | Some c -> c
       | None ->
         let c = { s_calls = 0; s_seconds = 0. } in
+        Mutex.lock registration_mutex;
         Hashtbl.add spans path c;
         span_order := path :: !span_order;
+        Mutex.unlock registration_mutex;
         c
     in
     if !Trace.on then Trace.span_begin path;
@@ -646,9 +765,175 @@ let reset () =
       g.g_value <- nan;
       g.g_set <- false)
     gauges;
+  Hashtbl.iter (fun _ h -> Histogram.reset h) hists;
+  Mutex.lock registration_mutex;
   Hashtbl.reset spans;
   span_order := [];
+  Mutex.unlock registration_mutex;
   span_path := ""
+
+(* The flight recorder: an always-on, bounded, per-domain ring of
+   recent typed events.  Unlike [Trace] (armed per run, high volume,
+   per-message granularity) the recorder holds only coarse milestones —
+   batch summaries, epoch publishes, monitor violations, GC major
+   slices — a few per second at most, so it is cheap enough to leave
+   recording in production and dump on demand: [GET /debug/ring], a
+   monitor violation, or SIGUSR2 (the CLI installs the handler).
+   Events carry a global sequence number from one atomic counter so a
+   dump merges the per-domain rings into one causal order. *)
+module Recorder = struct
+  type event =
+    | Batch of { batch : int; queries : int; epoch : int; wall_us : float }
+    | Epoch_published of { epoch : int; nodes : int }
+    | Monitor_violation of {
+        round : int;
+        probe : string;
+        value : float;
+        limit : float;
+        node : int;
+      }
+    | Gc_major of { heap_words : int; major_collections : int }
+    | Note of string
+
+  type entry = { e_seq : int; e_dom : int; e_t_us : float; e_event : event }
+
+  let dummy = { e_seq = -1; e_dom = 0; e_t_us = 0.; e_event = Note "" }
+
+  type buf = {
+    b_dom : int;
+    mutable b_entries : entry array;
+    mutable b_start : int;
+    mutable b_len : int;
+  }
+
+  let ring_mutex = Mutex.create ()
+  let all_bufs : buf list ref = ref []
+  let capacity = ref 256
+  let seq = Atomic.make 0
+
+  let fresh_buf () =
+    let b =
+      { b_dom = (Domain.self () :> int);
+        b_entries = Array.make !capacity dummy; b_start = 0; b_len = 0 }
+    in
+    Mutex.lock ring_mutex;
+    all_bufs := b :: !all_bufs;
+    Mutex.unlock ring_mutex;
+    b
+
+  let key = Domain.DLS.new_key fresh_buf
+
+  let set_capacity cap =
+    let cap = max 1 cap in
+    Mutex.lock ring_mutex;
+    capacity := cap;
+    List.iter
+      (fun b ->
+        b.b_entries <- Array.make cap dummy;
+        b.b_start <- 0;
+        b.b_len <- 0)
+      !all_bufs;
+    Mutex.unlock ring_mutex
+
+  let clear () =
+    Mutex.lock ring_mutex;
+    List.iter
+      (fun b ->
+        Array.fill b.b_entries 0 (Array.length b.b_entries) dummy;
+        b.b_start <- 0;
+        b.b_len <- 0)
+      !all_bufs;
+    Mutex.unlock ring_mutex;
+    Atomic.set seq 0
+
+  let record ev =
+    let b = Domain.DLS.get key in
+    let e =
+      { e_seq = Atomic.fetch_and_add seq 1; e_dom = b.b_dom;
+        e_t_us = clock_us (); e_event = ev }
+    in
+    let cap = Array.length b.b_entries in
+    if b.b_len = cap then begin
+      (* full: overwrite the oldest *)
+      b.b_entries.(b.b_start) <- e;
+      b.b_start <- (b.b_start + 1) mod cap
+    end
+    else begin
+      b.b_entries.((b.b_start + b.b_len) mod cap) <- e;
+      b.b_len <- b.b_len + 1
+    end
+
+  let entries () =
+    Mutex.lock ring_mutex;
+    let bufs = !all_bufs in
+    Mutex.unlock ring_mutex;
+    List.concat_map
+      (fun b ->
+        let cap = Array.length b.b_entries in
+        List.init b.b_len (fun i -> b.b_entries.((b.b_start + i) mod cap)))
+      bufs
+    |> List.sort (fun a b -> compare a.e_seq b.e_seq)
+
+  let json_of_entry e =
+    let common = Printf.sprintf "\"seq\":%d,\"dom\":%d,\"t_us\":%s" e.e_seq e.e_dom (g17 e.e_t_us) in
+    match e.e_event with
+    | Batch { batch; queries; epoch; wall_us } ->
+      Printf.sprintf
+        "{%s,\"kind\":\"batch\",\"batch\":%d,\"queries\":%d,\"epoch\":%d,\"wall_us\":%s}"
+        common batch queries epoch (g17 wall_us)
+    | Epoch_published { epoch; nodes } ->
+      Printf.sprintf "{%s,\"kind\":\"epoch\",\"epoch\":%d,\"nodes\":%d}" common
+        epoch nodes
+    | Monitor_violation { round; probe; value; limit; node } ->
+      Printf.sprintf
+        "{%s,\"kind\":\"violation\",\"round\":%d,\"probe\":%S,\"value\":%s,\"limit\":%s,\"node\":%d}"
+        common round probe (g17 value) (g17 limit) node
+    | Gc_major { heap_words; major_collections } ->
+      Printf.sprintf
+        "{%s,\"kind\":\"gc_major\",\"heap_words\":%d,\"major_collections\":%d}"
+        common heap_words major_collections
+    | Note text -> Printf.sprintf "{%s,\"kind\":\"note\",\"text\":%S}" common text
+
+  (* the whole ring as one JSON array, oldest first *)
+  let to_json_string () =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "[";
+    List.iteri
+      (fun i e ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '\n';
+        Buffer.add_string b (json_of_entry e))
+      (entries ());
+    Buffer.add_string b "\n]\n";
+    Buffer.contents b
+
+  let dump fmt () = Format.fprintf fmt "%s@?" (to_json_string ())
+
+  (* GC major-slice events come from a [Gc.create_alarm] callback; the
+     alarm is armed explicitly (the CLI arms it for serve/monitor runs)
+     so allocation-gated benchmarks are not perturbed by default. *)
+  let gc_alarm : Gc.alarm option ref = ref None
+
+  let arm_gc_alarm () =
+    match !gc_alarm with
+    | Some _ -> ()
+    | None ->
+      gc_alarm :=
+        Some
+          (Gc.create_alarm (fun () ->
+               let s = Gc.quick_stat () in
+               record
+                 (Gc_major
+                    { heap_words = s.Gc.heap_words;
+                      major_collections = s.Gc.major_collections })))
+
+  let disarm_gc_alarm () =
+    match !gc_alarm with
+    | Some a ->
+      Gc.delete_alarm a;
+      gc_alarm := None
+    | None -> ()
+end
 
 (* The P-squared streaming quantile estimator (Jain & Chlamtac, CACM
    1985), extended variant: for target quantiles q_1 < ... < q_m it
@@ -1007,14 +1292,22 @@ module Telemetry = struct
     [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
        "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
 
+  (* Degenerate series need care: a constant or single-sample series
+     has hi = lo (scale to the middle bar, never divide by the zero
+     range), and an infinite sample must pin to the extreme bar rather
+     than poison the scale of its finite neighbours. *)
   let sparkline vs =
     match List.filter (fun v -> not (Float.is_nan v)) vs with
     | [] -> ""
     | vs ->
-      let lo = List.fold_left Float.min infinity vs in
-      let hi = List.fold_left Float.max neg_infinity vs in
+      let finite = List.filter Float.is_finite vs in
+      let lo = List.fold_left Float.min infinity finite in
+      let hi = List.fold_left Float.max neg_infinity finite in
       let pick v =
-        if hi -. lo <= 0. || Float.is_nan v then spark_bars.(3)
+        if Float.is_nan v then spark_bars.(3)
+        else if v > hi then spark_bars.(7) (* +inf, or all-infinite series *)
+        else if v < lo then spark_bars.(0) (* -inf *)
+        else if hi -. lo <= 0. then spark_bars.(3)
         else
           let i =
             int_of_float (Float.round ((v -. lo) /. (hi -. lo) *. 7.))
@@ -1035,11 +1328,14 @@ module Snapshot = struct
 
   type span_stats = { path : string; calls : int; seconds : float }
 
+  type hist_stats = { h_count : int; h_sum : float; h_buckets : int array }
+
   type t = {
     counters : (string * int) list;
     dists : (string * dist_stats) list;
     spans : span_stats list;
     gauges : (string * float) list;
+    hists : (string * hist_stats) list;
   }
 
   let dist_mean d = if d.count = 0 then 0. else d.sum /. float_of_int d.count
@@ -1051,7 +1347,41 @@ module Snapshot = struct
       let m = d.sum /. n in
       sqrt (Float.max 0. ((d.sumsq /. n) -. (m *. m)))
 
+  let hist_quantile (h : hist_stats) q =
+    Histogram.quantile_of ~count:h.h_count h.h_buckets q
+
+  let hist_mean (h : hist_stats) =
+    if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count
+
+  (* nonzero buckets as "index:count;index:count" — compact, exact, and
+     Scanf-parsable through %S in the JSON lines *)
+  let hist_buckets_string (b : int array) =
+    let out = ref [] in
+    Array.iteri
+      (fun i c -> if c <> 0 then out := Printf.sprintf "%d:%d" i c :: !out)
+      b;
+    String.concat ";" (List.rev !out)
+
+  let hist_buckets_of_string s =
+    let b = Array.make Histogram.buckets_len 0 in
+    if String.trim s <> "" then
+      List.iter
+        (fun part ->
+          match String.split_on_char ':' part with
+          | [ i; c ] -> b.(int_of_string i) <- int_of_string c
+          | _ -> failwith ("Obs.Snapshot: bad buckets field: " ^ s))
+        (String.split_on_char ';' s);
+    b
+
+  (* The capture holds the registration mutex for the duration of the
+     fold: the Export listener thread snapshots through here while the
+     main thread may be registering new names, and a [Hashtbl.add]
+     resize must not race the fold (cell *values* are word-sized and
+     single-writer, so reading them unlocked is safe). *)
   let capture () =
+    Mutex.lock registration_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock registration_mutex)
+    @@ fun () ->
     {
       counters =
         List.sort compare
@@ -1083,6 +1413,17 @@ module Snapshot = struct
           (Hashtbl.fold
              (fun k g acc -> if g.g_set then (k, g.g_value) :: acc else acc)
              gauges []);
+      hists =
+        List.sort compare
+          (Hashtbl.fold
+             (fun k h acc ->
+               if Histogram.count h = 0 then acc
+               else
+                 ( k,
+                   { h_count = Histogram.count h; h_sum = Histogram.sum h;
+                     h_buckets = Histogram.buckets h } )
+                 :: acc)
+             hists []);
     }
 
   let lines s =
@@ -1114,12 +1455,25 @@ module Snapshot = struct
             try
               Scanf.sscanf line "{\"kind\":\"gauge\",\"name\":%S,\"value\":%g}"
                 (fun name v -> { acc with gauges = (name, v) :: acc.gauges })
-            with Scanf.Scan_failure _ | End_of_file ->
-              failwith ("Obs.Snapshot.of_json_lines: bad line: " ^ line))))
+            with Scanf.Scan_failure _ | End_of_file -> (
+              try
+                Scanf.sscanf line
+                  "{\"kind\":\"hist\",\"name\":%S,\"count\":%d,\"sum\":%g,\"buckets\":%S}"
+                  (fun name count sum buckets ->
+                    {
+                      acc with
+                      hists =
+                        ( name,
+                          { h_count = count; h_sum = sum;
+                            h_buckets = hist_buckets_of_string buckets } )
+                        :: acc.hists;
+                    })
+              with Scanf.Scan_failure _ | End_of_file ->
+                failwith ("Obs.Snapshot.of_json_lines: bad line: " ^ line)))))
     in
     let acc =
       List.fold_left parse
-        { counters = []; dists = []; spans = []; gauges = [] }
+        { counters = []; dists = []; spans = []; gauges = []; hists = [] }
         (lines s)
     in
     {
@@ -1127,6 +1481,7 @@ module Snapshot = struct
       dists = List.rev acc.dists;
       spans = List.rev acc.spans;
       gauges = List.rev acc.gauges;
+      hists = List.rev acc.hists;
     }
 
   let of_csv s =
@@ -1155,11 +1510,20 @@ module Snapshot = struct
         }
       | [ "gauge"; name; v; _; _; _; _ ] ->
         { acc with gauges = (name, float_of_string v) :: acc.gauges }
+      | [ "hist"; name; count; sum; buckets; _; _ ] ->
+        {
+          acc with
+          hists =
+            ( name,
+              { h_count = int_of_string count; h_sum = float_of_string sum;
+                h_buckets = hist_buckets_of_string buckets } )
+            :: acc.hists;
+        }
       | _ -> failwith ("Obs.Snapshot.of_csv: bad line: " ^ line)
     in
     let acc =
       List.fold_left parse
-        { counters = []; dists = []; spans = []; gauges = [] }
+        { counters = []; dists = []; spans = []; gauges = []; hists = [] }
         (lines s)
     in
     {
@@ -1167,6 +1531,7 @@ module Snapshot = struct
       dists = List.rev acc.dists;
       spans = List.rev acc.spans;
       gauges = List.rev acc.gauges;
+      hists = List.rev acc.hists;
     }
 
   type mismatch = {
@@ -1218,6 +1583,33 @@ module Snapshot = struct
           if c.seconds > r.seconds *. (1. +. threshold) then
             say "span.seconds" r.path r.seconds c.seconds)
       reference.spans;
+    (* histograms are deterministic bucket-for-bucket for a fixed
+       configuration (merging is commutative addition), so both the
+       total and every bucket count must match exactly *)
+    List.iter
+      (fun (name, (h : hist_stats)) ->
+        match List.assoc_opt name current.hists with
+        | None -> say "hist.count" name (float_of_int h.h_count) nan
+        | Some h' ->
+          if h'.h_count <> h.h_count then
+            say "hist.count" name (float_of_int h.h_count)
+              (float_of_int h'.h_count);
+          let le i =
+            if i < Array.length Histogram.bounds then
+              Printf.sprintf "%g" Histogram.bounds.(i)
+            else "+Inf"
+          in
+          Array.iteri
+            (fun i c ->
+              let c' =
+                if i < Array.length h'.h_buckets then h'.h_buckets.(i) else 0
+              in
+              if c' <> c then
+                say "hist.bucket"
+                  (Printf.sprintf "%s[le=%s]" name (le i))
+                  (float_of_int c) (float_of_int c'))
+            h.h_buckets)
+      reference.hists;
     List.rev !out
 
   let check_against ~threshold ~(reference : t) (current : t) =
@@ -1249,6 +1641,18 @@ module Snapshot = struct
                Printf.sprintf "span %s: %d calls differ from reference %d"
                  m.m_name (int_of_float m.m_actual)
                  (int_of_float m.m_expected)
+           | "hist.count" ->
+             if missing then
+               Printf.sprintf "hist %s missing (reference count %d)" m.m_name
+                 (int_of_float m.m_expected)
+             else
+               Printf.sprintf "hist %s: count %d differs from reference %d"
+                 m.m_name (int_of_float m.m_actual)
+                 (int_of_float m.m_expected)
+           | "hist.bucket" ->
+             Printf.sprintf "hist %s: %d differs from reference %d" m.m_name
+               (int_of_float m.m_actual)
+               (int_of_float m.m_expected)
            | _ ->
              Printf.sprintf
                "span %s: %.4fs exceeds reference %.4fs by more than %.0f%%"
@@ -1293,6 +1697,16 @@ let pretty fmt (s : Snapshot.t) =
           d.Snapshot.min d.Snapshot.max)
       s.dists
   end;
+  if s.hists <> [] then begin
+    fprintf fmt "hists:%41s %9s %9s %9s@." "count" "avg" "~p50" "~p99";
+    List.iter
+      (fun (name, h) ->
+        fprintf fmt "  %-40s %5d %9.2f %9.3g %9.3g@." name
+          h.Snapshot.h_count (Snapshot.hist_mean h)
+          (Snapshot.hist_quantile h 0.5)
+          (Snapshot.hist_quantile h 0.99))
+      s.hists
+  end;
   if s.gauges <> [] then begin
     fprintf fmt "gauges:@.";
     List.iter
@@ -1320,7 +1734,15 @@ let json fmt (s : Snapshot.t) =
   List.iter
     (fun (name, v) ->
       fprintf fmt "{\"kind\":\"gauge\",\"name\":%S,\"value\":%s}@." name (g17 v))
-    s.gauges
+    s.gauges;
+  List.iter
+    (fun (name, h) ->
+      fprintf fmt
+        "{\"kind\":\"hist\",\"name\":%S,\"count\":%d,\"sum\":%s,\"buckets\":%S}@."
+        name h.Snapshot.h_count
+        (g17 h.Snapshot.h_sum)
+        (Snapshot.hist_buckets_string h.Snapshot.h_buckets))
+    s.hists
 
 let csv fmt (s : Snapshot.t) =
   let open Format in
@@ -1339,7 +1761,13 @@ let csv fmt (s : Snapshot.t) =
     s.spans;
   List.iter
     (fun (name, v) -> fprintf fmt "gauge,%s,%s,,,,@." name (g17 v))
-    s.gauges
+    s.gauges;
+  List.iter
+    (fun (name, h) ->
+      fprintf fmt "hist,%s,%d,%s,%s,,@." name h.Snapshot.h_count
+        (g17 h.Snapshot.h_sum)
+        (Snapshot.hist_buckets_string h.Snapshot.h_buckets))
+    s.hists
 
 let named_sink fmt = function
   | "pretty" -> Some (pretty fmt)
@@ -1348,3 +1776,331 @@ let named_sink fmt = function
   | _ -> None
 
 let report sink = sink (Snapshot.capture ())
+
+(* Live exposition: a minimal single-threaded HTTP listener on stdlib
+   [Unix], serving the registry in Prometheus text exposition format.
+   One systhread owns the accept loop; it shares the main domain's
+   runtime lock, so scraping never runs *concurrently* with the query
+   path — it interleaves at safepoints, and [Snapshot.capture]'s
+   registration mutex keeps the only cross-thread hazard (a Hashtbl
+   resize mid-fold) out.  See the single-writer scrape contract above
+   [registration_mutex]. *)
+module Export = struct
+  let prom_name name =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      name
+
+  let le_label i =
+    if i < Array.length Histogram.bounds then g17 Histogram.bounds.(i)
+    else "+Inf"
+
+  (* counters and gauges one sample each; dists as summary _sum/_count;
+     spans as two labelled families; hists with cumulative le buckets *)
+  let metrics_text (s : Snapshot.t) =
+    let b = Buffer.create 4096 in
+    let line fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    List.iter
+      (fun (name, v) ->
+        let n = prom_name name in
+        line "# TYPE %s counter\n%s %d\n" n n v)
+      s.Snapshot.counters;
+    List.iter
+      (fun (name, v) ->
+        let n = prom_name name in
+        line "# TYPE %s gauge\n%s %s\n" n n (g17 v))
+      s.Snapshot.gauges;
+    List.iter
+      (fun (name, (d : Snapshot.dist_stats)) ->
+        let n = prom_name name in
+        line "# TYPE %s summary\n%s_sum %s\n%s_count %d\n" n n
+          (g17 d.Snapshot.sum) n d.Snapshot.count)
+      s.Snapshot.dists;
+    if s.Snapshot.spans <> [] then begin
+      line "# TYPE span_calls counter\n";
+      List.iter
+        (fun (sp : Snapshot.span_stats) ->
+          line "span_calls{path=%S} %d\n" sp.Snapshot.path sp.Snapshot.calls)
+        s.Snapshot.spans;
+      line "# TYPE span_seconds counter\n";
+      List.iter
+        (fun (sp : Snapshot.span_stats) ->
+          line "span_seconds{path=%S} %s\n" sp.Snapshot.path
+            (g17 sp.Snapshot.seconds))
+        s.Snapshot.spans
+    end;
+    List.iter
+      (fun (name, (h : Snapshot.hist_stats)) ->
+        let n = prom_name name in
+        line "# TYPE %s histogram\n" n;
+        let acc = ref 0 in
+        Array.iteri
+          (fun i c ->
+            acc := !acc + c;
+            line "%s_bucket{le=\"%s\"} %d\n" n (le_label i) !acc)
+          h.Snapshot.h_buckets;
+        line "%s_sum %s\n%s_count %d\n" n (g17 h.Snapshot.h_sum) n
+          h.Snapshot.h_count)
+      s.Snapshot.hists;
+    Buffer.contents b
+
+  (* The matching parser: [(key, value)] samples where a labelled
+     sample keeps its label block in the key verbatim.  Raises on any
+     line that is not a comment, a blank, or a well-formed sample — the
+     scrape smokes re-parse the exposition through this. *)
+  let parse_exposition text =
+    let parse_sample l =
+      match String.rindex_opt l ' ' with
+      | None -> failwith ("Obs.Export.parse_exposition: bad line: " ^ l)
+      | Some i ->
+        let key = String.trim (String.sub l 0 i) in
+        let v = String.sub l (i + 1) (String.length l - i - 1) in
+        if key = "" then
+          failwith ("Obs.Export.parse_exposition: bad line: " ^ l);
+        (match float_of_string_opt v with
+        | Some f -> (key, f)
+        | None -> failwith ("Obs.Export.parse_exposition: bad value: " ^ l))
+    in
+    String.split_on_char '\n' text
+    |> List.filter_map (fun l ->
+           let l = String.trim l in
+           if l = "" then None
+           else if String.length l > 0 && l.[0] = '#' then begin
+             (match String.split_on_char ' ' l with
+             | "#" :: "TYPE" :: _ :: [ ty ]
+               when List.mem ty
+                      [ "counter"; "gauge"; "summary"; "histogram" ] ->
+               ()
+             | "#" :: "HELP" :: _ -> ()
+             | _ ->
+               failwith ("Obs.Export.parse_exposition: bad comment: " ^ l));
+             None
+           end
+           else Some (parse_sample l))
+
+  (* Cross-check parsed samples against an in-process snapshot: every
+     deterministic value (counters, dist counts, span calls, histogram
+     buckets and totals) must match exactly.  Returns human-readable
+     discrepancies; [] means the scrape agrees with the registry. *)
+  let check_snapshot samples (s : Snapshot.t) =
+    let errs = ref [] in
+    let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+    let sample key =
+      List.fold_left
+        (fun acc (k, v) -> if k = key then Some v else acc)
+        None samples
+    in
+    let expect_int key v =
+      match sample key with
+      | None -> err "%s: missing from exposition" key
+      | Some f ->
+        if f <> float_of_int v then
+          err "%s: exposition %.17g, registry %d" key f v
+    in
+    List.iter
+      (fun (name, v) -> expect_int (prom_name name) v)
+      s.Snapshot.counters;
+    List.iter
+      (fun (name, (d : Snapshot.dist_stats)) ->
+        expect_int (prom_name name ^ "_count") d.Snapshot.count)
+      s.Snapshot.dists;
+    List.iter
+      (fun (sp : Snapshot.span_stats) ->
+        expect_int
+          (Printf.sprintf "span_calls{path=%S}" sp.Snapshot.path)
+          sp.Snapshot.calls)
+      s.Snapshot.spans;
+    List.iter
+      (fun (name, (h : Snapshot.hist_stats)) ->
+        let n = prom_name name in
+        expect_int (n ^ "_count") h.Snapshot.h_count;
+        let acc = ref 0 in
+        Array.iteri
+          (fun i c ->
+            acc := !acc + c;
+            expect_int
+              (Printf.sprintf "%s_bucket{le=\"%s\"}" n (le_label i))
+              !acc)
+          h.Snapshot.h_buckets)
+      s.Snapshot.hists;
+    List.rev !errs
+
+  (* ---------------- the listener ---------------- *)
+
+  type handle = {
+    h_fd : Unix.file_descr;
+    h_port : int;
+    mutable h_thread : Thread.t option;
+    h_stop : bool Atomic.t;
+    h_scrapes : int Atomic.t;
+  }
+
+  let port h = h.h_port
+  let scrape_count h = Atomic.get h.h_scrapes
+
+  let read_request fd =
+    let buf = Bytes.create 2048 in
+    let data = Buffer.create 256 in
+    let rec go () =
+      let headers_done () =
+        let s = Buffer.contents data in
+        let rec find i =
+          i + 1 < String.length s
+          && ((s.[i] = '\n' && s.[i + 1] = '\n')
+             || (i + 3 < String.length s
+                && s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+                && s.[i + 3] = '\n')
+             || find (i + 1))
+        in
+        find 0
+      in
+      if Buffer.length data < 8192 && not (headers_done ()) then begin
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes data buf 0 n;
+          go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      end
+    in
+    go ();
+    Buffer.contents data
+
+  let request_path req =
+    match String.split_on_char '\n' req with
+    | first :: _ -> (
+      match String.split_on_char ' ' (String.trim first) with
+      | [ "GET"; path; _ ] -> Some path
+      | _ -> None)
+    | [] -> None
+
+  let write_all fd s =
+    let b = Bytes.of_string s in
+    let n = Bytes.length b in
+    let rec go off =
+      if off < n then
+        match Unix.write fd b off (n - off) with
+        | w -> go (off + w)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    in
+    go 0
+
+  let respond fd status content_type body =
+    write_all fd
+      (Printf.sprintf
+         "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+         status content_type (String.length body) body)
+
+  let handle_client ~health ~routes ~scrapes fd =
+    match request_path (read_request fd) with
+    | None -> respond fd "400 Bad Request" "text/plain" "bad request\n"
+    | Some path -> (
+      match path with
+      | "/metrics" ->
+        Atomic.incr scrapes;
+        respond fd "200 OK" "text/plain; version=0.0.4; charset=utf-8"
+          (metrics_text (Snapshot.capture ()))
+      | "/healthz" ->
+        let ok, msg = health () in
+        respond fd (if ok then "200 OK" else "503 Service Unavailable")
+          "text/plain" (msg ^ "\n")
+      | "/debug/ring" ->
+        respond fd "200 OK" "application/json" (Recorder.to_json_string ())
+      | _ -> (
+        match List.assoc_opt path routes with
+        | Some f -> respond fd "200 OK" "text/plain" (f ())
+        | None -> respond fd "404 Not Found" "text/plain" "not found\n"))
+
+  let start ?(health = fun () -> (true, "ok")) ?(routes = []) ~port () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen fd 16;
+    let actual =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    let stop_flag = Atomic.make false in
+    let scrapes = Atomic.make 0 in
+    let h =
+      { h_fd = fd; h_port = actual; h_thread = None; h_stop = stop_flag;
+        h_scrapes = scrapes }
+    in
+    let rec loop () =
+      match Unix.accept fd with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        if not (Atomic.get stop_flag) then loop ()
+      | exception Unix.Unix_error _ -> () (* listener closed: we're done *)
+      | client, _ ->
+        (try
+           Fun.protect
+             ~finally:(fun () ->
+               try Unix.close client with Unix.Unix_error _ -> ())
+             (fun () ->
+               if not (Atomic.get stop_flag) then
+                 handle_client ~health ~routes ~scrapes client)
+         with Unix.Unix_error _ -> ());
+        if not (Atomic.get stop_flag) then loop ()
+    in
+    h.h_thread <- Some (Thread.create loop ());
+    h
+
+  (* closing the listener from another systhread does not reliably wake
+     a blocked [accept]; poke it with a throwaway connection instead *)
+  let stop h =
+    Atomic.set h.h_stop true;
+    (try
+       let c = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       Fun.protect
+         ~finally:(fun () -> try Unix.close c with Unix.Unix_error _ -> ())
+         (fun () ->
+           Unix.connect c
+             (Unix.ADDR_INET (Unix.inet_addr_loopback, h.h_port)))
+     with Unix.Unix_error _ -> ());
+    (match h.h_thread with Some t -> Thread.join t | None -> ());
+    try Unix.close h.h_fd with Unix.Unix_error _ -> ()
+
+  (* blocking one-shot client, for self-scrapes and tests: returns
+     (status line, body) *)
+  let get ~port path =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    write_all fd
+      (Printf.sprintf "GET %s HTTP/1.0\r\nConnection: close\r\n\r\n" path);
+    let buf = Bytes.create 4096 in
+    let data = Buffer.create 4096 in
+    let rec drain () =
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes data buf 0 n;
+        drain ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+    in
+    drain ();
+    let raw = Buffer.contents data in
+    let body_at =
+      let rec find i =
+        if i + 3 >= String.length raw then String.length raw
+        else if
+          raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+          && raw.[i + 3] = '\n'
+        then i + 4
+        else find (i + 1)
+      in
+      find 0
+    in
+    let status =
+      match String.index_opt raw '\r' with
+      | Some i -> String.sub raw 0 i
+      | None -> raw
+    in
+    (status, String.sub raw body_at (String.length raw - body_at))
+end

@@ -37,8 +37,8 @@ val set_enabled : bool -> unit
     records its timing, since [span] checks the switch once at entry. *)
 val quiesced : (unit -> 'a) -> 'a
 
-(** [reset ()] zeroes every counter, distribution, span and gauge
-    while keeping all registered handles valid. *)
+(** [reset ()] zeroes every counter, distribution, span, gauge and
+    histogram while keeping all registered handles valid. *)
 val reset : unit -> unit
 
 (** {1 Counters} *)
@@ -89,6 +89,79 @@ val set_gauge : gauge -> float -> unit
 (** Latest sample (reads even when disabled); [nan] before the first
     [set_gauge]. *)
 val gauge_value : gauge -> float
+
+(** {1 Histograms}
+
+    Fixed-bucket mergeable histograms over one global log-2 bucket
+    ladder.  Where a {!Sketch} estimates quantiles but cannot be
+    combined losslessly, two histograms merge by element-wise bucket
+    addition — the merged result is independent of how observations
+    were split across pool slots or domains, which is what lets the
+    serve engine record per-slot and merge post-join without breaking
+    jobs-bit-identity — and the bucket counts expose directly as a
+    Prometheus [histogram] with cumulative [le] buckets.
+
+    The ladder is the 41 exact powers of two [2^-10 .. 2^30] plus an
+    overflow bucket: wide enough for hop counts and microsecond
+    latencies alike, and bucketing is an exact comparison search — no
+    transcendental math, no rounding ambiguity.  A value lands in the
+    first bucket whose upper bound it does not exceed ([le]
+    semantics). *)
+
+module Histogram : sig
+  type t
+
+  (** The shared bucket upper bounds, increasing.  Every histogram has
+      [Array.length bounds + 1] buckets; the last is [+Inf]. *)
+  val bounds : float array
+
+  val buckets_len : int
+
+  (** A fresh, empty histogram — a plain value, no global switch
+      (registered histograms are gated through {!Obs.observe_hist}). *)
+  val create : unit -> t
+
+  (** Record one value, unconditionally. *)
+  val observe : t -> float -> unit
+
+  (** [observe_int h n = observe h (float_of_int n)], allocation-free:
+      no float is boxed across the call, so it is safe on zero-alloc
+      per-query paths (the serve engine's hop counts). *)
+  val observe_int : t -> int -> unit
+
+  val count : t -> int
+  val sum : t -> float
+
+  (** A copy of the per-bucket (non-cumulative) counts. *)
+  val buckets : t -> int array
+
+  (** [merge_into ~into src] adds [src]'s counts and sum into [into];
+      commutative and associative, [src] is unchanged. *)
+  val merge_into : into:t -> t -> unit
+
+  (** Upper bound of the bucket holding the [q]-quantile rank — an
+      upper estimate exact to within one bucket width; [nan] when
+      empty, [+inf] when the rank lands in the overflow bucket. *)
+  val quantile : t -> float -> float
+
+  (** [quantile] over raw snapshot data. *)
+  val quantile_of : count:int -> int array -> float -> float
+
+  val reset : t -> unit
+end
+
+(** [histogram name] returns the registry histogram under [name],
+    creating it empty on first use (idempotent per name, like
+    {!counter}). *)
+val histogram : string -> Histogram.t
+
+(** Record into a registry histogram when enabled; a no-op when
+    disabled. *)
+val observe_hist : Histogram.t -> float -> unit
+
+(** Merge a scratch histogram (e.g. a per-slot one) into a registry
+    histogram when enabled; a no-op when disabled. *)
+val merge_hist : into:Histogram.t -> Histogram.t -> unit
 
 (** {1 Runtime (GC) gauges}
 
@@ -388,9 +461,78 @@ module Telemetry : sig
       per round, empty cells where a probe has no value that round. *)
   val write_csv : Format.formatter -> t -> unit
 
-  (** Eight-level Unicode sparkline of a series, min–max scaled
-      (NaNs dropped); [""] for the empty series. *)
+  (** Eight-level Unicode sparkline of a series, min–max scaled over
+      the finite samples (NaNs dropped; infinities pin to the extreme
+      bars; a constant or single-sample series renders the middle
+      bar); [""] for the empty series. *)
   val sparkline : float list -> string
+end
+
+(** {1 Flight recorder}
+
+    An always-on, bounded, per-domain ring of recent coarse events —
+    batch summaries, epoch publishes, monitor violations, GC major
+    slices.  Unlike {!Trace} (armed per run, per-message volume) the
+    recorder only sees a few events per second, so it stays recording
+    in production and is dumped on demand: [GET /debug/ring] on the
+    {!Export} listener, on a monitor violation, or on [SIGUSR2] (the
+    CLI installs the handler for [serve]/[monitor] runs).  Entries
+    carry a global sequence number from one atomic counter, so a dump
+    merges the per-domain rings into one causal order.  Timestamps are
+    {!clock_us} wall time; recorder contents never feed a regression
+    gate. *)
+
+module Recorder : sig
+  type event =
+    | Batch of { batch : int; queries : int; epoch : int; wall_us : float }
+        (** one serve-engine batch completed *)
+    | Epoch_published of { epoch : int; nodes : int }
+        (** a store published a new epoch *)
+    | Monitor_violation of {
+        round : int;
+        probe : string;
+        value : float;
+        limit : float;
+        node : int;
+      }
+    | Gc_major of { heap_words : int; major_collections : int }
+        (** end of a GC major cycle (only when the alarm is armed) *)
+    | Note of string  (** free-form milestone *)
+
+  type entry = {
+    e_seq : int;  (** global recording order *)
+    e_dom : int;  (** recording domain id *)
+    e_t_us : float;  (** {!clock_us} at record time *)
+    e_event : event;
+  }
+
+  (** Record one event into the calling domain's ring, overwriting the
+      oldest entry when full.  Always on; a few words of allocation
+      per call, so keep it off per-query paths. *)
+  val record : event -> unit
+
+  (** All buffered entries, merged across domains in sequence order. *)
+  val entries : unit -> entry list
+
+  (** The merged ring as one JSON array (oldest first). *)
+  val to_json_string : unit -> string
+
+  (** [dump fmt ()] writes {!to_json_string} to [fmt] and flushes. *)
+  val dump : Format.formatter -> unit -> unit
+
+  (** Resize every ring (default capacity 256 entries per domain),
+      discarding current contents. *)
+  val set_capacity : int -> unit
+
+  (** Discard all entries and restart the sequence counter. *)
+  val clear : unit -> unit
+
+  (** Arm/disarm a [Gc.create_alarm] that records {!constructor-Gc_major} at
+      the end of every major cycle.  Explicit, so allocation-gated
+      benchmarks are not perturbed unless a caller opts in. *)
+  val arm_gc_alarm : unit -> unit
+
+  val disarm_gc_alarm : unit -> unit
 end
 
 (** {1 Snapshots and sinks} *)
@@ -406,12 +548,21 @@ module Snapshot : sig
 
   type span_stats = { path : string; calls : int; seconds : float }
 
+  type hist_stats = {
+    h_count : int;
+    h_sum : float;
+    h_buckets : int array;
+        (** per-bucket (non-cumulative) counts over
+            {!Histogram.bounds}; length {!Histogram.buckets_len} *)
+  }
+
   type t = {
     counters : (string * int) list;  (** sorted by name *)
     dists : (string * dist_stats) list;  (** sorted by name; count > 0 *)
     spans : span_stats list;  (** sorted by path *)
     gauges : (string * float) list;
         (** sorted by name; only gauges set since the last reset *)
+    hists : (string * hist_stats) list;  (** sorted by name; count > 0 *)
   }
 
   val dist_mean : dist_stats -> float
@@ -419,8 +570,18 @@ module Snapshot : sig
   (** Population standard deviation, from count/sum/sumsq. *)
   val dist_stddev : dist_stats -> float
 
+  val hist_mean : hist_stats -> float
+
+  (** {!Histogram.quantile} over captured stats. *)
+  val hist_quantile : hist_stats -> float -> float
+
   (** Capture the registry's current state.  Counters are reported
-      even when zero; distributions only once observed. *)
+      even when zero; distributions and histograms only once observed.
+      Safe to call from the {!Export} listener thread: the capture
+      holds the registration mutex, so a concurrent first-use
+      registration on the writer thread cannot resize a table
+      mid-fold (cell values themselves are single-writer and
+      word-sized — see DESIGN.md §13). *)
   val capture : unit -> t
 
   (** Parse the output of the {!val-json} sink (one JSON object per
@@ -434,18 +595,20 @@ module Snapshot : sig
 
   (** [check_against ~threshold ~reference current] compares a fresh
       snapshot against a committed baseline and returns violations
-      (empty = pass).  Counters, distribution observation counts and
-      span call counts are deterministic for a fixed configuration and
-      must match exactly; span seconds may exceed the reference by at
-      most [threshold] (e.g. [0.5] = +50%).  Metrics present only in
-      [current] are ignored, so adding instrumentation does not break
-      existing baselines. *)
+      (empty = pass).  Counters, distribution observation counts, span
+      call counts and histogram totals and per-bucket counts are
+      deterministic for a fixed configuration and must match exactly;
+      span seconds may exceed the reference by at most [threshold]
+      (e.g. [0.5] = +50%).  Metrics present only in [current] are
+      ignored, so adding instrumentation does not break existing
+      baselines. *)
   val check_against : threshold:float -> reference:t -> t -> string list
 
   type mismatch = {
     m_kind : string;
-        (** ["counter"], ["dist.count"], ["span.calls"] or
-            ["span.seconds"] *)
+        (** ["counter"], ["dist.count"], ["span.calls"],
+            ["span.seconds"], ["hist.count"] or ["hist.bucket"] (whose
+            [m_name] carries the bucket as [name[le=bound]]) *)
     m_name : string;
     m_expected : float;
     m_actual : float;  (** [nan] when missing from the current snapshot *)
@@ -464,7 +627,8 @@ end
 type sink = Snapshot.t -> unit
 
 (** Human-readable table: counters, span tree (indented by nesting),
-    distributions (count/avg/stddev/min/max). *)
+    distributions (count/avg/stddev/min/max), histograms
+    (count/avg/approximate p50 and p99), gauges. *)
 val pretty : Format.formatter -> sink
 
 (** JSON-lines: one [{"kind":...}] object per metric.  Floats are
@@ -482,3 +646,68 @@ val named_sink : Format.formatter -> string -> sink option
 
 (** [report sink] captures and emits in one step. *)
 val report : sink -> unit
+
+(** {1 Live exposition}
+
+    A minimal single-threaded HTTP listener on stdlib [Unix] serving
+    the registry while the process runs:
+
+    - [GET /metrics] — the registry in Prometheus text exposition
+      format: counters and gauges as single samples, dists as a
+      [summary]'s [_sum]/[_count], spans as [span_calls]/[span_seconds]
+      with a [path] label, histograms with cumulative [le] buckets;
+    - [GET /healthz] — [200 ok] / [503] from the [health] callback
+      (the CLI wires {!Core.Monitor}'s probe status in);
+    - [GET /debug/ring] — the {!Recorder} contents as JSON;
+    - any extra [routes] the caller injects (e.g. [/epoch] reporting
+      the serve store's current epoch id).
+
+    The accept loop runs on one systhread inside the calling domain:
+    it interleaves with the writer at safepoints instead of running in
+    parallel, and {!Snapshot.capture} holds the registration mutex, so
+    a scrape is a consistent snapshot that never perturbs the query
+    path (the registry stays single-writer; see DESIGN.md §13). *)
+
+module Export : sig
+  type handle
+
+  (** [start ~port ()] binds [127.0.0.1:port] ([port = 0] picks an
+      ephemeral port — see {!port}) and serves until {!stop}.
+      @raise Unix.Unix_error when the port cannot be bound. *)
+  val start :
+    ?health:(unit -> bool * string) ->
+    ?routes:(string * (unit -> string)) list ->
+    port:int ->
+    unit ->
+    handle
+
+  (** The actually-bound port. *)
+  val port : handle -> int
+
+  (** [/metrics] requests served so far. *)
+  val scrape_count : handle -> int
+
+  (** Stop the listener and join its thread (idempotent-ish: safe to
+      call once per handle). *)
+  val stop : handle -> unit
+
+  (** The exposition text for one snapshot — what [/metrics] serves. *)
+  val metrics_text : Snapshot.t -> string
+
+  (** Parse exposition text into [(sample key, value)] pairs, where a
+      labelled sample keeps its label block in the key (e.g.
+      [span_calls{path="backbone/cds"}]).
+      @raise Failure on any malformed line — scrape smokes re-parse
+      the served text through this. *)
+  val parse_exposition : string -> (string * float) list
+
+  (** [check_snapshot samples snap] cross-checks parsed samples
+      against an in-process snapshot: counters, dist counts, span
+      calls, histogram totals and cumulative buckets must all match
+      exactly.  Returns human-readable discrepancies ([[]] = agree). *)
+  val check_snapshot : (string * float) list -> Snapshot.t -> string list
+
+  (** Blocking one-shot HTTP GET against [127.0.0.1:port]; returns
+      [(status line, body)].  For self-scrapes and tests. *)
+  val get : port:int -> string -> string * string
+end

@@ -14,6 +14,16 @@ let d_hops = Obs.dist "serve.hops"
 let d_stretch = Obs.dist "serve.stretch"
 let g_minor = Obs.gauge "serve.minor_words_per_query"
 
+(* Mergeable histograms: observed into per-slot instances inside the
+   quiesced fan-out, then merged into these registry cells post-join
+   in slot index order.  Bucket merge is element-wise addition, so the
+   merged contents are independent of which slot served which query —
+   the hop histogram is bit-identical for any job count.  The latency
+   histogram's *values* are wall-clock, so only its shape is
+   meaningful; check gates must exclude it from references. *)
+let h_hops = Obs.histogram "serve.hops.hist"
+let h_latency = Obs.histogram "serve.latency_us.hist"
+
 type results = {
   count : int;
   hops : int array;
@@ -34,6 +44,8 @@ type slot_state = {
   rsc : R.Scratch.t;
   heap : Netgraph.Heap.t;
   mutable dist : float array;
+  sh_hops : Obs.Histogram.t;
+  sh_lat : Obs.Histogram.t;
 }
 
 let run ?(jobs = 1) ?pool ?batch ?(latency = true) ?on_batch ~store
@@ -92,6 +104,7 @@ let run ?(jobs = 1) ?pool ?batch ?(latency = true) ?on_batch ~store
           else R.gfg_into st.rsc view pts ~src ~dst
         in
         hops.(q) <- h;
+        if h >= 0 then Obs.Histogram.observe_int st.sh_hops h;
         epoch.(q) <- eid;
         if k = Workload.k_stretch && h >= 0 then begin
           if src = dst then stretch.(q) <- 1.
@@ -110,7 +123,11 @@ let run ?(jobs = 1) ?pool ?batch ?(latency = true) ?on_batch ~store
             end
           end
         end;
-        if latency then lat.(q) <- Obs.clock_us () -. t_ref
+        if latency then begin
+          let l = Obs.clock_us () -. t_ref in
+          lat.(q) <- l;
+          Obs.Histogram.observe st.sh_lat l
+        end
       in
       let t_b = Obs.clock_us () in
       Obs.quiesced (fun () ->
@@ -124,6 +141,8 @@ let run ?(jobs = 1) ?pool ?batch ?(latency = true) ?on_batch ~store
                       rsc = R.Scratch.create ~n ();
                       heap = Netgraph.Heap.create ();
                       dist = [||];
+                      sh_hops = Obs.Histogram.create ();
+                      sh_lat = Obs.Histogram.create ();
                     }
                   in
                   states.(slot) <- Some st;
@@ -131,7 +150,11 @@ let run ?(jobs = 1) ?pool ?batch ?(latency = true) ?on_batch ~store
               in
               fun i -> serve_one st (lo + i)));
       batch_s.(b) <- (Obs.clock_us () -. t_b) /. 1e6;
-      Obs.incr c_batches
+      Obs.incr c_batches;
+      Obs.Recorder.record
+        (Obs.Recorder.Batch
+           { batch = b; queries = hi - lo; epoch = eid;
+             wall_us = batch_s.(b) *. 1e6 })
     done;
     let minor = Gc.minor_words () -. m0 in
     let elapsed = (Obs.clock_us () -. t_start) /. 1e6 in
@@ -145,6 +168,13 @@ let run ?(jobs = 1) ?pool ?batch ?(latency = true) ?on_batch ~store
       if not (Float.is_nan stretch.(q)) then Obs.observe d_stretch stretch.(q)
     done;
     Obs.add c_delivered !delivered;
+    Array.iter
+      (function
+        | Some st ->
+          Obs.merge_hist ~into:h_hops st.sh_hops;
+          Obs.merge_hist ~into:h_latency st.sh_lat
+        | None -> ())
+      states;
     if count > 0 then Obs.set_gauge g_minor (minor /. float_of_int count);
     {
       count;

@@ -32,12 +32,21 @@ let seal ~id (snap : Core.Shard.snapshot) =
        else Csr.with_weights udg snap.Core.Shard.points);
   }
 
-let create snap = { cell = Atomic.make (seal ~id:0 snap) }
+let create snap =
+  let e = seal ~id:0 snap in
+  Obs.Recorder.record
+    (Obs.Recorder.Epoch_published
+       { epoch = 0; nodes = Array.length snap.Core.Shard.points });
+  { cell = Atomic.make e }
+
 let pin t = Atomic.get t.cell
 
 let publish t snap =
   let e = seal ~id:((Atomic.get t.cell).id + 1) snap in
   Atomic.set t.cell e;
+  Obs.Recorder.record
+    (Obs.Recorder.Epoch_published
+       { epoch = e.id; nodes = Array.length snap.Core.Shard.points });
   e
 
 let id e = e.id

@@ -1,0 +1,209 @@
+(* The live-introspection endpoint (Obs.Export): scrape a running
+   process over HTTP, re-parse the Prometheus exposition, and
+   cross-check it against the in-process snapshot.  Also pins down the
+   jobs-bit-identity guarantee with the listener and recorder live. *)
+
+module W = Serve.Workload
+module E = Serve.Engine
+
+let check = Alcotest.(check bool)
+
+let instance seed n radius =
+  let rng = Wireless.Rand.create seed in
+  let pts, _ =
+    Wireless.Deploy.connected_uniform rng ~n ~side:200. ~radius
+      ~max_attempts:2000
+  in
+  pts
+
+let snapshot_of pts radius =
+  Core.Backbone.snapshot
+    {
+      Core.Backbone.Config.default with
+      Core.Backbone.Config.radius;
+      jobs = 1;
+    }
+    pts
+
+let status_code (status, _) =
+  (* "HTTP/1.0 200 OK" -> 200 *)
+  int_of_string (String.sub status 9 3)
+
+let with_server ?health ?routes f =
+  let h = Obs.Export.start ?health ?routes ~port:0 () in
+  Fun.protect ~finally:(fun () -> Obs.Export.stop h) (fun () -> f h)
+
+(* ---------------- exposition format ---------------- *)
+
+let test_metrics_text_parses () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Obs.add (Obs.counter "ex.queries") 7;
+  Obs.set_gauge (Obs.gauge "ex.load") 0.5;
+  Obs.observe (Obs.dist "ex.work_us") 12.5;
+  let h = Obs.histogram "ex.lat.hist" in
+  List.iter (Obs.Histogram.observe h) [ 0.7; 1.0; 900.; 1e12 ];
+  Obs.set_enabled false;
+  let snap = Obs.Snapshot.capture () in
+  let text = Obs.Export.metrics_text snap in
+  let samples = Obs.Export.parse_exposition text in
+  let v key = List.assoc key samples in
+  check "counter sample" true (v "ex_queries" = 7.);
+  check "gauge sample" true (v "ex_load" = 0.5);
+  check "dist count" true (v "ex_work_us_count" = 1.);
+  check "dist sum" true (v "ex_work_us_sum" = 12.5);
+  check "hist count" true (v "ex_lat_hist_count" = 4.);
+  (* cumulative buckets: le="1" holds 0.7 and the inclusive 1.0 *)
+  check "hist le=1 cumulative" true (v "ex_lat_hist_bucket{le=\"1\"}" = 2.);
+  check "hist +Inf equals count" true
+    (v "ex_lat_hist_bucket{le=\"+Inf\"}" = 4.);
+  (* the round-trip gate the scrape smokes rely on *)
+  check "self cross-check clean" true
+    (Obs.Export.check_snapshot samples snap = []);
+  (* and a perturbed snapshot is caught *)
+  Obs.reset ();
+  Obs.set_enabled true;
+  Obs.add (Obs.counter "ex.queries") 8;
+  Obs.set_enabled false;
+  check "drifted snapshot flagged" true
+    (Obs.Export.check_snapshot samples (Obs.Snapshot.capture ()) <> [])
+
+(* ---------------- HTTP surface ---------------- *)
+
+let test_http_routes () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Obs.add (Obs.counter "ex.http.hits") 3;
+  Obs.set_enabled false;
+  Obs.Recorder.clear ();
+  Obs.Recorder.record (Obs.Recorder.Note "export test marker");
+  let healthy = ref true in
+  let health () = (!healthy, if !healthy then "ok" else "degraded") in
+  with_server ~health
+    ~routes:[ ("/epoch", fun () -> "41\n") ]
+    (fun h ->
+      let port = Obs.Export.port h in
+      check "ephemeral port bound" true (port > 0);
+      (* /metrics parses and matches the registry *)
+      let r = Obs.Export.get ~port "/metrics" in
+      Alcotest.(check int) "metrics 200" 200 (status_code r);
+      let samples = Obs.Export.parse_exposition (snd r) in
+      check "scraped counter" true (List.assoc "ex_http_hits" samples = 3.);
+      check "scrape matches snapshot" true
+        (Obs.Export.check_snapshot samples (Obs.Snapshot.capture ()) = []);
+      (* /healthz flips with the probe *)
+      let ok = Obs.Export.get ~port "/healthz" in
+      Alcotest.(check int) "healthz 200" 200 (status_code ok);
+      check "healthz body" true (snd ok = "ok\n");
+      healthy := false;
+      Alcotest.(check int) "healthz 503 when degraded" 503
+        (status_code (Obs.Export.get ~port "/healthz"));
+      healthy := true;
+      (* extra routes are served verbatim *)
+      let ep = Obs.Export.get ~port "/epoch" in
+      Alcotest.(check int) "epoch 200" 200 (status_code ep);
+      check "epoch body" true (snd ep = "41\n");
+      (* the flight recorder dump is JSON and holds our marker *)
+      let ring = Obs.Export.get ~port "/debug/ring" in
+      Alcotest.(check int) "ring 200" 200 (status_code ring);
+      let body = snd ring in
+      check "ring is a json array" true
+        (String.length body > 0 && body.[0] = '[');
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      check "ring holds the note" true (contains body "export test marker");
+      (* unknown paths 404 without killing the listener *)
+      Alcotest.(check int) "404 route" 404
+        (status_code (Obs.Export.get ~port "/nope"));
+      check "scrapes counted" true (Obs.Export.scrape_count h >= 1));
+  Obs.Recorder.clear ()
+
+(* ---------------- scraping a live serve run ---------------- *)
+
+(* The acceptance gate in one test: run the serve engine with the
+   listener up and the recorder armed, scrape mid-run (parse-validity)
+   and after the join (exact cross-check), and require per-query
+   results bit-identical to a listener-free jobs=1 run. *)
+let test_scrape_live_engine () =
+  let pts = instance 181L 300 40. in
+  let snap = snapshot_of pts 40. in
+  let w =
+    W.generate ~seed:31L ~n:(Array.length pts) ~count:2000
+      ~mix:{ W.default_mix with W.stretch = 0.01 }
+      ()
+  in
+  let run ?on_batch jobs =
+    let store = Serve.Store.create snap in
+    E.run ~jobs ~batch:256 ~latency:false ?on_batch ~store w
+  in
+  (* reference: no listener, no recorder traffic *)
+  Obs.reset ();
+  let r_ref = run 1 in
+  Obs.reset ();
+  Obs.set_enabled true;
+  Obs.Recorder.clear ();
+  Obs.Recorder.arm_gc_alarm ();
+  let r_live, mid_samples =
+    Fun.protect
+      ~finally:(fun () -> Obs.Recorder.disarm_gc_alarm ())
+      (fun () ->
+        with_server (fun h ->
+          let port = Obs.Export.port h in
+          let mid = ref [] in
+          let on_batch b =
+            if b = 4 then
+              mid :=
+                Obs.Export.parse_exposition
+                  (snd (Obs.Export.get ~port "/metrics"))
+          in
+          let r = run ~on_batch 2 in
+          (* post-join, the scrape agrees with the snapshot exactly *)
+          let samples =
+            Obs.Export.parse_exposition (snd (Obs.Export.get ~port "/metrics"))
+          in
+          let errs =
+            Obs.Export.check_snapshot samples (Obs.Snapshot.capture ())
+          in
+          if errs <> [] then
+            Alcotest.failf "post-join scrape mismatch: %s" (List.hd errs);
+          (r, !mid)))
+  in
+  Obs.set_enabled false;
+  check "mid-run scrape parsed" true (mid_samples <> []);
+  check "mid-run scrape saw query counters" true
+    (List.mem_assoc "serve_queries" mid_samples);
+  check "hops identical with listener live" true (r_ref.E.hops = r_live.E.hops);
+  check "epochs identical with listener live" true
+    (r_ref.E.epoch = r_live.E.epoch);
+  check "stretch identical with listener live (NaN-aware)" true
+    (compare r_ref.E.stretch r_live.E.stretch = 0);
+  (* the recorder saw the engine's batches *)
+  let batches =
+    List.filter
+      (fun (e : Obs.Recorder.entry) ->
+        match e.Obs.Recorder.e_event with
+        | Obs.Recorder.Batch _ -> true
+        | _ -> false)
+      (Obs.Recorder.entries ())
+  in
+  check "recorder captured batches" true (List.length batches > 0);
+  Obs.Recorder.clear ();
+  Obs.reset ()
+
+let suites =
+  [
+    ( "export",
+      [
+        Alcotest.test_case "exposition text round-trips" `Quick
+          test_metrics_text_parses;
+        Alcotest.test_case "http routes: metrics/healthz/ring/404" `Quick
+          test_http_routes;
+        Alcotest.test_case "scrape-while-serving: live engine cross-check"
+          `Slow test_scrape_live_engine;
+      ] );
+  ]

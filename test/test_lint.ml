@@ -212,6 +212,29 @@ let h003 () =
   check "tests exempt" false
     (fires "H003" ~path:"test/x.ml" "let f () = assert false")
 
+let o001 () =
+  check "uppercase name flagged" true
+    (fires "O001" ~path:"lib/serve/x.ml"
+       "let c = Obs.counter \"Serve.Queries\"");
+  check "space in name flagged" true
+    (fires "O001" ~path:"bin/x.ml" "let d = Obs.dist \"serve hops\"");
+  check "empty name flagged" true
+    (fires "O001" ~path:"lib/core/x.ml" "let g = Obs.gauge \"\"");
+  check "dash flagged" true
+    (fires "O001" ~path:"lib/core/x.ml"
+       "let h = Obs.histogram \"serve-latency\"");
+  check "dotted lowercase fine" false
+    (fires "O001" ~path:"lib/serve/x.ml"
+       "let c = Obs.counter \"serve.queries_total.v2\"");
+  check "computed names skipped" false
+    (fires "O001" ~path:"bench/x.ml"
+       "let c = Obs.counter (Printf.sprintf \"bench.%s.n%d\" name n)");
+  check "other Obs calls out of scope" false
+    (fires "O001" ~path:"lib/core/x.ml" "let v = Obs.span \"Not A Metric\" f");
+  check "name inside a plain string is not a registration" false
+    (fires "O001" ~path:"lib/core/x.ml"
+       "let doc = \"call Obs.counter with a name like X Y\"")
+
 (* ---------- suppressions ---------- *)
 
 let suppression () =
@@ -384,6 +407,7 @@ let suites =
         Alcotest.test_case "H001 missing mli" `Quick h001;
         Alcotest.test_case "H002 obj magic" `Quick h002;
         Alcotest.test_case "H003 silent dead ends" `Quick h003;
+        Alcotest.test_case "O001 metric name convention" `Quick o001;
         Alcotest.test_case "catalog" `Quick catalog;
       ] );
     ( "lint.plumbing",

@@ -9,4 +9,4 @@ let () =
    @ Test_energy.suites @ Test_integration.suites @ Test_obs.suites
    @ Test_metrics_engine.suites @ Test_trace.suites @ Test_sketch.suites
    @ Test_monitor.suites @ Test_shard.suites @ Test_serve.suites
-   @ Test_lint.suites)
+   @ Test_export.suites @ Test_lint.suites)

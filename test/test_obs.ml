@@ -177,6 +177,176 @@ let test_protocol_message_counters_deterministic () =
   checki "per-kind counters sum to the total" total by_kind_total
 
 (* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_basics () =
+  let module H = Obs.Histogram in
+  let h = H.create () in
+  H.observe h 1.0;
+  H.observe h 1.5;
+  H.observe h 0.;
+  checki "count" 3 (H.count h);
+  Alcotest.(check (float 1e-12)) "sum" 2.5 (H.sum h);
+  let b = H.buckets h in
+  checki "le bound is inclusive: 1.0 lands on the 1.0 bucket" 1 b.(10);
+  checki "1.5 lands in the next bucket (le 2.0)" 1 b.(11);
+  checki "values at or below the lowest bound share bucket 0" 1 b.(0);
+  Alcotest.(check (float 0.)) "p50 is the holding bucket's upper bound" 1.0
+    (H.quantile h 0.5);
+  Alcotest.(check (float 0.)) "p99 reaches the top bucket" 2.0
+    (H.quantile h 0.99);
+  check "empty histogram quantile is nan" true
+    (Float.is_nan (H.quantile (H.create ()) 0.5));
+  let over = H.create () in
+  H.observe over 1e12;
+  checki "beyond the last bound overflows into the +Inf bucket" 1
+    (H.buckets over).(H.buckets_len - 1)
+
+let test_histogram_merge_commutes () =
+  let module H = Obs.Histogram in
+  let obs h vs = List.iter (H.observe h) vs in
+  let a = H.create () and b = H.create () in
+  obs a [ 0.5; 3.0; 700. ];
+  obs b [ 0.5; 0.25 ];
+  let ab = H.create () and ba = H.create () in
+  H.merge_into ~into:ab a;
+  H.merge_into ~into:ab b;
+  H.merge_into ~into:ba b;
+  H.merge_into ~into:ba a;
+  check "merge is commutative bucket-for-bucket" true
+    (H.buckets ab = H.buckets ba
+    && H.count ab = H.count ba
+    && H.sum ab = H.sum ba);
+  checki "merged count is the sum" 5 (H.count ab)
+
+let test_histogram_registry () =
+  let h = Obs.histogram "test.hist" in
+  Obs.observe_hist h 1.0;
+  checki "disabled observe is a no-op" 0 (Obs.Histogram.count h);
+  Obs.set_enabled true;
+  Obs.observe_hist h 1.0;
+  check "same name, same cell" true (Obs.histogram "test.hist" == h);
+  let snap = Obs.Snapshot.capture () in
+  check "observed histograms snapshot" true
+    (List.mem_assoc "test.hist" snap.Obs.Snapshot.hists);
+  check "empty histograms do not" true
+    (ignore (Obs.histogram "test.hist.empty");
+     not
+       (List.mem_assoc "test.hist.empty"
+          (Obs.Snapshot.capture ()).Obs.Snapshot.hists));
+  Obs.reset ();
+  checki "reset zeroes but keeps the handle" 0 (Obs.Histogram.count h)
+
+(* ------------------------------------------------------------------ *)
+(* Sparkline rendering, including degenerate series                    *)
+(* ------------------------------------------------------------------ *)
+
+let spark = Obs.Telemetry.sparkline
+let mid_bar = "\xe2\x96\x84" (* ▄ *)
+let lo_bar = "\xe2\x96\x81" (* ▁ *)
+let hi_bar = "\xe2\x96\x88" (* █ *)
+
+let test_sparkline_basics () =
+  Alcotest.(check string) "empty series" "" (spark []);
+  Alcotest.(check string) "two-point ramp" (lo_bar ^ hi_bar) (spark [ 0.; 7. ])
+
+let test_sparkline_single_sample () =
+  Alcotest.(check string) "one sample renders the middle bar" mid_bar
+    (spark [ 42. ])
+
+let test_sparkline_constant_series () =
+  Alcotest.(check string) "constant series renders flat middle bars"
+    (mid_bar ^ mid_bar ^ mid_bar)
+    (spark [ 3.; 3.; 3. ]);
+  Alcotest.(check string) "constant zero too" (mid_bar ^ mid_bar)
+    (spark [ 0.; 0. ])
+
+let test_sparkline_non_finite () =
+  Alcotest.(check string) "nan samples are dropped" mid_bar (spark [ nan; 5. ]);
+  Alcotest.(check string) "all-nan renders nothing" "" (spark [ nan; nan ]);
+  Alcotest.(check string) "infinity pins to the top bar without skewing scale"
+    (lo_bar ^ hi_bar ^ hi_bar)
+    (spark [ 1.; 2.; infinity ]);
+  Alcotest.(check string) "neg_infinity pins to the bottom bar"
+    (lo_bar ^ lo_bar ^ hi_bar)
+    (spark [ neg_infinity; 1.; 2. ])
+
+(* ------------------------------------------------------------------ *)
+(* check_against mismatch paths                                        *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_of f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  f ();
+  Obs.set_enabled false;
+  Obs.Snapshot.capture ()
+
+let mentions needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let some_err needle errs = List.exists (mentions needle) errs
+
+let test_check_against_mismatch_paths () =
+  let populate () =
+    Obs.add (Obs.counter "ck.c") 5;
+    Obs.observe (Obs.dist "ck.d") 1.0;
+    Obs.observe_hist (Obs.histogram "ck.h") 1.0;
+    Obs.span "ck.s" (fun () -> ())
+  in
+  let reference = snapshot_of populate in
+  let same = snapshot_of populate in
+  Alcotest.(check (list string))
+    "identical run checks clean" []
+    (Obs.Snapshot.check_against ~threshold:0.5 ~reference same);
+  (* missing keys, a kind swap (ck.d re-registered as a counter), a
+     counter delta and a histogram observed into a different bucket *)
+  let drift =
+    snapshot_of (fun () ->
+        Obs.add (Obs.counter "ck.c") 7;
+        Obs.add (Obs.counter "ck.d") 1;
+        Obs.observe_hist (Obs.histogram "ck.h") 700.;
+        Obs.span "ck.s" (fun () -> ()))
+  in
+  let errs = Obs.Snapshot.check_against ~threshold:0.5 ~reference drift in
+  check "counter delta reported" true
+    (some_err "counter ck.c: 7 differs from reference 5" errs);
+  check "kind swap surfaces as the dist gone missing" true
+    (some_err "dist ck.d missing" errs);
+  check "histogram bucket deltas are itemized with their le bound" true
+    (some_err "ck.h[le=" errs);
+  (* a histogram absent from the run *)
+  let hist_gone =
+    snapshot_of (fun () ->
+        Obs.add (Obs.counter "ck.c") 5;
+        Obs.observe (Obs.dist "ck.d") 1.0;
+        Obs.span "ck.s" (fun () -> ()))
+  in
+  check "missing histogram reported" true
+    (some_err "hist ck.h missing"
+       (Obs.Snapshot.check_against ~threshold:0.5 ~reference hist_gone));
+  (* span wall-clock beyond the threshold: doctor the captured seconds
+     so the delta is deterministic *)
+  let slow =
+    {
+      same with
+      Obs.Snapshot.spans =
+        List.map
+          (fun (s : Obs.Snapshot.span_stats) ->
+            { s with Obs.Snapshot.seconds = s.Obs.Snapshot.seconds +. 1. })
+          same.Obs.Snapshot.spans;
+    }
+  in
+  check "span regression beyond threshold reported" true
+    (some_err "ck.s"
+       (Obs.Snapshot.check_against ~threshold:0.5 ~reference slow));
+  check "span within threshold passes" true
+    (Obs.Snapshot.check_against ~threshold:0.5 ~reference:slow slow = [])
+
+(* ------------------------------------------------------------------ *)
 (* Sinks round-trip                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -189,6 +359,10 @@ let populated_snapshot () =
   Obs.observe d 0.25;
   Obs.span "rt" (fun () -> Obs.span "leg" (fun () -> ()));
   Obs.set_gauge (Obs.gauge "rt.gauge") 2.75;
+  let h = Obs.histogram "rt.hist" in
+  Obs.observe_hist h 0.5;
+  Obs.observe_hist h 3.0;
+  Obs.observe_hist h 1e12;
   ignore (Core.Backbone.build (deployment 2002L 30 60.) ~radius:60.);
   Obs.set_enabled false;
   Obs.Snapshot.capture ()
@@ -268,6 +442,22 @@ let suites =
           (isolated test_span_unwinds_on_exception);
         Alcotest.test_case "gauge basics" `Quick (isolated test_gauge_basics);
         Alcotest.test_case "gc gauges" `Quick (isolated test_gc_gauges);
+        Alcotest.test_case "histogram basics" `Quick
+          (isolated test_histogram_basics);
+        Alcotest.test_case "histogram merge commutes" `Quick
+          (isolated test_histogram_merge_commutes);
+        Alcotest.test_case "histogram registry" `Quick
+          (isolated test_histogram_registry);
+        Alcotest.test_case "sparkline basics" `Quick
+          (isolated test_sparkline_basics);
+        Alcotest.test_case "sparkline single sample" `Quick
+          (isolated test_sparkline_single_sample);
+        Alcotest.test_case "sparkline constant series" `Quick
+          (isolated test_sparkline_constant_series);
+        Alcotest.test_case "sparkline non-finite samples" `Quick
+          (isolated test_sparkline_non_finite);
+        Alcotest.test_case "check_against mismatch paths" `Quick
+          (isolated test_check_against_mismatch_paths);
         Alcotest.test_case "backbone counters deterministic" `Quick
           (isolated test_backbone_counters_deterministic);
         Alcotest.test_case "protocol message counters deterministic" `Quick
