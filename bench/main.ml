@@ -1204,6 +1204,53 @@ let bench_serve ?check quick jobs =
   Obs.set_enabled was
 
 (* ------------------------------------------------------------------ *)
+(* Causal analyzer throughput                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Trace one full protocol run, then time Obs.Causal.analyze over the
+   merged stream: the post-run DAG reconstruction must stay cheap
+   relative to the run it explains, and the run itself must be
+   causally clean. *)
+let bench_causal quick =
+  header "Causal analyzer: happens-before DAG over a traced protocol run";
+  let n = if quick then 150 else 400 in
+  let rng = Wireless.Rand.create 2002L in
+  let pts, _ =
+    Wireless.Deploy.connected_uniform rng ~n ~side:200. ~radius:60.
+      ~max_attempts:5000
+  in
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  Obs.Trace.start ~capacity:(1 lsl 21) ();
+  let t0 = Unix.gettimeofday () in
+  ignore (Core.Protocol.run pts ~radius:60.);
+  let t_run = Unix.gettimeofday () -. t0 in
+  Obs.Trace.stop ();
+  Obs.set_enabled was;
+  let evs = Obs.Trace.events () in
+  let n_ev = List.length evs in
+  let t1 = Unix.gettimeofday () in
+  let r = Obs.Causal.analyze evs in
+  let t_an = Unix.gettimeofday () -. t1 in
+  pf "protocol run (n=%d): %.3fs, %d trace events@." n t_run n_ev;
+  pf "analyze: %.3fs (%.2f Mev/s, %.0f%% of the traced run)@." t_an
+    (float_of_int n_ev /. t_an /. 1e6)
+    (100. *. t_an /. t_run);
+  pf "  %-22s %8s %6s %7s@." "phase" "events" "depth" "rounds";
+  List.iter
+    (fun (ph : Obs.Causal.phase_report) ->
+      pf "  %-22s %8d %6d %7d@." ph.Obs.Causal.ph_phase
+        ph.Obs.Causal.ph_events ph.Obs.Causal.ph_depth ph.Obs.Causal.ph_rounds)
+    r.Obs.Causal.r_phases;
+  pf "end-to-end critical path: %d hops, %d rounds@." r.Obs.Causal.r_depth
+    r.Obs.Causal.r_rounds;
+  if r.Obs.Causal.r_violations <> [] then begin
+    pf "causality violations in a stamped run: %d@."
+      (List.length r.Obs.Causal.r_violations);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1339,4 +1386,5 @@ let () =
   artifact "metrics" (fun () -> bench_metrics ?check quick !jobs);
   artifact "pipeline" (fun () -> bench_pipeline ?check quick !jobs);
   artifact "serve" (fun () -> bench_serve ?check quick !jobs);
+  artifact "causal" (fun () -> bench_causal quick);
   artifact "micro" micro

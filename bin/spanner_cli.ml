@@ -64,10 +64,10 @@ let trace_file =
 
 (* Export a recorded trace as Chrome JSON, then validate the file by
    parsing it back.  Returns 0, or 1 when validation fails. *)
-let export_trace file evs =
+let export_trace ?(flows = []) file evs =
   let oc = open_out file in
   let fmt = Format.formatter_of_out_channel oc in
-  Obs.Trace.write_chrome fmt evs;
+  Obs.Trace.write_chrome ~flows fmt evs;
   Format.pp_print_flush fmt ();
   close_out oc;
   let ic = open_in_bin file in
@@ -670,7 +670,34 @@ let trace_cmd =
     in
     Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"FILE" ~doc)
   in
-  let run seed n side radius sizes out folded =
+  let critical_path_arg =
+    let doc =
+      "Reconstruct the happens-before DAG from the trace: print a \
+       per-phase causal audit (critical-path depth in message hops, \
+       rounds spanned, width, per-node attribution), report causality \
+       violations, and gate clustering's causal depth across the size \
+       sweep (must stay bounded, or the command exits non-zero).  With \
+       $(b,--out), the critical path is exported as Chrome flow arrows."
+    in
+    Arg.(value & flag & info [ "critical-path" ] ~doc)
+  in
+  let dot_arg =
+    let doc =
+      "Write the smallest run's happens-before DAG to $(docv) in DOT \
+       (one node per protocol event — keep n small)."
+    in
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+  in
+  let deep_fixture_arg =
+    let doc =
+      "Replace the paper's protocol with a token-relay chain whose \
+       causal depth grows linearly in n.  Negative smoke for the \
+       causal-depth gate: message totals stay O(n) (the slope gate \
+       passes) but the depth gate must fail."
+    in
+    Arg.(value & flag & info [ "deep-fixture" ] ~doc)
+  in
+  let run seed n side radius sizes out folded critical_path dot deep_fixture =
     let sizes =
       match sizes with
       | Some s ->
@@ -688,26 +715,81 @@ let trace_cmd =
       let was = Obs.enabled () in
       Obs.set_enabled true;
       (* One protocol run per size, each with a fresh trace.  Events are
-         harvested before the next [start] resets the ring buffers. *)
+         harvested before the next [start] resets the ring buffers.
+         Each run yields its per-phase engine stats so the audit below
+         works for both the real protocol and the deep fixture. *)
+      let deep_run size =
+        (* Token relay over a path graph: node 0 fires, each node
+           forwards on hearing its predecessor.  O(n) messages but a
+           causal chain of depth n-1 — the depth gate's negative
+           fixture. *)
+        let g =
+          Netgraph.Graph.of_edges size
+            (List.init (size - 1) (fun i -> (i, i + 1)))
+        in
+        let protocol =
+          {
+            Distsim.Engine.init = (fun i _ -> i = 0);
+            on_round =
+              (fun ctx fired inbox ->
+                if ctx.Distsim.Engine.round = 0 && ctx.Distsim.Engine.me = 0
+                then begin
+                  ctx.Distsim.Engine.broadcast 0;
+                  true
+                end
+                else if
+                  (not fired)
+                  && List.exists
+                       (fun (d : int Distsim.Engine.delivery) ->
+                         d.Distsim.Engine.msg = ctx.Distsim.Engine.me - 1)
+                       inbox
+                then begin
+                  ctx.Distsim.Engine.broadcast ctx.Distsim.Engine.me;
+                  true
+                end
+                else fired);
+          }
+        in
+        let _, st =
+          Obs.span "protocol" (fun () ->
+              Obs.span "cluster" (fun () ->
+                  Distsim.Engine.run ~classify:(fun _ -> "Token") g protocol))
+        in
+        [ ("cluster", st) ]
+      in
       let runs =
         List.map
           (fun size ->
-            let rng =
-              Wireless.Rand.create (Int64.add seed (Int64.of_int size))
-            in
-            let pts, _ =
-              Wireless.Deploy.connected_uniform rng ~n:size ~side ~radius
-                ~max_attempts:5000
-            in
             Obs.reset ();
             Obs.Trace.start ~capacity:(1 lsl 21) ();
-            let r = Core.Protocol.run pts ~radius in
+            let phase_stats =
+              if deep_fixture then deep_run size
+              else begin
+                let rng =
+                  Wireless.Rand.create (Int64.add seed (Int64.of_int size))
+                in
+                let pts, _ =
+                  Wireless.Deploy.connected_uniform rng ~n:size ~side ~radius
+                    ~max_attempts:5000
+                in
+                let r = Core.Protocol.run pts ~radius in
+                List.combine Core.Protocol.phases
+                  [
+                    r.Core.Protocol.stats_cluster;
+                    r.Core.Protocol.stats_connector;
+                    r.Core.Protocol.stats_status;
+                    r.Core.Protocol.stats_ldel;
+                  ]
+              end
+            in
             Obs.Trace.stop ();
-            (size, r, Obs.Trace.events (), Obs.Trace.dropped ()))
+            (size, phase_stats, Obs.Trace.events (), Obs.Trace.dropped ()))
           sizes
       in
       Obs.set_enabled was;
-      let size_l, r_l, evs_l, dropped_l = List.nth runs (List.length runs - 1) in
+      let size_l, stats_l, evs_l, dropped_l =
+        List.nth runs (List.length runs - 1)
+      in
       if dropped_l > 0 then
         Printf.eprintf
           "trace: warning: ring buffer overflowed, %d oldest events dropped \
@@ -734,16 +816,10 @@ let trace_cmd =
             else acc)
           0 audit
       in
-      let engine_stats =
-        [
-          r_l.Core.Protocol.stats_cluster; r_l.Core.Protocol.stats_connector;
-          r_l.Core.Protocol.stats_status; r_l.Core.Protocol.stats_ldel;
-        ]
-      in
       let audit_ok = ref true in
       Printf.printf "phase totals (trace vs engine):\n";
-      List.iter2
-        (fun name st ->
+      List.iter
+        (fun (name, st) ->
           let phase = "protocol/" ^ name in
           let traced = phase_sends phase in
           let engine = Distsim.Engine.total_sent st in
@@ -753,7 +829,7 @@ let trace_cmd =
             traced engine
             (float_of_int engine /. float_of_int size_l)
             (if traced = engine then "" else "  MISMATCH"))
-        Core.Protocol.phases engine_stats;
+        stats_l;
       (* O(n) clustering claim: log-log slope of clustering messages vs n *)
       let fit_points =
         List.map
@@ -792,8 +868,130 @@ let trace_cmd =
           Printf.printf "  %-30s %7d %11.6f %11.6f\n" row.Obs.Trace.p_path
             row.Obs.Trace.p_calls row.Obs.Trace.p_total row.Obs.Trace.p_self)
         (Obs.Trace.profile evs_l);
+      (* happens-before analysis: per-phase causal audit, violation
+         diagnostics, and the clustering depth gate over the sweep *)
+      let causal_ok = ref true in
+      let flows_l = ref [] in
+      if critical_path then begin
+        let reports =
+          List.map
+            (fun (size, _, evs, dropped) ->
+              (size, Obs.Causal.analyze evs, dropped))
+            runs
+        in
+        let _, rep_l, _ = List.nth reports (List.length reports - 1) in
+        flows_l := Obs.Causal.flows evs_l rep_l;
+        Printf.printf "causal audit (n=%d):\n" size_l;
+        Printf.printf "  %-20s %7s %6s %7s %10s %12s\n" "phase" "events"
+          "depth" "rounds" "max-width" "top-node";
+        List.iter
+          (fun (ph : Obs.Causal.phase_report) ->
+            let wmax =
+              List.fold_left
+                (fun acc (_, w) -> max acc w)
+                0 ph.Obs.Causal.ph_width
+            in
+            let top =
+              match ph.Obs.Causal.ph_attribution with
+              | [] -> "-"
+              | (nd, c) :: _ -> Printf.sprintf "n%d (%d)" nd c
+            in
+            Printf.printf "  %-20s %7d %6d %7d %10d %12s\n"
+              ph.Obs.Causal.ph_phase ph.Obs.Causal.ph_events
+              ph.Obs.Causal.ph_depth ph.Obs.Causal.ph_rounds wmax top)
+          rep_l.Obs.Causal.r_phases;
+        Printf.printf
+          "  end-to-end critical path: %d message hops, %d rounds, %g \
+           simulated time\n"
+          rep_l.Obs.Causal.r_depth rep_l.Obs.Causal.r_rounds
+          rep_l.Obs.Causal.r_span_time;
+        (* causality violations are a hard failure, except on runs whose
+           ring overflowed (dropped sends legitimately orphan delivers) *)
+        List.iter
+          (fun (size, rep, dropped) ->
+            if dropped = 0 then
+              List.iter
+                (fun v ->
+                  causal_ok := false;
+                  Format.printf "  causality violation (n=%d): %a@." size
+                    Obs.Causal.pp_violation v)
+                rep.Obs.Causal.r_violations)
+          reports;
+        (* O(1) rounds claim: clustering's causal depth must stay
+           bounded across the sweep — flat range, or a log-log slope
+           well below linear *)
+        let cluster_depths =
+          List.map
+            (fun (size, rep, _) ->
+              let d =
+                List.fold_left
+                  (fun acc (ph : Obs.Causal.phase_report) ->
+                    if ph.Obs.Causal.ph_phase = "protocol/cluster" then
+                      ph.Obs.Causal.ph_depth
+                    else acc)
+                  0 rep.Obs.Causal.r_phases
+              in
+              (size, d))
+            reports
+        in
+        Printf.printf "clustering causal depth vs n:";
+        List.iter (fun (s, d) -> Printf.printf "  %d:%d" s d) cluster_depths;
+        print_newline ();
+        let depths = List.map snd cluster_depths in
+        let dmin = List.fold_left min max_int depths in
+        let dmax = List.fold_left max 0 depths in
+        let dslope =
+          Obs.Trace.fit_loglog_slope
+            (List.map
+               (fun (s, d) -> (float_of_int s, float_of_int (max 1 d)))
+               cluster_depths)
+        in
+        let depth_ok = dmax - dmin <= 2 || dslope <= 0.45 in
+        if not depth_ok then causal_ok := false;
+        Printf.printf
+          "O(1) clustering depth check: range [%d, %d], log-log slope %.3f \
+           -> %s\n"
+          dmin dmax dslope
+          (if depth_ok then "OK (bounded)"
+           else "FAIL (depth grows with n)")
+      end;
+      let dot_code =
+        match dot with
+        | None -> 0
+        | Some file ->
+          let size_s, _, evs_s, _ = List.hd runs in
+          let buf = Buffer.create 65536 in
+          let fmt = Format.formatter_of_buffer buf in
+          Obs.Causal.write_dot fmt evs_s;
+          Format.pp_print_flush fmt ();
+          let text = Buffer.contents buf in
+          let count c =
+            String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc)
+              0 text
+          in
+          if
+            String.length text > 7
+            && String.sub text 0 7 = "digraph"
+            && count '{' > 0
+            && count '{' = count '}'
+          then begin
+            let oc = open_out file in
+            output_string oc text;
+            close_out oc;
+            Printf.eprintf "trace: wrote happens-before DAG (n=%d) to %s\n"
+              size_s file;
+            0
+          end
+          else begin
+            Printf.eprintf "trace: %s: DOT output failed structural check\n"
+              file;
+            1
+          end
+      in
       let out_code =
-        match out with None -> 0 | Some file -> export_trace file evs_l
+        match out with
+        | None -> 0
+        | Some file -> export_trace ~flows:!flows_l file evs_l
       in
       (match folded with
       | None -> ()
@@ -804,18 +1002,23 @@ let trace_cmd =
         Format.pp_print_flush fmt ();
         close_out oc;
         Printf.eprintf "trace: wrote folded stacks to %s\n" file);
-      if (not slope_ok) || not !audit_ok then 1 else out_code
+      if (not slope_ok) || (not !audit_ok) || not !causal_ok then 1
+      else if out_code <> 0 then out_code
+      else dot_code
     end
   in
   let doc =
     "replay the distributed construction under the event tracer: audit \
      per-phase per-kind message complexity against the engine's counters, \
      fit the messages-vs-n slope to check the paper's O(n) clustering \
-     claim, and export Chrome/folded profiles"
+     claim, reconstruct the happens-before DAG for critical-path and \
+     causal-depth gates, and export Chrome/folded/DOT artifacts"
   in
   Cmd.v
     (Cmd.info "trace" ~doc)
-    Term.(const run $ seed $ nodes $ side $ radius $ sizes_arg $ out $ folded)
+    Term.(
+      const run $ seed $ nodes $ side $ radius $ sizes_arg $ out $ folded
+      $ critical_path_arg $ dot_arg $ deep_fixture_arg)
 
 (* ---------------- monitor ---------------- *)
 

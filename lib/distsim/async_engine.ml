@@ -87,6 +87,7 @@ let run ?(max_messages = 10_000_000) ?(classify = fun _ -> "msg") ~delay graph
   let sent = Array.make n 0 in
   let kinds = Hashtbl.create 8 in
   let queue = Heap.create () in
+  let stamp = Stamp.create n in
   let seq = ref 0 in
   let tiebreak = ref 0 in
   let transmit u now m =
@@ -94,15 +95,15 @@ let run ?(max_messages = 10_000_000) ?(classify = fun _ -> "msg") ~delay graph
     let k = classify m in
     Hashtbl.replace kinds k
       (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k));
-    if !Obs.Trace.on then
-      Obs.Trace.send ~round:(-1) ~time:now ~kind:k ~src:u ~dst:(-1);
+    let lam, sseq = Stamp.send stamp ~round:(-1) ~time:now ~kind:k ~src:u in
     List.iter
       (fun v ->
         let d = delay ~from:u ~dst:v ~seq:!seq in
         if d <= 0. then invalid_arg "Async_engine.run: non-positive delay";
         incr tiebreak;
         (* encode the receiver in the payload triple via a wrapper *)
-        Heap.push queue (now +. d, !tiebreak, (v, { from = u; time = now +. d; msg = m })))
+        Heap.push queue
+          (now +. d, !tiebreak, (v, lam, sseq, { from = u; time = now +. d; msg = m })))
       neighbors.(u);
     incr seq
   in
@@ -117,14 +118,14 @@ let run ?(max_messages = 10_000_000) ?(classify = fun _ -> "msg") ~delay graph
   let rec loop () =
     match Heap.pop queue with
     | None -> ()
-    | Some (t, _, (v, d)) ->
+    | Some (t, _, (v, lam, sseq, d)) ->
       incr deliveries;
       if !deliveries > max_messages then
         failwith "Async_engine.run: delivery bound exceeded";
       finish := t;
-      if !Obs.Trace.on then
-        Obs.Trace.deliver ~round:(-1) ~time:t ~kind:(classify d.msg)
-          ~src:d.from ~dst:v;
+      let k = if !Obs.Trace.on then classify d.msg else "" in
+      Stamp.deliver stamp ~round:(-1) ~time:t ~kind:k ~src:d.from ~dst:v
+        ~sent_lam:lam ~sseq;
       states.(v) <- protocol.on_message (ctx v t) states.(v) d;
       loop ()
   in

@@ -74,10 +74,11 @@ let run ?max_rounds ~classify graph protocol =
   let states = Array.init n (fun i -> protocol.init i neighbors.(i)) in
   let sent = Array.make n 0 in
   let kinds = Hashtbl.create 16 in
+  let stamp = Stamp.create n in
   (* Messages in flight: those broadcast this round, delivered next
      round.  Inboxes are rebuilt per round in sender order, so a
      node's inbox is sorted by sender id. *)
-  let in_flight = ref [] (* (sender, msg) in reverse send order *) in
+  let in_flight = ref [] (* (sender, lam, sseq, msg) in reverse send order *) in
   let rounds = ref 0 in
   let quiescent = ref false in
   while not !quiescent do
@@ -86,13 +87,13 @@ let run ?max_rounds ~classify graph protocol =
         (Printf.sprintf "Engine.run: no quiescence after %d rounds" max_rounds);
     let inboxes = Array.make n [] in
     List.iter
-      (fun (s, m) ->
+      (fun (s, lam, sseq, m) ->
         let k = if !Obs.Trace.on then classify m else "" in
         List.iter
           (fun v ->
             inboxes.(v) <- { from = s; msg = m } :: inboxes.(v);
-            if !Obs.Trace.on then
-              Obs.Trace.deliver ~round:!rounds ~time:0. ~kind:k ~src:s ~dst:v)
+            Stamp.deliver stamp ~round:!rounds ~time:0. ~kind:k ~src:s ~dst:v
+              ~sent_lam:lam ~sseq)
           neighbors.(s))
       !in_flight;
     for i = 0 to n - 1 do
@@ -113,9 +114,10 @@ let run ?max_rounds ~classify graph protocol =
               let k = classify m in
               Hashtbl.replace kinds k
                 (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k));
-              if !Obs.Trace.on then
-                Obs.Trace.send ~round:!rounds ~time:0. ~kind:k ~src:u ~dst:(-1);
-              in_flight := (u, m) :: !in_flight);
+              let lam, sseq =
+                Stamp.send stamp ~round:!rounds ~time:0. ~kind:k ~src:u
+              in
+              in_flight := (u, lam, sseq, m) :: !in_flight);
         }
       in
       states.(u) <- protocol.on_round ctx states.(u) inboxes.(u)

@@ -1,0 +1,25 @@
+(* The single writer of causally-stamped protocol trace events (lint
+   rule O002): both engines route their Send/Deliver emission through
+   here, so Lamport clocks never fork.  Clocks are per-run arrays —
+   engines are single-domain, so plain mutation is safe. *)
+
+type t = { lam : int array; seq : int array }
+
+let create n = { lam = Array.make n 0; seq = Array.make n 0 }
+
+let send t ~round ~time ~kind ~src =
+  let lam = t.lam.(src) + 1 in
+  t.lam.(src) <- lam;
+  let sseq = t.seq.(src) in
+  t.seq.(src) <- sseq + 1;
+  if !Obs.Trace.on then
+    Obs.Trace.send ~round ~time ~kind ~src ~dst:(-1) ~lam ~sseq;
+  (lam, sseq)
+
+let deliver t ~round ~time ~kind ~src ~dst ~sent_lam ~sseq =
+  let lam = (if t.lam.(dst) > sent_lam then t.lam.(dst) else sent_lam) + 1 in
+  t.lam.(dst) <- lam;
+  let dseq = t.seq.(dst) in
+  t.seq.(dst) <- dseq + 1;
+  if !Obs.Trace.on then
+    Obs.Trace.deliver ~round ~time ~kind ~src ~dst ~lam ~sseq ~dseq

@@ -483,6 +483,35 @@ let o001_check ctx =
     ctx.code;
   List.rev !out
 
+(* ---------- O002: protocol trace events only via Distsim.Stamp ---------- *)
+
+let o002_hook = function "send" | "deliver" -> true | _ -> false
+
+let o002_check ctx =
+  (* Raw [Obs.Trace.send]/[Obs.Trace.deliver] calls outside the
+     stamping helper fork the Lamport clocks and desynchronize the
+     happens-before DAG.  lib/distsim hosts Stamp (the single writer)
+     and lib/obs defines the hooks; tests exercising the raw hooks are
+     out of scope. *)
+  if not (in_any [ "lib"; "bin" ] ctx.path) then []
+  else if in_any [ "lib/distsim"; "lib/obs" ] ctx.path then []
+  else
+    Array.to_list ctx.code
+    |> List.filter_map (fun t ->
+           if
+             t.T.kind = T.Ident
+             && T.has_component t "Trace"
+             && o002_hook (T.last_component t)
+           then
+             Some
+               (finding ctx "O002" Diag.Error t.T.line t.T.col
+                  (Printf.sprintf
+                     "raw %s forks the Lamport clocks; protocol Send/Deliver \
+                      events must be emitted through Distsim.Stamp (the \
+                      single stamping writer)"
+                     t.T.text))
+           else None)
+
 (* ---------- catalog ---------- *)
 
 let all =
@@ -611,6 +640,18 @@ let all =
          report and become Prometheus sample names on /metrics, where a \
          typo'd or CamelCase name silently forks a new time series.";
       check = o001_check;
+    };
+    {
+      id = "O002";
+      family = "hygiene";
+      severity = Diag.Error;
+      title = "protocol trace events flow through Distsim.Stamp";
+      doc =
+        "Obs.Trace.send / Obs.Trace.deliver carry Lamport stamps that only \
+         Distsim.Stamp maintains; constructing protocol events anywhere \
+         else (outside lib/distsim and the lib/obs definitions) forks the \
+         clocks and corrupts the happens-before DAG Obs.Causal rebuilds.";
+      check = o002_check;
     };
   ]
 

@@ -181,13 +181,24 @@ module Trace = struct
     | Span_begin of string
     | Span_end of string
     | Count of { name : string; delta : int }
-    | Send of { round : int; time : float; kind : string; src : int; dst : int }
+    | Send of {
+        round : int;
+        time : float;
+        kind : string;
+        src : int;
+        dst : int;
+        lam : int;
+        sseq : int;
+      }
     | Deliver of {
         round : int;
         time : float;
         kind : string;
         src : int;
         dst : int;
+        lam : int;
+        sseq : int;
+        dseq : int;
       }
     | Job of { group : int; enter : bool }
     | Alert of {
@@ -318,11 +329,12 @@ module Trace = struct
       if not coalesced then record b (Count { name; delta })
     end
 
-  let send ~round ~time ~kind ~src ~dst =
-    if !on then record (my_buf ()) (Send { round; time; kind; src; dst })
+  let send ~round ~time ~kind ~src ~dst ~lam ~sseq =
+    if !on then record (my_buf ()) (Send { round; time; kind; src; dst; lam; sseq })
 
-  let deliver ~round ~time ~kind ~src ~dst =
-    if !on then record (my_buf ()) (Deliver { round; time; kind; src; dst })
+  let deliver ~round ~time ~kind ~src ~dst ~lam ~sseq ~dseq =
+    if !on then
+      record (my_buf ()) (Deliver { round; time; kind; src; dst; lam; sseq; dseq })
 
   let alert ~round ~probe ~value ~limit ~node =
     if !on then record (my_buf ()) (Alert { round; probe; value; limit; node })
@@ -414,8 +426,11 @@ module Trace = struct
 
   (* Chrome trace-event format (Perfetto-loadable): one event object per
      line so {!read_chrome} can parse the exact subset back with Scanf,
-     like Snapshot.of_json_lines. *)
-  let write_chrome fmt evs =
+     like Snapshot.of_json_lines.  [flows] pairs (send, deliver) events
+     already present in [evs]; each pair becomes a flow arrow
+     (ph "s"/"f") that viewers draw between the instants — read_chrome
+     skips those lines so the event round-trip stays exact. *)
+  let write_chrome ?(flows = []) fmt evs =
     let open Format in
     fprintf fmt "{\"traceEvents\":[";
     let totals : (string, int) Hashtbl.t = Hashtbl.create 16 in
@@ -430,10 +445,17 @@ module Trace = struct
     let common ev =
       Printf.sprintf "\"ts\":%s,\"pid\":0,\"tid\":%d" (g17 ev.ts) ev.dom
     in
-    let instant ev dir ~round ~time ~kind ~src ~dst =
+    let send_ev ev ~round ~time ~kind ~src ~dst ~lam ~sseq =
       fprintf fmt
-        "{\"name\":%S,\"cat\":%S,\"ph\":\"i\",\"s\":\"t\",%s,\"args\":{\"dir\":%S,\"round\":%d,\"time\":%s,\"src\":%d,\"dst\":%d,\"group\":%d,\"task\":%d}}"
-        kind ev.phase (common ev) dir round (g17 time) src dst ev.group ev.task
+        "{\"name\":%S,\"cat\":%S,\"ph\":\"i\",\"s\":\"t\",%s,\"args\":{\"dir\":\"send\",\"round\":%d,\"time\":%s,\"src\":%d,\"dst\":%d,\"lam\":%d,\"sseq\":%d,\"group\":%d,\"task\":%d}}"
+        kind ev.phase (common ev) round (g17 time) src dst lam sseq ev.group
+        ev.task
+    in
+    let recv_ev ev ~round ~time ~kind ~src ~dst ~lam ~sseq ~dseq =
+      fprintf fmt
+        "{\"name\":%S,\"cat\":%S,\"ph\":\"i\",\"s\":\"t\",%s,\"args\":{\"dir\":\"recv\",\"round\":%d,\"time\":%s,\"src\":%d,\"dst\":%d,\"lam\":%d,\"sseq\":%d,\"dseq\":%d,\"group\":%d,\"task\":%d}}"
+        kind ev.phase (common ev) round (g17 time) src dst lam sseq dseq
+        ev.group ev.task
     in
     let duration ev ph name =
       fprintf fmt
@@ -456,16 +478,27 @@ module Trace = struct
           fprintf fmt
             "{\"name\":%S,\"cat\":%S,\"ph\":\"C\",%s,\"args\":{\"value\":%d,\"delta\":%d,\"group\":%d,\"task\":%d}}"
             name ev.phase (common ev) v delta ev.group ev.task
-        | Send { round; time; kind; src; dst } ->
-          instant ev "send" ~round ~time ~kind ~src ~dst
-        | Deliver { round; time; kind; src; dst } ->
-          instant ev "recv" ~round ~time ~kind ~src ~dst
+        | Send { round; time; kind; src; dst; lam; sseq } ->
+          send_ev ev ~round ~time ~kind ~src ~dst ~lam ~sseq
+        | Deliver { round; time; kind; src; dst; lam; sseq; dseq } ->
+          recv_ev ev ~round ~time ~kind ~src ~dst ~lam ~sseq ~dseq
         | Alert { round; probe; value; limit; node } ->
           fprintf fmt
             "{\"name\":%S,\"cat\":%S,\"ph\":\"i\",\"s\":\"t\",%s,\"args\":{\"dir\":\"alert\",\"round\":%d,\"value\":%s,\"limit\":%s,\"node\":%d,\"group\":%d,\"task\":%d}}"
             probe ev.phase (common ev) round (g17 value) (g17 limit) node
             ev.group ev.task)
       evs;
+    List.iteri
+      (fun i ((s : event), (d : event)) ->
+        sep ();
+        fprintf fmt
+          "{\"name\":\"critical-path\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":%d,\"ts\":%s,\"pid\":0,\"tid\":%d}"
+          i (g17 s.ts) s.dom;
+        sep ();
+        fprintf fmt
+          "{\"name\":\"critical-path\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"ts\":%s,\"pid\":0,\"tid\":%d}"
+          i (g17 d.ts) d.dom)
+      flows;
     fprintf fmt "@\n]}@."
 
   let read_chrome s =
@@ -492,15 +525,18 @@ module Trace = struct
                   payload = Count { name; delta } }));
           (fun () ->
             Scanf.sscanf line
-              "{\"name\":%S,\"cat\":%S,\"ph\":\"i\",\"s\":\"t\",\"ts\":%f,\"pid\":0,\"tid\":%d,\"args\":{\"dir\":%S,\"round\":%d,\"time\":%f,\"src\":%d,\"dst\":%d,\"group\":%d,\"task\":%d}}"
-              (fun kind phase ts dom dir round time src dst group task ->
-                let payload =
-                  match dir with
-                  | "send" -> Send { round; time; kind; src; dst }
-                  | "recv" -> Deliver { round; time; kind; src; dst }
-                  | _ -> failwith "dir"
-                in
-                { ts; dom; group; task; phase; payload }));
+              "{\"name\":%S,\"cat\":%S,\"ph\":\"i\",\"s\":\"t\",\"ts\":%f,\"pid\":0,\"tid\":%d,\"args\":{\"dir\":\"send\",\"round\":%d,\"time\":%f,\"src\":%d,\"dst\":%d,\"lam\":%d,\"sseq\":%d,\"group\":%d,\"task\":%d}}"
+              (fun kind phase ts dom round time src dst lam sseq group task ->
+                { ts; dom; group; task; phase;
+                  payload = Send { round; time; kind; src; dst; lam; sseq } }));
+          (fun () ->
+            Scanf.sscanf line
+              "{\"name\":%S,\"cat\":%S,\"ph\":\"i\",\"s\":\"t\",\"ts\":%f,\"pid\":0,\"tid\":%d,\"args\":{\"dir\":\"recv\",\"round\":%d,\"time\":%f,\"src\":%d,\"dst\":%d,\"lam\":%d,\"sseq\":%d,\"dseq\":%d,\"group\":%d,\"task\":%d}}"
+              (fun kind phase ts dom round time src dst lam sseq dseq group
+                   task ->
+                { ts; dom; group; task; phase;
+                  payload =
+                    Deliver { round; time; kind; src; dst; lam; sseq; dseq } }));
           (fun () ->
             Scanf.sscanf line
               "{\"name\":%S,\"cat\":%S,\"ph\":\"i\",\"s\":\"t\",\"ts\":%f,\"pid\":0,\"tid\":%d,\"args\":{\"dir\":\"alert\",\"round\":%d,\"value\":%f,\"limit\":%f,\"node\":%d,\"group\":%d,\"task\":%d}}"
@@ -517,10 +553,16 @@ module Trace = struct
       in
       go attempts
     in
+    let flow_prefix = "{\"name\":\"critical-path\",\"cat\":\"flow\"" in
+    let is_flow l =
+      String.length l >= String.length flow_prefix
+      && String.sub l 0 (String.length flow_prefix) = flow_prefix
+    in
     String.split_on_char '\n' s
     |> List.filter_map (fun l ->
            let l = strip_comma (String.trim l) in
-           if l = "" || l = "{\"traceEvents\":[" || l = "]}" then None
+           if l = "" || l = "{\"traceEvents\":[" || l = "]}" || is_flow l then
+             None
            else Some (parse l))
 
   type profile_row = {
@@ -645,6 +687,363 @@ module Trace = struct
       let den = (n *. sxx) -. (sx *. sx) in
       if Float.abs den < 1e-12 then nan
       else ((n *. sxy) -. (sx *. sy)) /. den
+end
+
+(* Post-run happens-before analysis over the merged trace stream.
+
+   The stream returned by [Trace.events] is a valid topological
+   linearization of the happens-before DAG: each engine records a
+   Deliver after the Send it matches, and per-node order in the stream
+   follows per-node program order.  One forward pass therefore suffices
+   for the longest-chain dynamic program — O(E) time and space in the
+   number of protocol events, with hash lookups keyed by (src, sseq).
+
+   Matching is per span path ("phase"): every [Engine.run] gets a fresh
+   [Stamp.t], so (src, sseq) pairs repeat across phases but are unique
+   within one.  When a phase hosts two runs (no spans around either),
+   a later Send overwrites its key and subsequent Delivers match the
+   most recent preceding Send, which is the only causally-possible one
+   in a sequential stream.
+
+   Everything here depends only on (phase, payload) projections of the
+   stream, which [Trace.events] guarantees to be bit-identical across
+   worker counts — so causal statistics are too. *)
+module Causal = struct
+  type violation =
+    | Orphan_deliver of {
+        phase : string;
+        src : int;
+        dst : int;
+        sseq : int;
+        index : int;
+      }
+    | Clock_regression of {
+        phase : string;
+        node : int;
+        lam : int;
+        prev : int;
+        index : int;
+      }
+
+  let pp_violation fmt = function
+    | Orphan_deliver { phase; src; dst; sseq; index } ->
+      Format.fprintf fmt
+        "orphan deliver: event %d (phase %S) delivers (src %d, sseq %d) to \
+         node %d with no matching send before it"
+        index phase src sseq dst
+    | Clock_regression { phase; node; lam; prev; index } ->
+      Format.fprintf fmt
+        "clock regression: event %d (phase %S) stamps node %d with lam %d, \
+         not above the preceding %d"
+        index phase node lam prev
+
+  type step = {
+    s_index : int;  (* position in the analyzed stream *)
+    s_dir : [ `Send | `Deliver ];
+    s_kind : string;
+    s_node : int;  (* acting node: sender for sends, receiver for delivers *)
+    s_round : int;
+    s_time : float;
+    s_depth : int;  (* longest causal chain, in message hops, ending here *)
+  }
+
+  type phase_report = {
+    ph_phase : string;
+    ph_events : int;
+    ph_depth : int;  (* critical-path length in message hops *)
+    ph_rounds : int;  (* engine rounds spanned by the critical path *)
+    ph_span_time : float;  (* simulated time along the critical path *)
+    ph_width : (int * int) list;  (* events per causal depth, 0..ph_depth *)
+    ph_path : step list;  (* the critical path, root first *)
+    ph_attribution : (int * int) list;
+        (* node -> critical-path events, most-loaded first *)
+  }
+
+  type report = {
+    r_phases : phase_report list;  (* first-seen stream order *)
+    r_depth : int;  (* end-to-end: phases run sequentially, so depths add *)
+    r_rounds : int;
+    r_span_time : float;
+    r_violations : violation list;  (* stream order *)
+  }
+
+  (* internal per-event record of the longest-chain DP *)
+  type xev = {
+    x_index : int;
+    x_dir : [ `Send | `Deliver ];
+    x_kind : string;
+    x_node : int;
+    x_round : int;
+    x_time : float;
+    x_lam : int;
+    x_depth : int;
+    x_tdepth : float;
+    x_prev : int option;  (* program-order predecessor on the same node *)
+    x_send : int option;  (* matching send, for delivers *)
+    x_parent : int option;  (* the predecessor achieving x_depth *)
+  }
+
+  type pstate = {
+    mutable p_evs : xev list;  (* reverse stream order *)
+    mutable p_count : int;
+    p_last : (int, xev) Hashtbl.t;  (* node -> its latest event *)
+    p_clock : (int, int) Hashtbl.t;  (* node -> last lam seen *)
+    p_sends : (int * int, xev) Hashtbl.t;  (* (src, sseq) -> send *)
+    mutable p_best : xev option;  (* first deepest event *)
+  }
+
+  let scan evs =
+    let phases : (string, pstate) Hashtbl.t = Hashtbl.create 8 in
+    let order = ref [] in
+    let by_index : (int, xev) Hashtbl.t = Hashtbl.create 1024 in
+    let violations = ref [] in
+    let state phase =
+      match Hashtbl.find_opt phases phase with
+      | Some s -> s
+      | None ->
+        let s =
+          { p_evs = []; p_count = 0; p_last = Hashtbl.create 64;
+            p_clock = Hashtbl.create 64; p_sends = Hashtbl.create 256;
+            p_best = None }
+        in
+        Hashtbl.add phases phase s;
+        order := phase :: !order;
+        s
+    in
+    let clock_check st phase node lam i =
+      (match Hashtbl.find_opt st.p_clock node with
+      | Some prev when lam <= prev ->
+        violations :=
+          Clock_regression { phase; node; lam; prev; index = i } :: !violations
+      | _ -> ());
+      Hashtbl.replace st.p_clock node lam
+    in
+    let put st x =
+      st.p_evs <- x :: st.p_evs;
+      st.p_count <- st.p_count + 1;
+      Hashtbl.replace st.p_last x.x_node x;
+      Hashtbl.replace by_index x.x_index x;
+      match st.p_best with
+      | Some b when b.x_depth >= x.x_depth -> ()
+      | _ -> st.p_best <- Some x
+    in
+    List.iteri
+      (fun i (ev : Trace.event) ->
+        let phase = ev.Trace.phase in
+        match ev.Trace.payload with
+        | Trace.Send { round; time; kind; src; lam; sseq; _ } ->
+          let st = state phase in
+          let prev = Hashtbl.find_opt st.p_last src in
+          let depth, tdepth, prev_i =
+            match prev with
+            | Some p -> (p.x_depth, p.x_tdepth, Some p.x_index)
+            | None -> (0, 0., None)
+          in
+          clock_check st phase src lam i;
+          let x =
+            { x_index = i; x_dir = `Send; x_kind = kind; x_node = src;
+              x_round = round; x_time = time; x_lam = lam; x_depth = depth;
+              x_tdepth = tdepth; x_prev = prev_i; x_send = None;
+              x_parent = prev_i }
+          in
+          Hashtbl.replace st.p_sends (src, sseq) x;
+          put st x
+        | Trace.Deliver { round; time; kind; src; dst; lam; sseq; _ } ->
+          let st = state phase in
+          let prev = Hashtbl.find_opt st.p_last dst in
+          let sender = Hashtbl.find_opt st.p_sends (src, sseq) in
+          (match sender with
+          | None ->
+            violations :=
+              Orphan_deliver { phase; src; dst; sseq; index = i }
+              :: !violations
+          | Some s ->
+            (* the Lamport edge property: a deliver stamp dominates its
+               send stamp even when the receiver was otherwise idle *)
+            if lam <= s.x_lam then
+              violations :=
+                Clock_regression
+                  { phase; node = dst; lam; prev = s.x_lam; index = i }
+                :: !violations);
+          let depth, tdepth, parent =
+            match (prev, sender) with
+            | None, None -> (0, 0., None)
+            | Some p, None -> (p.x_depth, p.x_tdepth, Some p.x_index)
+            | prev, Some s -> (
+              let sd = s.x_depth + 1 in
+              let stt = s.x_tdepth +. Float.max 0. (time -. s.x_time) in
+              match prev with
+              | Some p when p.x_depth > sd ->
+                (p.x_depth, p.x_tdepth, Some p.x_index)
+              | _ -> (sd, stt, Some s.x_index))
+          in
+          clock_check st phase dst lam i;
+          put st
+            { x_index = i; x_dir = `Deliver; x_kind = kind; x_node = dst;
+              x_round = round; x_time = time; x_lam = lam; x_depth = depth;
+              x_tdepth = tdepth;
+              x_prev = Option.map (fun (p : xev) -> p.x_index) prev;
+              x_send = Option.map (fun (s : xev) -> s.x_index) sender;
+              x_parent = parent }
+        | _ -> ())
+      evs;
+    (phases, List.rev !order, by_index, List.rev !violations)
+
+  let analyze evs =
+    let phases, order, by_index, violations = scan evs in
+    let phase_report phase =
+      let st = Hashtbl.find phases phase in
+      let best = st.p_best in
+      let path =
+        let rec walk acc = function
+          | None -> acc
+          | Some i ->
+            let x = Hashtbl.find by_index i in
+            walk (x :: acc) x.x_parent
+        in
+        match best with None -> [] | Some b -> walk [] (Some b.x_index)
+      in
+      let steps =
+        List.map
+          (fun x ->
+            { s_index = x.x_index; s_dir = x.x_dir; s_kind = x.x_kind;
+              s_node = x.x_node; s_round = x.x_round; s_time = x.x_time;
+              s_depth = x.x_depth })
+          path
+      in
+      let rounds =
+        match
+          List.filter_map
+            (fun x -> if x.x_round >= 0 then Some x.x_round else None)
+            path
+        with
+        | [] -> 0
+        | r :: rest ->
+          let mn = List.fold_left min r rest in
+          let mx = List.fold_left max r rest in
+          mx - mn + 1
+      in
+      let width =
+        let tbl : (int, int) Hashtbl.t = Hashtbl.create 64 in
+        List.iter
+          (fun x ->
+            Hashtbl.replace tbl x.x_depth
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tbl x.x_depth)))
+          st.p_evs;
+        let maxd = match best with Some b -> b.x_depth | None -> -1 in
+        List.init (maxd + 1) (fun d ->
+            (d, Option.value ~default:0 (Hashtbl.find_opt tbl d)))
+      in
+      let attribution =
+        let tbl : (int, int ref) Hashtbl.t = Hashtbl.create 16 in
+        let nodes = ref [] in
+        List.iter
+          (fun x ->
+            match Hashtbl.find_opt tbl x.x_node with
+            | Some r -> Stdlib.incr r
+            | None ->
+              nodes := x.x_node :: !nodes;
+              Hashtbl.add tbl x.x_node (ref 1))
+          path;
+        List.rev_map (fun nd -> (nd, !(Hashtbl.find tbl nd))) !nodes
+        |> List.sort (fun (n1, c1) (n2, c2) ->
+               if c1 <> c2 then compare c2 c1 else compare n1 n2)
+      in
+      { ph_phase = phase; ph_events = st.p_count;
+        ph_depth = (match best with Some b -> b.x_depth | None -> 0);
+        ph_rounds = rounds;
+        ph_span_time = (match best with Some b -> b.x_tdepth | None -> 0.);
+        ph_width = width; ph_path = steps; ph_attribution = attribution }
+    in
+    let phase_reports = List.map phase_report order in
+    { r_phases = phase_reports;
+      r_depth = List.fold_left (fun a p -> a + p.ph_depth) 0 phase_reports;
+      r_rounds = List.fold_left (fun a p -> a + p.ph_rounds) 0 phase_reports;
+      r_span_time =
+        List.fold_left (fun a p -> a +. p.ph_span_time) 0. phase_reports;
+      r_violations = violations }
+
+  (* Critical-path (send, deliver) pairs resolved back to the events
+     they index, ready for [Trace.write_chrome ~flows].  A Deliver
+     following a Send on the path can only have been reached over the
+     message edge (program order never crosses nodes). *)
+  let flows evs (r : report) =
+    let arr = Array.of_list evs in
+    List.concat_map
+      (fun ph ->
+        let rec pairs = function
+          | a :: (b :: _ as rest) ->
+            if a.s_dir = `Send && b.s_dir = `Deliver then
+              (arr.(a.s_index), arr.(b.s_index)) :: pairs rest
+            else pairs rest
+          | _ -> []
+        in
+        pairs ph.ph_path)
+      r.r_phases
+
+  (* DOT dump of the happens-before DAG, meant for small n: solid edges
+     are message (Send -> Deliver) edges, dashed edges per-node program
+     order, and the critical path is red. *)
+  let write_dot fmt evs =
+    let phases, order, _, _ = scan evs in
+    let r = analyze evs in
+    let crit : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun ph ->
+        let rec mark = function
+          | a :: (b :: _ as rest) ->
+            Hashtbl.replace crit (a.s_index, b.s_index) ();
+            mark rest
+          | _ -> ()
+        in
+        mark ph.ph_path)
+      r.r_phases;
+    let esc s =
+      let b = Buffer.create (String.length s + 4) in
+      String.iter
+        (fun c ->
+          match c with
+          | '\\' -> Buffer.add_string b "\\\\"
+          | '"' -> Buffer.add_string b "\\\""
+          | '\n' -> Buffer.add_string b "\\n"
+          | c -> Buffer.add_char b c)
+        s;
+      Buffer.contents b
+    in
+    Format.fprintf fmt "digraph happens_before {@\n";
+    Format.fprintf fmt "  rankdir=LR;@\n  node [shape=box,fontsize=9];@\n";
+    List.iteri
+      (fun ci phase ->
+        let st = Hashtbl.find phases phase in
+        Format.fprintf fmt "  subgraph cluster_%d {@\n    label=\"%s\";@\n" ci
+          (esc phase);
+        List.iter
+          (fun x ->
+            Format.fprintf fmt "    e%d [label=\"%s %s n%d r%d d%d\"];@\n"
+              x.x_index
+              (match x.x_dir with `Send -> "S" | `Deliver -> "D")
+              (esc x.x_kind) x.x_node x.x_round x.x_depth)
+          (List.rev st.p_evs);
+        Format.fprintf fmt "  }@\n")
+      order;
+    List.iter
+      (fun phase ->
+        let st = Hashtbl.find phases phase in
+        List.iter
+          (fun x ->
+            let edge style p =
+              let red =
+                if Hashtbl.mem crit (p, x.x_index) then ",color=red,penwidth=2"
+                else ""
+              in
+              Format.fprintf fmt "  e%d -> e%d [style=%s%s];@\n" p x.x_index
+                style red
+            in
+            Option.iter (edge "dashed") x.x_prev;
+            Option.iter (edge "solid") x.x_send)
+          (List.rev st.p_evs))
+      order;
+    Format.fprintf fmt "}@."
 end
 
 let counter name = registered counters name (fun () -> { c_name = name; c_value = 0 })
@@ -1798,43 +2197,81 @@ module Export = struct
     if i < Array.length Histogram.bounds then g17 Histogram.bounds.(i)
     else "+Inf"
 
+  (* Prometheus 0.0.4 text exposition escaping: label values escape
+     backslash, double quote and newline; HELP text escapes backslash
+     and newline.  Everything else (tabs, spaces, UTF-8 bytes) passes
+     through verbatim — OCaml's %S would mangle those.  Span paths are
+     where arbitrary characters reach /metrics. *)
+  let prom_escape_label s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let prom_escape_help s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
   (* counters and gauges one sample each; dists as summary _sum/_count;
      spans as two labelled families; hists with cumulative le buckets *)
   let metrics_text (s : Snapshot.t) =
     let b = Buffer.create 4096 in
     let line fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    let help n name = line "# HELP %s registry key %s\n" n (prom_escape_help name) in
     List.iter
       (fun (name, v) ->
         let n = prom_name name in
+        help n name;
         line "# TYPE %s counter\n%s %d\n" n n v)
       s.Snapshot.counters;
     List.iter
       (fun (name, v) ->
         let n = prom_name name in
+        help n name;
         line "# TYPE %s gauge\n%s %s\n" n n (g17 v))
       s.Snapshot.gauges;
     List.iter
       (fun (name, (d : Snapshot.dist_stats)) ->
         let n = prom_name name in
+        help n name;
         line "# TYPE %s summary\n%s_sum %s\n%s_count %d\n" n n
           (g17 d.Snapshot.sum) n d.Snapshot.count)
       s.Snapshot.dists;
     if s.Snapshot.spans <> [] then begin
+      line "# HELP span_calls calls per span path\n";
       line "# TYPE span_calls counter\n";
       List.iter
         (fun (sp : Snapshot.span_stats) ->
-          line "span_calls{path=%S} %d\n" sp.Snapshot.path sp.Snapshot.calls)
+          line "span_calls{path=\"%s\"} %d\n"
+            (prom_escape_label sp.Snapshot.path)
+            sp.Snapshot.calls)
         s.Snapshot.spans;
+      line "# HELP span_seconds cumulative seconds per span path\n";
       line "# TYPE span_seconds counter\n";
       List.iter
         (fun (sp : Snapshot.span_stats) ->
-          line "span_seconds{path=%S} %s\n" sp.Snapshot.path
+          line "span_seconds{path=\"%s\"} %s\n"
+            (prom_escape_label sp.Snapshot.path)
             (g17 sp.Snapshot.seconds))
         s.Snapshot.spans
     end;
     List.iter
       (fun (name, (h : Snapshot.hist_stats)) ->
         let n = prom_name name in
+        help n name;
         line "# TYPE %s histogram\n" n;
         let acc = ref 0 in
         Array.iteri
@@ -1910,7 +2347,8 @@ module Export = struct
     List.iter
       (fun (sp : Snapshot.span_stats) ->
         expect_int
-          (Printf.sprintf "span_calls{path=%S}" sp.Snapshot.path)
+          (Printf.sprintf "span_calls{path=\"%s\"}"
+             (prom_escape_label sp.Snapshot.path))
           sp.Snapshot.calls)
       s.Snapshot.spans;
     List.iter

@@ -239,16 +239,34 @@ module Trace : sig
     | Span_end of string
     | Count of { name : string; delta : int }
         (** counter increment; consecutive same-name deltas coalesce *)
-    | Send of { round : int; time : float; kind : string; src : int; dst : int }
+    | Send of {
+        round : int;
+        time : float;
+        kind : string;
+        src : int;
+        dst : int;
+        lam : int;
+        sseq : int;
+      }
         (** protocol transmission; [round = -1] for async engines,
-            [dst = -1] for local broadcast *)
+            [dst = -1] for local broadcast.  [lam] is the sender's
+            Lamport clock after the send tick and [sseq] its per-node
+            event sequence: [(src, sseq)] names the message, which its
+            deliveries reference.  Both are maintained by the single
+            stamping helper [Distsim.Stamp] (lint rule O002). *)
     | Deliver of {
         round : int;
         time : float;
         kind : string;
         src : int;
         dst : int;
+        lam : int;
+        sseq : int;
+        dseq : int;
       }
+        (** reception of send [(src, sseq)] at [dst]; [lam] is the
+            receiver's clock after the [max (local, sender) + 1]
+            update, [dseq] the receiver's own event sequence *)
     | Job of { group : int; enter : bool }
         (** pool job bracket, internal — rewritten to
             [Span_begin/Span_end "pool.job"] by {!events} *)
@@ -281,9 +299,17 @@ module Trace : sig
   val span_end : string -> unit
   val count : string -> int -> unit
 
-  val send : round:int -> time:float -> kind:string -> src:int -> dst:int -> unit
+  (** Raw protocol-event hooks.  Outside [lib/obs] and [lib/distsim]
+      these must not be called directly — the clocks they record are
+      owned by [Distsim.Stamp] (lint rule O002 enforces this). *)
+
+  val send :
+    round:int -> time:float -> kind:string -> src:int -> dst:int ->
+    lam:int -> sseq:int -> unit
+
   val deliver :
-    round:int -> time:float -> kind:string -> src:int -> dst:int -> unit
+    round:int -> time:float -> kind:string -> src:int -> dst:int ->
+    lam:int -> sseq:int -> dseq:int -> unit
 
   (** Record an invariant violation (see {!constructor-Alert});
       exported to Chrome JSON as an instant event with
@@ -310,11 +336,16 @@ module Trace : sig
 
   (** Chrome trace-event JSON ([chrome://tracing], Perfetto).  One
       event object per line; the exact subset emitted here parses back
-      with {!read_chrome}. *)
-  val write_chrome : Format.formatter -> event list -> unit
+      with {!read_chrome}.  [flows] pairs (send, deliver) events from
+      [evs]; each pair is drawn as a flow arrow (see {!Causal.flows});
+      flow lines are skipped by {!read_chrome}, keeping the event
+      round-trip exact. *)
+  val write_chrome :
+    ?flows:(event * event) list -> Format.formatter -> event list -> unit
 
   (** Parse {!write_chrome} output.  Round-trips exactly (floats are
-      printed with 17 significant digits).
+      printed with 17 significant digits); flow-arrow lines are
+      skipped.
       @raise Failure on malformed input. *)
   val read_chrome : string -> event list
 
@@ -348,6 +379,92 @@ module Trace : sig
   (** Least-squares slope of [log y] against [log x] — the empirical
       growth exponent; [nan] on fewer than two usable points. *)
   val fit_loglog_slope : (float * float) list -> float
+end
+
+(** {1 Happens-before analysis}
+
+    Post-run reconstruction of the causal structure recorded by the
+    Lamport-stamped Send/Deliver events: the merged stream from
+    {!Trace.events} is a valid topological linearization (engines
+    record a Deliver after its Send; per-node stream order is program
+    order), so one O(events) forward pass computes longest causal
+    chains.  Matching is per span path — every engine run gets a fresh
+    stamp state, so [(src, sseq)] keys repeat across phases but are
+    unique within one.  All results depend only on the (phase, payload)
+    projection of the stream, hence are bit-identical across worker
+    counts, like the stream itself. *)
+module Causal : sig
+  (** Causality violations, reported in stream order.  [index] is the
+      event's position in the analyzed stream. *)
+  type violation =
+    | Orphan_deliver of {
+        phase : string;
+        src : int;
+        dst : int;
+        sseq : int;
+        index : int;
+      }  (** a Deliver whose [(src, sseq)] has no preceding Send *)
+    | Clock_regression of {
+        phase : string;
+        node : int;
+        lam : int;
+        prev : int;
+        index : int;
+      }
+        (** a stamp that fails to advance: [lam <= prev] for the node's
+            previous stamp, or for the matched send's stamp *)
+
+  val pp_violation : Format.formatter -> violation -> unit
+
+  (** One event on a critical path. *)
+  type step = {
+    s_index : int;  (** position in the analyzed stream *)
+    s_dir : [ `Send | `Deliver ];
+    s_kind : string;
+    s_node : int;  (** sender for sends, receiver for delivers *)
+    s_round : int;
+    s_time : float;
+    s_depth : int;  (** causal depth (message hops) at this event *)
+  }
+
+  type phase_report = {
+    ph_phase : string;  (** span path the events were recorded under *)
+    ph_events : int;  (** protocol events in the phase *)
+    ph_depth : int;  (** critical-path length in message hops *)
+    ph_rounds : int;  (** engine rounds spanned by the critical path *)
+    ph_span_time : float;  (** simulated time along the critical path *)
+    ph_width : (int * int) list;
+        (** events per causal depth, [0..ph_depth] *)
+    ph_path : step list;  (** the critical path, root first *)
+    ph_attribution : (int * int) list;
+        (** node -> critical-path events, most-loaded first (ties by
+            node id) — where the run's latency lives *)
+  }
+
+  type report = {
+    r_phases : phase_report list;  (** first-seen stream order *)
+    r_depth : int;
+        (** end-to-end critical path: phases run sequentially, so
+            depths add *)
+    r_rounds : int;
+    r_span_time : float;
+    r_violations : violation list;
+  }
+
+  (** One pass over a {!Trace.events} stream; non-protocol events are
+      ignored.  O(n) time and space in the stream length. *)
+  val analyze : Trace.event list -> report
+
+  (** The critical-path (send, deliver) pairs of [report], resolved
+      back into the events of the stream it was computed from — feed to
+      {!Trace.write_chrome} as [~flows]. *)
+  val flows : Trace.event list -> report -> (Trace.event * Trace.event) list
+
+  (** DOT dump of the happens-before DAG (all protocol events, one
+      cluster per phase; message edges solid, program order dashed,
+      critical path red).  Meant for small n — the graph has one node
+      per event. *)
+  val write_dot : Format.formatter -> Trace.event list -> unit
 end
 
 (** {1 Quantile sketches}
@@ -691,7 +808,11 @@ module Export : sig
       call once per handle). *)
   val stop : handle -> unit
 
-  (** The exposition text for one snapshot — what [/metrics] serves. *)
+  (** The exposition text for one snapshot — what [/metrics] serves.
+      Label values escape backslash, double-quote and newline, and
+      HELP text escapes backslash and newline, per the Prometheus
+      0.0.4 text format — so arbitrary span paths and registry keys
+      survive the round-trip through {!parse_exposition}. *)
   val metrics_text : Snapshot.t -> string
 
   (** Parse exposition text into [(sample key, value)] pairs, where a

@@ -68,6 +68,38 @@ let test_metrics_text_parses () =
   check "drifted snapshot flagged" true
     (Obs.Export.check_snapshot samples (Obs.Snapshot.capture ()) <> [])
 
+let test_exposition_escaping () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  (* names and span paths exercising every character the 0.0.4 format
+     must escape: backslash, double-quote, newline.  The computed
+     counter name dodges the O001 literal convention on purpose — the
+     escaping has to survive names the lint can't vet. *)
+  let weird = "ex.weird" ^ "\"name\\with\nbreaks" in
+  Obs.add (Obs.counter weird) 5;
+  Obs.span ("we\"ird\\sp" ^ "\nan") (fun () -> ());
+  Obs.set_enabled false;
+  let snap = Obs.Snapshot.capture () in
+  let text = Obs.Export.metrics_text snap in
+  (* escaped, the exposition stays one line per sample and re-parses *)
+  let samples = Obs.Export.parse_exposition text in
+  check "weird names pass the scrape cross-check" true
+    (Obs.Export.check_snapshot samples snap = []);
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  check "label value escapes the quote" true (contains text "we\\\"ird");
+  check "label value escapes the backslash" true (contains text "\\\\sp");
+  check "label value escapes the newline" true (contains text "\\nan");
+  check "help text escapes the backslash" true (contains text "\\\\with");
+  check "help text escapes the newline" true (contains text "\\nbreaks");
+  check "no raw quote survives unescaped in a label" false
+    (contains text "we\"ird")
+
 (* ---------------- HTTP surface ---------------- *)
 
 let test_http_routes () =
@@ -201,6 +233,8 @@ let suites =
       [
         Alcotest.test_case "exposition text round-trips" `Quick
           test_metrics_text_parses;
+        Alcotest.test_case "exposition escaping (0.0.4)" `Quick
+          test_exposition_escaping;
         Alcotest.test_case "http routes: metrics/healthz/ring/404" `Quick
           test_http_routes;
         Alcotest.test_case "scrape-while-serving: live engine cross-check"

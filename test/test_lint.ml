@@ -235,6 +235,29 @@ let o001 () =
     (fires "O001" ~path:"lib/core/x.ml"
        "let doc = \"call Obs.counter with a name like X Y\"")
 
+let o002 () =
+  check "raw Obs.Trace.send in lib flagged" true
+    (fires "O002" ~path:"lib/core/x.ml"
+       "let f () = Obs.Trace.send ~round:0 ~time:0. ~kind:\"k\" ~src:0 \
+        ~dst:(-1) ~lam:1 ~sseq:0");
+  check "raw Trace.deliver in bin flagged" true
+    (fires "O002" ~path:"bin/x.ml"
+       "let g () = Trace.deliver ~round:0 ~time:0. ~kind:\"k\" ~src:0 ~dst:1 \
+        ~lam:2 ~sseq:0 ~dseq:0");
+  check "the stamping helper itself is exempt" false
+    (fires "O002" ~path:"lib/distsim/stamp.ml"
+       "let f () = Obs.Trace.send ~round:0 ~time:0. ~kind:\"k\" ~src:0 \
+        ~dst:(-1) ~lam:1 ~sseq:0");
+  check "the hook definitions are exempt" false
+    (fires "O002" ~path:"lib/obs/obs.ml" "let x = Trace.send");
+  check "tests exercising raw hooks are out of scope" false
+    (fires "O002" ~path:"test/x.ml" "let f () = T.send; Obs.Trace.send");
+  check "Stamp.send is the sanctioned path" false
+    (fires "O002" ~path:"lib/core/x.ml"
+       "let f st = Stamp.send st ~round:0 ~time:0. ~kind:\"k\" ~src:0");
+  check "unrelated sends out of scope" false
+    (fires "O002" ~path:"lib/core/x.ml" "let f ch m = Channel.send ch m")
+
 (* ---------- suppressions ---------- *)
 
 let suppression () =
@@ -408,6 +431,7 @@ let suites =
         Alcotest.test_case "H002 obj magic" `Quick h002;
         Alcotest.test_case "H003 silent dead ends" `Quick h003;
         Alcotest.test_case "O001 metric name convention" `Quick o001;
+        Alcotest.test_case "O002 stamped trace events" `Quick o002;
         Alcotest.test_case "catalog" `Quick catalog;
       ] );
     ( "lint.plumbing",

@@ -187,7 +187,10 @@ let test_monitor_alert_trace () =
     check "alert payload consistent" true
       (value > limit && node >= 0));
   (* the alert survives the Chrome export round-trip *)
-  let parsed = Obs.Trace.read_chrome (render Obs.Trace.write_chrome events) in
+  let parsed =
+    Obs.Trace.read_chrome
+      (render (fun fmt evs -> Obs.Trace.write_chrome fmt evs) events)
+  in
   check "chrome round-trip preserves alerts" true (parsed = events)
 
 let suites =

@@ -430,6 +430,55 @@ let test_config_sink () =
          (fun s -> s.Obs.Snapshot.path = "backbone/cds/mis")
          snap.Obs.Snapshot.spans)
 
+(* ------------------------------------------------------------------ *)
+(* Recorder ring wrap                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_recorder_wrap_order () =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Recorder.set_capacity 256;
+      Obs.Recorder.clear ())
+    (fun () ->
+      Obs.Recorder.set_capacity 4;
+      Obs.Recorder.clear ();
+      let note i = Obs.Recorder.record (Obs.Recorder.Note (string_of_int i)) in
+      (* main fills part of its ring... *)
+      note 0;
+      note 1;
+      (* ...a second domain wraps its own ring completely... *)
+      Domain.join
+        (Domain.spawn (fun () ->
+             for i = 2 to 6 do
+               note i
+             done));
+      (* ...then main wraps too *)
+      for i = 7 to 11 do
+        note i
+      done;
+      let entries = Obs.Recorder.entries () in
+      (* per-domain rings keep their newest 4: seqs 3-6 from the spawned
+         domain, 8-11 from main — and the cross-domain merge must
+         deliver them in global-sequence order despite both wraps *)
+      let seqs = List.map (fun (e : Obs.Recorder.entry) -> e.Obs.Recorder.e_seq) entries in
+      Alcotest.(check (list int)) "survivors in global order"
+        [ 3; 4; 5; 6; 8; 9; 10; 11 ] seqs;
+      let notes =
+        List.map
+          (fun (e : Obs.Recorder.entry) ->
+            match e.Obs.Recorder.e_event with
+            | Obs.Recorder.Note s -> s
+            | _ -> "?")
+          entries
+      in
+      Alcotest.(check (list string)) "payloads follow the sequence"
+        [ "3"; "4"; "5"; "6"; "8"; "9"; "10"; "11" ] notes;
+      check "two domains contributed" true
+        (List.length
+           (List.sort_uniq compare
+              (List.map (fun (e : Obs.Recorder.entry) -> e.Obs.Recorder.e_dom) entries))
+        = 2))
+
 let suites =
   [
     ( "obs",
@@ -469,5 +518,7 @@ let suites =
         Alcotest.test_case "named sinks" `Quick (isolated test_named_sinks);
         Alcotest.test_case "Config sink plumbing" `Quick
           (isolated test_config_sink);
+        Alcotest.test_case "recorder ring-wrap ordering" `Quick
+          (isolated test_recorder_wrap_order);
       ] );
   ]

@@ -106,8 +106,10 @@ let test_chrome_roundtrip () =
   Obs.span "rt.outer" (fun () ->
       Obs.incr c;
       Obs.add c 3;
-      T.send ~round:3 ~time:0.5 ~kind:"Hello, \"world\"" ~src:1 ~dst:(-1);
-      T.deliver ~round:4 ~time:1.0625 ~kind:"Hello, \"world\"" ~src:1 ~dst:2;
+      T.send ~round:3 ~time:0.5 ~kind:"Hello, \"world\"" ~src:1 ~dst:(-1)
+        ~lam:1 ~sseq:0;
+      T.deliver ~round:4 ~time:1.0625 ~kind:"Hello, \"world\"" ~src:1 ~dst:2
+        ~lam:2 ~sseq:0 ~dseq:0;
       Obs.span "rt.inner" (fun () -> Obs.incr c));
   T.stop ();
   let evs = T.events () in
@@ -377,6 +379,277 @@ let test_dist_moments () =
   check "json keeps sumsq" true (js = stats);
   check "csv keeps sumsq" true (cs = stats)
 
+(* ------------------------------------------------------------------ *)
+(* Causal analysis                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module C = Obs.Causal
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Token relay over a path graph: node 0 fires, each node forwards on
+   hearing its predecessor — O(n) messages, causal depth n. *)
+let relay_protocol =
+  {
+    E.init = (fun i _ -> i = 0);
+    E.on_round =
+      (fun ctx fired inbox ->
+        if ctx.E.round = 0 && ctx.E.me = 0 then begin
+          ctx.E.broadcast 0;
+          true
+        end
+        else if
+          (not fired)
+          && List.exists
+               (fun (d : int E.delivery) -> d.E.msg = ctx.E.me - 1)
+               inbox
+        then begin
+          ctx.E.broadcast ctx.E.me;
+          true
+        end
+        else fired);
+  }
+
+let path_graph n = G.of_edges n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let relay_events n =
+  T.start ();
+  Obs.span "causal.relay" (fun () ->
+      ignore (E.run ~classify:(fun _ -> "Token") (path_graph n) relay_protocol));
+  T.stop ();
+  T.events ()
+
+let test_causal_relay_depth () =
+  Obs.set_enabled true;
+  let r = C.analyze (relay_events 5) in
+  checki "one phase" 1 (List.length r.C.r_phases);
+  let ph = List.hd r.C.r_phases in
+  check "phase is the span path" true (ph.C.ph_phase = "causal.relay");
+  (* 5 sends, one deliver per (sender, neighbor) on the path: 8 *)
+  checki "events" 13 ph.C.ph_events;
+  checki "token chain has depth n" 5 ph.C.ph_depth;
+  checki "rounds spanned by the path" 6 ph.C.ph_rounds;
+  checki "single phase = end to end" ph.C.ph_depth r.C.r_depth;
+  check "no violations" true (r.C.r_violations = []);
+  (* the critical path walks the whole chain: n sends, n delivers *)
+  checki "path length" 10 (List.length ph.C.ph_path);
+  check "path roots at depth 0" true
+    (match ph.C.ph_path with s :: _ -> s.C.s_depth = 0 | [] -> false);
+  check "path depths never decrease" true
+    (let rec mono = function
+       | a :: (b :: _ as rest) -> a.C.s_depth <= b.C.s_depth && mono rest
+       | _ -> true
+     in
+     mono ph.C.ph_path);
+  (* width buckets cover every event exactly once *)
+  checki "width sums to events" ph.C.ph_events
+    (List.fold_left (fun a (_, w) -> a + w) 0 ph.C.ph_width);
+  checki "width has depth+1 buckets" (ph.C.ph_depth + 1)
+    (List.length ph.C.ph_width);
+  check "attribution sorted most-loaded first" true
+    (match ph.C.ph_attribution with
+    | (_, c1) :: (_, c2) :: _ -> c1 >= c2
+    | [ _ ] -> true
+    | [] -> false)
+
+let test_causal_flood_depth () =
+  Obs.set_enabled true;
+  T.start ();
+  let proto =
+    {
+      E.init = (fun _ _ -> ());
+      E.on_round =
+        (fun ctx st _ ->
+          if ctx.E.round = 0 then ctx.E.broadcast ctx.E.me;
+          st);
+    }
+  in
+  Obs.span "causal.flood" (fun () ->
+      ignore (E.run ~classify:(fun _ -> "id") (path_graph 4) proto));
+  T.stop ();
+  let r = C.analyze (T.events ()) in
+  let ph = List.hd r.C.r_phases in
+  (* one broadcast round: every chain is send -> deliver *)
+  checki "flood depth is one hop" 1 ph.C.ph_depth;
+  checki "rounds" 2 ph.C.ph_rounds;
+  check "no violations" true (r.C.r_violations = [])
+
+(* The analyzer only reads the merged stream, so its output is
+   bit-identical whatever worker count produced the interleaved pool
+   events around the protocol's. *)
+let causal_with_jobs jobs =
+  let pts = deployment 2002L 40 60. in
+  let base = Wireless.Udg.build pts ~radius:60. in
+  T.start ();
+  let r = Core.Protocol.run pts ~radius:60. in
+  ignore r;
+  ignore
+    (Netgraph.Metrics.combined_stretch ~jobs ~beta:2. ~base pts
+       [ ("sub", base) ]);
+  T.stop ();
+  let evs = T.events () in
+  checki "nothing dropped" 0 (T.dropped ());
+  C.analyze evs
+
+let test_causal_jobs_identity () =
+  Obs.set_enabled true;
+  let r1 = causal_with_jobs 1 in
+  let r2 = causal_with_jobs 2 in
+  let r4 = causal_with_jobs 4 in
+  check "protocol phases analyzed" true (List.length r1.C.r_phases >= 4);
+  check "depth positive" true (r1.C.r_depth > 0);
+  check "jobs=2 report is bit-identical" true (r2 = r1);
+  check "jobs=4 report is bit-identical" true (r4 = r1)
+
+let test_causal_violations () =
+  Obs.set_enabled true;
+  T.start ();
+  (* raw hooks on purpose: forge streams the stamping helper cannot
+     produce *)
+  Obs.span "causal.bad" (fun () ->
+      T.send ~round:0 ~time:0. ~kind:"k" ~src:0 ~dst:(-1) ~lam:5 ~sseq:0;
+      (* node 0 stamps again without advancing past 5 *)
+      T.send ~round:1 ~time:0. ~kind:"k" ~src:0 ~dst:(-1) ~lam:3 ~sseq:1;
+      (* no send (src 2, sseq 9) precedes this *)
+      T.deliver ~round:1 ~time:0. ~kind:"k" ~src:2 ~dst:1 ~lam:1 ~sseq:9
+        ~dseq:0;
+      (* matched send has lam 5; a deliver stamp must dominate it *)
+      T.deliver ~round:1 ~time:0. ~kind:"k" ~src:0 ~dst:3 ~lam:4 ~sseq:0
+        ~dseq:0);
+  T.stop ();
+  let r = C.analyze (T.events ()) in
+  let orphans, regressions =
+    List.partition
+      (function C.Orphan_deliver _ -> true | _ -> false)
+      r.C.r_violations
+  in
+  check "orphan deliver detected" true
+    (match orphans with
+    | [ C.Orphan_deliver { src = 2; dst = 1; sseq = 9; _ } ] -> true
+    | _ -> false);
+  checki "both regressions detected" 2 (List.length regressions);
+  check "regressions carry the stamps" true
+    (List.for_all
+       (function
+         | C.Clock_regression { lam; prev; _ } -> lam <= prev
+         | _ -> false)
+       regressions);
+  (* diagnostics render *)
+  List.iter
+    (fun v ->
+      check "violation pretty-prints" true
+        (String.length (Format.asprintf "%a" C.pp_violation v) > 10))
+    r.C.r_violations
+
+let test_causal_dot () =
+  Obs.set_enabled true;
+  let evs = relay_events 4 in
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  C.write_dot fmt evs;
+  Format.pp_print_flush fmt ();
+  let text = Buffer.contents buf in
+  let count c =
+    String.fold_left (fun a ch -> if ch = c then a + 1 else a) 0 text
+  in
+  check "digraph prefix" true
+    (String.length text > 7 && String.sub text 0 7 = "digraph");
+  check "braces balance" true (count '{' = count '}' && count '{' >= 2);
+  check "has message edges" true (contains text "style=solid");
+  check "has program-order edges" true (contains text "style=dashed");
+  check "critical path highlighted" true (contains text "color=red");
+  (* one DOT node per protocol event: 4 sends + 6 deliveries *)
+  let occurrences needle =
+    let nn = String.length needle in
+    let rec go i acc =
+      if i + nn > String.length text then acc
+      else if String.sub text i nn = needle then go (i + nn) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  checki "one node per protocol event" 10 (occurrences "[label=\"")
+
+let test_chrome_flows_roundtrip () =
+  Obs.set_enabled true;
+  let evs = relay_events 5 in
+  let r = C.analyze evs in
+  let flows = C.flows evs r in
+  check "relay path yields flow arrows" true (List.length flows >= 4);
+  List.iter
+    (fun ((s : T.event), (d : T.event)) ->
+      check "flow source is a send" true
+        (match s.T.payload with T.Send _ -> true | _ -> false);
+      check "flow target is a deliver" true
+        (match d.T.payload with T.Deliver _ -> true | _ -> false))
+    flows;
+  let buf = Buffer.create 8192 in
+  let fmt = Format.formatter_of_buffer buf in
+  T.write_chrome ~flows fmt evs;
+  Format.pp_print_flush fmt ();
+  let text = Buffer.contents buf in
+  check "flow-start records emitted" true
+    (contains text "\"cat\":\"flow\",\"ph\":\"s\"");
+  check "flow-finish records emitted" true
+    (contains text "\"cat\":\"flow\",\"ph\":\"f\"");
+  (* arrows are presentation-only: the read-back is still lossless *)
+  check "flow arrows don't disturb the round-trip" true
+    (T.read_chrome text = evs)
+
+let test_async_classify_tracing () =
+  Obs.set_enabled true;
+  let pts = deployment 11L 30 60. in
+  let udg = Wireless.Udg.build pts ~radius:60. in
+  let delay ~from:_ ~dst:_ ~seq = 1. +. (float_of_int (seq mod 7) /. 10.) in
+  T.start ();
+  let _, stats = Core.Async_cluster.run ~delay udg in
+  T.stop ();
+  let evs = T.events () in
+  let send_count k =
+    List.fold_left
+      (fun acc (e : T.event) ->
+        match e.T.payload with
+        | T.Send { kind; _ } when kind = k -> acc + 1
+        | _ -> acc)
+      0 evs
+  in
+  let deliver_count k =
+    List.fold_left
+      (fun acc (e : T.event) ->
+        match e.T.payload with
+        | T.Deliver { kind; _ } when kind = k -> acc + 1
+        | _ -> acc)
+      0 evs
+  in
+  (* each send of kind k from u fans out to deg(u) deliveries *)
+  let expected_deliveries k =
+    List.fold_left
+      (fun acc (e : T.event) ->
+        match e.T.payload with
+        | T.Send { kind; src; _ } when kind = k -> acc + G.degree udg src
+        | _ -> acc)
+      0 evs
+  in
+  let by_kind = stats.Distsim.Async_engine.by_kind in
+  check "both kinds classified" true
+    (List.map fst by_kind = [ "IamDominatee"; "IamDominator" ]);
+  List.iter
+    (fun (k, c) ->
+      checki ("traced sends match the counter for " ^ k) c (send_count k);
+      checki
+        ("traced deliveries fan out per degree for " ^ k)
+        (expected_deliveries k) (deliver_count k))
+    by_kind;
+  checki "every delivery traced with its kind"
+    stats.Distsim.Async_engine.deliveries
+    (List.fold_left (fun a (k, _) -> a + deliver_count k) 0 by_kind);
+  (* async stamping is causally coherent too *)
+  check "no violations in the async stream" true
+    ((C.analyze evs).C.r_violations = [])
+
 let suites =
   [
     ( "trace",
@@ -407,5 +680,21 @@ let suites =
           (isolated test_check_against_regressions);
         Alcotest.test_case "dist mean/stddev" `Quick
           (isolated test_dist_moments);
+      ] );
+    ( "causal",
+      [
+        Alcotest.test_case "relay critical path" `Quick
+          (isolated test_causal_relay_depth);
+        Alcotest.test_case "flood depth" `Quick
+          (isolated test_causal_flood_depth);
+        Alcotest.test_case "bit-identical across jobs" `Quick
+          (isolated test_causal_jobs_identity);
+        Alcotest.test_case "violation diagnostics" `Quick
+          (isolated test_causal_violations);
+        Alcotest.test_case "dot dump" `Quick (isolated test_causal_dot);
+        Alcotest.test_case "chrome flow arrows" `Quick
+          (isolated test_chrome_flows_roundtrip);
+        Alcotest.test_case "async classify under tracing" `Quick
+          (isolated test_async_classify_tracing);
       ] );
   ]
