@@ -81,6 +81,16 @@ let apply entries findings =
     (List.sort Diag.compare findings);
   (List.rev !keep, List.rev !grandfathered)
 
+let merge_reasons ~old entries =
+  List.map
+    (fun e ->
+      match
+        List.find_opt (fun o -> o.rule = e.rule && o.file = e.file) old
+      with
+      | Some o when o.reason <> "" -> { e with reason = o.reason }
+      | _ -> e)
+    entries
+
 let of_findings ~reason findings =
   let tbl = Hashtbl.create 16 in
   let order = ref [] in

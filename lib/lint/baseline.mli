@@ -27,3 +27,9 @@ val apply :
 (** Collapse findings into entries (per rule x file counts), e.g. for
     [--write-baseline]; every entry carries [reason]. *)
 val of_findings : reason:string -> Diag.t list -> entry list
+
+(** [merge_reasons ~old entries] carries the written reasons of [old]
+    over to matching (rule, file) entries, so [--write-baseline]
+    prunes stale entries without losing the debt notes on surviving
+    ones. *)
+val merge_reasons : old:entry list -> entry list -> entry list

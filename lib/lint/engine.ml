@@ -30,7 +30,9 @@ let scan_files root =
           if not (skip_dir name) then
             walk (rel ^ "/" ^ name) (Filename.concat abs name))
         entries
-    | false -> if Filename.check_suffix rel ".ml" then out := rel :: !out
+    | false ->
+      if Filename.check_suffix rel ".ml" || Filename.check_suffix rel ".mli"
+      then out := rel :: !out
   in
   List.iter
     (fun d ->
@@ -131,20 +133,75 @@ let lint_file ?rules ~root path =
   let has_mli = Sys.file_exists (abs ^ "i") in
   lint_source ?rules ~has_mli ~path (read_file abs)
 
+(* ---------- whole-project lint ----------
+
+   Local rules run per .ml file; the interprocedural layer
+   (Callgraph + Effects) runs once over lib/** with .mli siblings
+   paired in.  Effect findings honour the same inline suppressions,
+   looked up in whichever file the finding lands in (including .mli
+   files for E003). *)
+
+let keep_rule only id =
+  match only with None -> true | Some ids -> List.mem id ids
+
+let comments_of_source contents =
+  List.filter
+    (fun t -> t.Tokenizer.kind = Tokenizer.Comment)
+    (Tokenizer.tokenize contents)
+
+let apply_file_suppressions files findings =
+  let cache = Hashtbl.create 16 in
+  let sups_of path =
+    match Hashtbl.find_opt cache path with
+    | Some s -> s
+    | None ->
+      let s =
+        match List.assoc_opt path files with
+        | Some contents -> suppressions_of_comments (comments_of_source contents)
+        | None -> []
+      in
+      Hashtbl.replace cache path s;
+      s
+  in
+  List.partition (fun (d : Diag.t) -> not (suppressed (sups_of d.file) d)) findings
+
+let under_lib p = String.length p > 4 && String.sub p 0 4 = "lib/"
+
+let lint_project ?only files =
+  let local_rules =
+    List.filter (fun (r : Rules.rule) -> keep_rule only r.Rules.id) Rules.all
+  in
+  let mls =
+    List.filter (fun (p, _) -> Filename.check_suffix p ".ml") files
+  in
+  let all = ref [] and cut_total = ref 0 in
+  List.iter
+    (fun (path, contents) ->
+      let has_mli = List.mem_assoc (path ^ "i") files in
+      let findings, cut = lint_source ~rules:local_rules ~has_mli ~path contents in
+      all := List.rev_append findings !all;
+      cut_total := !cut_total + cut)
+    mls;
+  let lib_files = List.filter (fun (p, _) -> under_lib p) files in
+  let effect_findings =
+    if List.exists (fun (p, _) -> Filename.check_suffix p ".ml") lib_files then
+      Effects.findings ?only (Effects.analyze (Callgraph.of_sources lib_files))
+    else []
+  in
+  let kept, cut = apply_file_suppressions files effect_findings in
+  cut_total := !cut_total + List.length cut;
+  (List.sort Diag.compare (List.rev_append kept !all), !cut_total, List.length mls)
+
 (* ---------- whole-tree run ---------- *)
 
-let run ?(rules = Rules.all) ?(baseline = []) root =
-  let files = scan_files root in
-  let all = ref [] and suppressed = ref 0 in
-  List.iter
-    (fun path ->
-      let findings, cut = lint_file ~rules ~root path in
-      all := List.rev_append findings !all;
-      suppressed := !suppressed + cut)
-    files;
-  let findings, grandfathered =
-    Baseline.apply baseline (List.sort Diag.compare !all)
-  in
+let project_files root =
+  scan_files root
+  |> List.map (fun p -> (p, read_file (Filename.concat root p)))
+
+let run ?only ?(baseline = []) root =
+  let files = project_files root in
+  let sorted, suppressed, nml = lint_project ?only files in
+  let findings, grandfathered = Baseline.apply baseline sorted in
   let used = Hashtbl.create 16 in
   List.iter
     (fun ((d : Diag.t), _) ->
@@ -161,10 +218,4 @@ let run ?(rules = Rules.all) ?(baseline = []) root =
         | None -> true)
       baseline
   in
-  {
-    findings;
-    grandfathered;
-    suppressed = !suppressed;
-    files = List.length files;
-    unused_baseline;
-  }
+  { findings; grandfathered; suppressed; files = nml; unused_baseline }

@@ -1,9 +1,12 @@
-(** Walking, per-file linting, suppression and baseline plumbing.
+(** Walking, per-file linting, interprocedural analysis, suppression
+    and baseline plumbing.
 
     The tree walk covers [lib], [bin], [bench], [examples] and [test]
     under a root, skipping [_build], [fixtures] and dot-directories;
     directory entries are visited in sorted order so reports are
-    bit-identical across machines. *)
+    bit-identical across machines.  Local rules ({!Rules.all}) run per
+    .ml file; the interprocedural layer ({!Callgraph} + {!Effects})
+    runs once over lib/** with .mli siblings paired in. *)
 
 type result = {
   findings : Diag.t list;  (** unsuppressed, after the baseline; sorted *)
@@ -15,14 +18,19 @@ type result = {
       (** stale entries whose budget was not fully consumed *)
 }
 
-(** Repo-relative paths ('/'-separated) of the .ml files under [root]. *)
+(** Repo-relative paths ('/'-separated) of the .ml and .mli files
+    under [root]. *)
 val scan_files : string -> string list
 
+(** [(path, contents)] for every scanned file. *)
+val project_files : string -> (string * string) list
+
 (** [lint_source ~path contents] lints one compilation unit with the
-    given rules (default: the whole catalog), applying inline
+    given local rules (default: {!Rules.all}), applying inline
     suppressions.  [has_mli] (default [true]) feeds H001; [path] is
     the repo-relative path used for rule scoping.  Returns sorted
-    findings and the count of inline-suppressed ones. *)
+    findings and the count of inline-suppressed ones.  Interprocedural
+    rules need the whole project: see {!lint_project}. *)
 val lint_source :
   ?rules:Rules.rule list ->
   ?has_mli:bool ->
@@ -35,6 +43,15 @@ val lint_source :
 val lint_file :
   ?rules:Rules.rule list -> root:string -> string -> Diag.t list * int
 
-(** Lint the whole tree under [root] and net off [baseline]. *)
+(** [lint_project files] lints an in-memory project: local rules on
+    every [.ml] entry, plus the Callgraph/Effects pass over the
+    [lib/**] entries ([.mli] contents paired by path).  [only] filters
+    by rule id across both layers.  Returns (sorted findings,
+    inline-suppressed count, number of .ml files). *)
+val lint_project :
+  ?only:string list -> (string * string) list -> Diag.t list * int * int
+
+(** Lint the whole tree under [root] and net off [baseline]; [only]
+    filters by rule id. *)
 val run :
-  ?rules:Rules.rule list -> ?baseline:Baseline.entry list -> string -> result
+  ?only:string list -> ?baseline:Baseline.entry list -> string -> result

@@ -55,91 +55,12 @@ let tok ctx i =
 
 let tok_text ctx i = match tok ctx i with Some t -> t.T.text | None -> ""
 
-let contains_sub needle hay =
-  let n = String.length needle and h = String.length hay in
-  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
-  n = 0 || go 0
-
-(* ---------- D001: Stdlib.Random ---------- *)
-
-let d001_check ctx =
-  if ctx.path = "lib/wireless/rand.ml" then []
-  else
-    Array.to_list ctx.code
-    |> List.filter_map (fun t ->
-           if t.T.kind = T.Ident && T.has_component t "Random" then
-             Some
-               (finding ctx "D001" Diag.Error t.T.line t.T.col
-                  ("use of " ^ t.T.text
-                 ^ ": Stdlib.Random is nondeterministic across runs; thread \
-                    a seeded Wireless.Rand through instead"))
-           else None)
-
-(* ---------- D002: Hashtbl iteration order ---------- *)
-
-let d002_sort_window_before = 8
-let d002_sort_window_after = 48
-
-let d002_check ctx =
-  if (not (under "lib" ctx.path)) || ctx.path = "lib/netgraph/graph.ml" then []
-  else begin
-    let out = ref [] in
-    Array.iteri
-      (fun i t ->
-        if
-          t.T.kind = T.Ident
-          && T.has_component t "Hashtbl"
-          && (match T.last_component t with "iter" | "fold" -> true | _ -> false)
-        then begin
-          (* allowed when the call visibly feeds a sort: List.sort /
-             List.sort_uniq / Graph.sorted_tbl_* within a small token
-             window before (sort wraps the fold) or after (fold result
-             piped into a sort) *)
-          let sorted = ref false in
-          for k = i - d002_sort_window_before to i + d002_sort_window_after do
-            match tok ctx k with
-            | Some u
-              when u.T.kind = T.Ident
-                   && contains_sub "sort"
-                        (String.lowercase_ascii (T.last_component u)) ->
-              sorted := true
-            | _ -> ()
-          done;
-          if not !sorted then
-            out :=
-              finding ctx "D002" Diag.Error t.T.line t.T.col
-                (t.T.text
-               ^ " iterates in hash order, which can leak into outputs; \
-                  route through Graph.sorted_tbl_iter/fold or sort the \
-                  result")
-              :: !out
-        end)
-      ctx.code;
-    List.rev !out
-  end
-
-(* ---------- D003: wall clocks outside obs/bench ---------- *)
-
-let d003_check ctx =
-  if under "lib/obs" ctx.path || under "bench" ctx.path then []
-  else
-    Array.to_list ctx.code
-    |> List.filter_map (fun t ->
-           let hit =
-             t.T.kind = T.Ident
-             && ((T.has_component t "Sys" && T.last_component t = "time")
-                || T.has_component t "Unix"
-                   && (match T.last_component t with
-                      | "gettimeofday" | "time" -> true
-                      | _ -> false))
-           in
-           if hit then
-             Some
-               (finding ctx "D003" Diag.Error t.T.line t.T.col
-                  ("wall-clock call " ^ t.T.text
-                 ^ " outside lib/obs and bench breaks reproducibility; \
-                    report timings through Obs spans"))
-           else None)
+(* The determinism and multicore rules (D001 D002 D003 M001 M002) that
+   used to live here as path heuristics were retargeted to
+   reachability-based diagnostics in [Effects]; they fire only on
+   sites whose function is reachable from a Netgraph.Pool callback,
+   and each finding carries the witness call chain.  This catalog
+   keeps the purely local, single-file rules. *)
 
 (* ---------- F001: polymorphic compare / min / max ---------- *)
 
@@ -233,154 +154,6 @@ let f002_check ctx =
       ctx.code;
     List.rev !out
   end
-
-(* ---------- M001: module-toplevel mutable state ---------- *)
-
-let m001_scope =
-  [ "lib/geometry"; "lib/netgraph"; "lib/delaunay"; "lib/wireless"; "lib/serve" ]
-
-let m001_mutable_ctor t =
-  t.T.kind = T.Ident
-  && (t.T.text = "ref"
-     || (T.has_component t "Hashtbl" && T.last_component t = "create")
-     || (T.has_component t "Array"
-        &&
-        match T.last_component t with
-        | "make" | "create_float" | "make_matrix" -> true
-        | _ -> false)
-     || (T.has_component t "Bytes" && T.last_component t = "create")
-     || (T.has_component t "Buffer" && T.last_component t = "create")
-     || (T.has_component t "Queue" && T.last_component t = "create")
-     || (T.has_component t "Stack" && T.last_component t = "create"))
-
-let m001_domain_safe t =
-  t.T.kind = T.Ident
-  && (T.has_component t "Atomic" || T.has_component t "DLS"
-    || T.has_component t "Mutex")
-
-let m001_check ctx =
-  if not (in_any m001_scope ctx.path) then []
-  else begin
-    let annotated_lines =
-      List.filter_map
-        (fun c ->
-          if contains_sub "lint: domain-local" c.T.text then Some c.T.line
-          else None)
-        ctx.comments
-    in
-    let n = Array.length ctx.code in
-    let boundary t =
-      t.T.col = 1 && t.T.kind = T.Ident
-      &&
-      match t.T.text with
-      | "let" | "and" | "type" | "module" | "open" | "include" | "exception"
-      | "external" | "class" ->
-        true
-      | _ -> false
-    in
-    let out = ref [] in
-    let i = ref 0 in
-    while !i < n do
-      let t = ctx.code.(!i) in
-      if boundary t && (t.T.text = "let" || t.T.text = "and") then begin
-        (* item extent: up to the next structure-level keyword *)
-        let stop = ref (!i + 1) in
-        while !stop < n && not (boundary ctx.code.(!stop)) do
-          incr stop
-        done;
-        (* [let [rec] name = rhs] — only constant bindings can pin
-           shared state; anything with parameters allocates per call *)
-        let j = if tok_text ctx (!i + 1) = "rec" then !i + 2 else !i + 1 in
-        let is_const_binding =
-          (match tok ctx j with
-          | Some name when name.T.kind = T.Ident -> (
-            match tok_text ctx (j + 1) with "=" | ":" -> true | _ -> false)
-          | _ -> false)
-          && tok_text ctx (j + 1) <> "" (* name exists *)
-        in
-        if is_const_binding then begin
-          let rhs_is_function =
-            (* find the '=' then look at the first RHS token *)
-            let rec eq k =
-              if k >= !stop then None
-              else if ctx.code.(k).T.text = "=" && ctx.code.(k).T.kind = T.Op
-              then Some (k + 1)
-              else eq (k + 1)
-            in
-            match eq (j + 1) with
-            | Some k -> (
-              match tok_text ctx k with "fun" | "function" -> true | _ -> false)
-            | None -> true
-          in
-          if not rhs_is_function then begin
-            let last_line =
-              if !stop - 1 >= 0 && !stop - 1 < n then
-                ctx.code.(!stop - 1).T.line
-              else t.T.line
-            in
-            let exempt =
-              List.exists
-                (fun l -> l >= t.T.line - 1 && l <= last_line)
-                annotated_lines
-              ||
-              let safe = ref false in
-              for k = !i to !stop - 1 do
-                if m001_domain_safe ctx.code.(k) then safe := true
-              done;
-              !safe
-            in
-            if not exempt then
-              for k = !i to !stop - 1 do
-                if m001_mutable_ctor ctx.code.(k) then begin
-                  let c = ctx.code.(k) in
-                  out :=
-                    finding ctx "M001" Diag.Error c.T.line c.T.col
-                      ("module-toplevel mutable state (" ^ c.T.text
-                     ^ ") is shared across Netgraph.Pool worker domains; \
-                        use Atomic / Domain.DLS or annotate with (* lint: \
-                        domain-local reason *)")
-                    :: !out
-                end
-              done
-          end
-        end;
-        i := !stop
-      end
-      else incr i
-    done;
-    List.rev !out
-  end
-
-(* ---------- M002: mutable Graph construction in core paths ---------- *)
-
-(* The Hashtbl-backed [Netgraph.Graph] cannot be grown from Pool
-   worker domains, so every [G.add_edge] loop in lib/core pins that
-   stage to one domain and to hash-table cache behaviour.  The sharded
-   pipeline builds through [Netgraph.Builder]/[Csr] (or, for legacy
-   record shapes, collects an edge list and seals it in one
-   [G.of_edges]/[G.union] call); this rule keeps the mutation API from
-   creeping back into construction paths. *)
-
-let m002_check ctx =
-  if not (under "lib/core" ctx.path) then []
-  else
-    Array.to_list ctx.code
-    |> List.filter_map (fun t ->
-           let hit =
-             t.T.kind = T.Ident
-             && (match T.last_component t with
-                | "add_edge" | "remove_edge" -> true
-                | _ -> false)
-             && (T.has_component t "Graph" || T.has_component t "G")
-           in
-           if hit then
-             Some
-               (finding ctx "M002" Diag.Error t.T.line t.T.col
-                  (t.T.text
-                 ^ " mutates a Hashtbl graph on a lib/core construction \
-                    path; collect an edge list and seal it through \
-                    Netgraph.Builder/Csr (or G.of_edges / G.union)"))
-           else None)
 
 (* ---------- H001: every library module has an interface ---------- *)
 
@@ -517,41 +290,6 @@ let o002_check ctx =
 let all =
   [
     {
-      id = "D001";
-      family = "determinism";
-      severity = Diag.Error;
-      title = "no Stdlib.Random";
-      doc =
-        "Stdlib.Random (and Random.self_init in particular) makes runs \
-         unreproducible.  All randomness flows from the seeded, splittable \
-         Wireless.Rand PRNG; only lib/wireless/rand.ml is exempt.";
-      check = d001_check;
-    };
-    {
-      id = "D002";
-      family = "determinism";
-      severity = Diag.Error;
-      title = "no order-leaking Hashtbl iteration";
-      doc =
-        "Hashtbl.iter/fold visit bindings in hash order, which varies with \
-         insertion history and hash seeds; results that reach outputs or \
-         metrics must go through Graph.sorted_tbl_iter/fold or an explicit \
-         sort (a List.sort within a few tokens of the call is recognised).  \
-         lib/netgraph/graph.ml hosts the wrappers and is exempt.";
-      check = d002_check;
-    };
-    {
-      id = "D003";
-      family = "determinism";
-      severity = Diag.Error;
-      title = "no wall clocks outside obs/bench";
-      doc =
-        "Sys.time and Unix.gettimeofday values differ run to run; only the \
-         observability layer (lib/obs) and the benchmark harness may read \
-         them.  Everything else reports timings through Obs spans.";
-      check = d003_check;
-    };
-    {
       id = "F001";
       family = "float-robustness";
       severity = Diag.Error;
@@ -574,31 +312,6 @@ let all =
          makes zero tests exact) use Float.equal, a sign test, or an exact \
          predicate.";
       check = f002_check;
-    };
-    {
-      id = "M001";
-      family = "multicore-safety";
-      severity = Diag.Error;
-      title = "no shared toplevel mutable state";
-      doc =
-        "Module-toplevel refs, hash tables and scratch arrays in libraries \
-         reachable from Netgraph.Pool workers are shared across domains \
-         and race silently.  Use Atomic, Domain.DLS, pass state explicitly, \
-         or annotate the binding with (* lint: domain-local reason *).";
-      check = m001_check;
-    };
-    {
-      id = "M002";
-      family = "multicore-safety";
-      severity = Diag.Error;
-      title = "no mutable Graph construction in core paths";
-      doc =
-        "Graph.add_edge / remove_edge loops in lib/core pin a construction \
-         stage to one domain (the Hashtbl graph cannot be grown from Pool \
-         workers) and were retired from the hot path by the sharded CSR \
-         pipeline.  Collect edge lists and seal through Netgraph.Builder / \
-         Csr, or G.of_edges / G.union for legacy record shapes.";
-      check = m002_check;
     };
     {
       id = "H001";

@@ -1,20 +1,17 @@
-(** The rule catalog: project invariants checked at the token level.
+(** The local rule catalog: single-file project invariants checked at
+    the token level.  The determinism and multicore rules (D001 D002
+    D003 M001 M002) and the parallel-region E-rules are
+    interprocedural and live in {!Effects}; this catalog holds the
+    rules a single compilation unit can answer.
 
     Families (see DESIGN.md §9 for the rationale per rule):
-    - determinism: D001 no [Stdlib.Random]; D002 no order-leaking
-      [Hashtbl.iter]/[fold]; D003 no wall clocks outside lib/obs and
-      bench.
     - float-robustness: F001 no polymorphic [compare]/[min]/[max] on
       floats in lib/geometry, lib/netgraph, lib/delaunay; F002 no
       exact float-literal equality outside predicates.ml.
-    - multicore-safety: M001 no module-toplevel mutable state in
-      libraries reachable from [Netgraph.Pool] workers, unless
-      [Atomic]/[Domain.DLS]-based or annotated
-      [(* lint: domain-local reason *)]; M002 no
-      [Graph.add_edge]/[remove_edge] on lib/core construction paths
-      (build through [Netgraph.Builder]/[Csr] or seal an edge list).
     - hygiene: H001 every lib module has an .mli; H002 no
-      [Obj.magic]; H003 no bare [assert false] / empty [failwith]. *)
+      [Obj.magic]; H003 no bare [assert false] / empty [failwith];
+      O001 metric name literals follow the dotted convention; O002
+      protocol trace events flow through [Distsim.Stamp]. *)
 
 type ctx = {
   path : string;  (** repo-relative, '/'-separated *)
@@ -25,7 +22,7 @@ type ctx = {
 }
 
 type rule = {
-  id : string;  (** e.g. ["D001"] *)
+  id : string;  (** e.g. ["F001"] *)
   family : string;
   severity : Diag.severity;
   title : string;
@@ -33,7 +30,7 @@ type rule = {
   check : ctx -> Diag.t list;
 }
 
-(** All rules, in catalog order (stable, id-sorted). *)
+(** All local rules, in catalog order (stable, id-sorted). *)
 val all : rule list
 
 val find : string -> rule option

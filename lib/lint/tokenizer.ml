@@ -119,8 +119,42 @@ let scan_quoted_string cur =
   ignore start;
   Buffer.contents buf
 
-(* [cur.pos] is on '(' of "(*".  Comments nest; string literals inside
-   a comment are honoured (their "*)" does not close the comment). *)
+(* Shape probe for [{id|...|id}]: [cur.pos] is on '{'; true when a
+   (possibly empty) lowercase id followed by '|' comes next. *)
+let quoted_probe cur =
+  let rec probe k =
+    match peek cur k with
+    | Some ch when (ch >= 'a' && ch <= 'z') || ch = '_' -> probe (k + 1)
+    | Some '|' -> true
+    | _ -> false
+  in
+  probe 1
+
+(* Char literal starting at a single quote, or None if the quote is a
+   type-variable tick (or an apostrophe in prose).  Shapes: 'c', '\n',
+   '\\', '\'', '\xHH', '\123', '\uXXXX' (approximated: backslash
+   followed by up to 6 non-quote chars then a quote). *)
+let try_char_lit cur =
+  match peek cur 1 with
+  | Some '\\' ->
+    (* the char right after the backslash is part of the escape even
+       when it is a quote ('\''); scan for the closing quote after it *)
+    let rec find k =
+      if k > 8 then None
+      else
+        match peek cur k with
+        | Some '\'' -> Some (k + 1)
+        | Some _ -> find (k + 1)
+        | None -> None
+    in
+    find 3
+  | Some _ when peek cur 2 = Some '\'' -> Some 3
+  | _ -> None
+
+(* [cur.pos] is on '(' of "(*".  Comments nest; string, quoted-string
+   and char literals inside a comment are honoured the way the real
+   OCaml lexer honours them: a "*)" inside any of them does not close
+   the comment (think [(* match c with '"' -> ... *)]). *)
 let scan_comment cur =
   let start = cur.pos in
   advance cur;
@@ -138,31 +172,19 @@ let scan_comment cur =
       advance cur
     | Some '"', _ ->
       ignore (scan_string cur)
+    | Some '{', _ when quoted_probe cur ->
+      ignore (scan_quoted_string cur)
+    | Some '\'', _ -> (
+      match try_char_lit cur with
+      | Some len ->
+        for _ = 1 to len do
+          advance cur
+        done
+      | None -> advance cur)
     | _ ->
       advance cur
   done;
   String.sub cur.src start (cur.pos - start)
-
-(* Char literal starting at a single quote, or None if the quote is a
-   type-variable tick.  Shapes: 'c', '\n', '\\', '\'', '\xHH', '\123',
-   '\uXXXX' (approximated: backslash followed by up to 6 non-quote
-   chars then a quote). *)
-let try_char_lit cur =
-  match peek cur 1 with
-  | Some '\\' ->
-    (* the char right after the backslash is part of the escape even
-       when it is a quote ('\''); scan for the closing quote after it *)
-    let rec find k =
-      if k > 8 then None
-      else
-        match peek cur k with
-        | Some '\'' -> Some (k + 1)
-        | Some _ -> find (k + 1)
-        | None -> None
-    in
-    find 3
-  | Some _ when peek cur 2 = Some '\'' -> Some 3
-  | _ -> None
 
 let scan_number cur =
   let start = cur.pos in
@@ -260,13 +282,7 @@ let tokenize src =
     else if c = '"' then emit String_lit (scan_string cur) line col
     else if c = '{' then begin
       (* quoted string {id|...|id} ? *)
-      let rec probe k =
-        match peek cur k with
-        | Some ch when (ch >= 'a' && ch <= 'z') || ch = '_' -> probe (k + 1)
-        | Some '|' -> true
-        | _ -> false
-      in
-      if probe 1 then emit String_lit (scan_quoted_string cur) line col
+      if quoted_probe cur then emit String_lit (scan_quoted_string cur) line col
       else begin
         emit Op "{" line col;
         advance cur

@@ -1,3 +1,4 @@
+(* lint: domain-local toggled between runs, read-only in parallel regions *)
 let on = ref false
 let enabled () = !on
 let set_enabled b = on := b
@@ -174,6 +175,7 @@ let span_order : string list ref = ref []
 let span_path = ref ""
 
 module Trace = struct
+  (* lint: domain-local toggled between runs, read-only in parallel regions *)
   let on = ref false
   let enabled () = !on
 
